@@ -1,0 +1,88 @@
+// Command mzexp regenerates the paper's evaluation: every table and figure
+// (Table 1, the §3.1–§3.3 worked examples, Figure 1, Table 2, the
+// worst-case comparison) and the design ablations.
+//
+// Usage:
+//
+//	mzexp                      # run everything at paper scale
+//	mzexp -run figure1         # one experiment
+//	mzexp -run e1,e2,table2    # a comma-separated subset
+//	mzexp -quick               # scaled-down simulations (seconds, not minutes)
+//	mzexp -trials 500000       # override Figure-1 simulation trials
+//	mzexp -runs 1000           # override Table-2 stream histories per N
+//	mzexp -list                # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mzqos/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		quick  = flag.Bool("quick", false, "use scaled-down simulation fidelity")
+		trials = flag.Int("trials", 0, "override simulated rounds per N (Figure 1, ablations)")
+		runs   = flag.Int("runs", 0, "override simulated stream histories per N (Table 2)")
+		seed   = flag.Uint64("seed", 0, "override simulation seed")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		format = flag.String("format", "text", "output format: text, csv, or md")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.All() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	if *trials > 0 {
+		opts.Figure1Trials = *trials
+	}
+	if *runs > 0 {
+		opts.Table2Runs = *runs
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+
+	ids := experiments.All()
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tbl, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mzexp: %v\n", err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			err = tbl.RenderCSV(os.Stdout)
+		case "md":
+			err = tbl.RenderMarkdown(os.Stdout)
+		case "text":
+			tbl.Render(os.Stdout)
+			fmt.Printf("  (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mzexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

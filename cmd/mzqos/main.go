@@ -1,0 +1,176 @@
+// Command mzqos evaluates the analytic admission model for a disk and
+// workload: per-round lateness bounds, per-stream glitch bounds, admission
+// limits, and precomputed admission tables (§5).
+//
+// Usage:
+//
+//	mzqos bounds -n 26                    # b_late, b_glitch at N=26
+//	mzqos bounds -n 26 -rounds 1200 -g 12 # plus p_error for M rounds
+//	mzqos nmax -delta 0.01                # N_max for a per-round guarantee
+//	mzqos nmax -rounds 1200 -g 12 -eps 0.01
+//	mzqos table                           # admission table across thresholds
+//	mzqos worstcase                       # deterministic baseline (eq. 4.1)
+//	mzqos gss -groups 1,2,4,8             # Group Sweeping trade-off
+//	mzqos buffer -n 28 -slack 2           # client-buffering bounds
+//	mzqos plan -target 30                 # round-length planning
+//
+// Common flags configure the system:
+//
+//	-t 1.0            round length in seconds
+//	-mean 200 -sd 100 fragment size moments in KB
+//	-single-zone      use a mean-capacity single-zone disk instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"mzqos/internal/buffer"
+	"mzqos/internal/disk"
+	"mzqos/internal/model"
+	"mzqos/internal/workload"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mzqos <bounds|nmax|table|worstcase> [flags]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		roundLen   = fs.Float64("t", 1.0, "round length in seconds")
+		meanKB     = fs.Float64("mean", 200, "mean fragment size in KB")
+		sdKB       = fs.Float64("sd", 100, "fragment size standard deviation in KB")
+		singleZone = fs.Bool("single-zone", false, "use a mean-capacity single-zone disk")
+		n          = fs.Int("n", 26, "multiprogramming level (bounds)")
+		rounds     = fs.Int("rounds", 0, "stream length M in rounds (0 = per-round only)")
+		glitches   = fs.Int("g", 12, "tolerated glitches per stream")
+		delta      = fs.Float64("delta", 0.01, "per-round lateness threshold (nmax)")
+		eps        = fs.Float64("eps", 0.01, "per-stream error threshold (nmax with -rounds)")
+		groups     = fs.String("groups", "1,2,4,8", "group counts to evaluate (gss)")
+		slack      = fs.Int("slack", 1, "client buffer slack in rounds (buffer)")
+		target     = fs.Int("target", 30, "target streams per disk (plan)")
+		cv         = fs.Float64("cv", 0.5, "bandwidth coefficient of variation (plan)")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		usage()
+	}
+
+	g := disk.QuantumViking21()
+	if *singleZone {
+		g = g.Uniformized()
+	}
+	sizes, err := workload.GammaSizes(*meanKB*workload.KB, *sdKB*workload.KB)
+	fatal(err)
+	m, err := model.New(model.Config{Disk: g, Sizes: sizes, RoundLength: *roundLen})
+	fatal(err)
+
+	switch cmd {
+	case "bounds":
+		mean, variance := m.TransferMoments()
+		fmt.Printf("disk: %s  round: %gs  sizes: %s\n", g.Name, *roundLen, sizes.Name)
+		fmt.Printf("E[T_trans] = %.5f s   sd[T_trans] = %.5f s\n", mean, sqrt(variance))
+		fmt.Printf("SEEK(%d) = %.5f s\n", *n, m.SeekBound(*n))
+		b, err := m.LateBound(*n)
+		fatal(err)
+		fmt.Printf("b_late(%d, %gs)   = %.6f\n", *n, *roundLen, b)
+		bg, err := m.GlitchBound(*n)
+		fatal(err)
+		fmt.Printf("b_glitch(%d, %gs) = %.6f\n", *n, *roundLen, bg)
+		if *rounds > 0 {
+			pe, err := m.StreamErrorBound(*n, *rounds, *glitches)
+			fatal(err)
+			fmt.Printf("p_error(%d, M=%d, g=%d) <= %.6g\n", *n, *rounds, *glitches, pe)
+		}
+	case "nmax":
+		if *rounds > 0 {
+			nm, err := m.NMaxError(*rounds, *glitches, *eps)
+			fatal(err)
+			fmt.Printf("N_max = %d  for P[>=%d glitches in %d rounds] <= %g\n", nm, *glitches, *rounds, *eps)
+		} else {
+			nm, err := m.NMaxLate(*delta)
+			fatal(err)
+			fmt.Printf("N_max = %d  for P[round late] <= %g\n", nm, *delta)
+		}
+	case "table":
+		specs := []model.Guarantee{
+			{Threshold: 0.001},
+			{Threshold: 0.01},
+			{Threshold: 0.05},
+			{Rounds: 1200, Glitches: 12, Threshold: 0.001},
+			{Rounds: 1200, Glitches: 12, Threshold: 0.01},
+			{Rounds: 1200, Glitches: 12, Threshold: 0.05},
+		}
+		tbl, err := model.BuildTable(m, specs)
+		fatal(err)
+		fmt.Printf("admission table for %s, round %gs, sizes %s\n", g.Name, *roundLen, sizes.Name)
+		for _, e := range tbl.Entries() {
+			fmt.Printf("  N_max = %3d   %s\n", e.NMax, e.Guarantee)
+		}
+	case "worstcase":
+		pess, err := m.WorstCaseNMax(model.WorstCaseSpec{SizeQuantile: 0.99})
+		fatal(err)
+		opt, err := m.WorstCaseNMax(model.WorstCaseSpec{SizeQuantile: 0.95, UseMeanRate: true})
+		fatal(err)
+		fmt.Printf("worst case (99-pct size, innermost rate):  N_max = %d\n", pess)
+		fmt.Printf("worst case (95-pct size, mean rate):       N_max = %d\n", opt)
+	case "gss":
+		var gl []int
+		for _, part := range strings.Split(*groups, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			fatal(err)
+			gl = append(gl, v)
+		}
+		rs, err := m.GSSSweep(gl, *delta)
+		fatal(err)
+		fmt.Printf("%-8s %-14s %-12s %-14s %s\n", "groups", "subperiod", "admitted N", "per-sweep", "buffer/stream")
+		for _, r := range rs {
+			if r.AdmittedN == 0 {
+				fmt.Printf("%-8d unattainable\n", r.Groups)
+				continue
+			}
+			fmt.Printf("%-8d %-14s %-12d %-14d %.0f KB\n",
+				r.Groups, fmt.Sprintf("%.0f ms", r.SubPeriod*1e3), r.AdmittedN, r.GroupSize, r.BufferPerStream/workload.KB)
+		}
+	case "buffer":
+		b, err := buffer.VisibleGlitchBound(m, *n, *slack)
+		fatal(err)
+		nb, err := buffer.NMaxBuffered(m, *slack, *delta)
+		fatal(err)
+		fmt.Printf("b_visible(%d, slack=%d) <= %.3e\n", *n, *slack, b)
+		fmt.Printf("N_max with %d rounds of client slack: %d\n", *slack, nb)
+		fmt.Printf("client buffer: %.0f KB per stream\n",
+			buffer.ClientBufferBytes(sizes.Mean(), *slack)/workload.KB)
+	case "plan":
+		tt, err := model.PlanRoundLength(g, *meanKB*workload.KB, *cv, *delta, *target, 0.1, 16)
+		fatal(err)
+		fmt.Printf("smallest round length admitting %d streams: %.2f s\n", *target, tt)
+		fmt.Printf("implied client buffer (double buffering): %.0f KB\n",
+			2**meanKB*tt)
+	default:
+		usage()
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mzqos: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

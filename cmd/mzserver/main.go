@@ -1,0 +1,161 @@
+// Command mzserver runs an operational scenario on the striped
+// continuous-media server: a clip catalog, Poisson client arrivals,
+// admission control driven by the analytic model, and (optionally)
+// periodic recalibration of the admission limit from observed workload
+// statistics (§5).
+//
+// Usage:
+//
+//	mzserver -disks 4 -rounds 600 -arrivals 0.5
+//	mzserver -disks 8 -rounds 1200 -arrivals 1.2 -cliplen 300 -recalibrate 200
+//	mzserver -mean 300 -sd 150                  # heavier clips than declared
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/dist"
+	"mzqos/internal/model"
+	"mzqos/internal/server"
+	"mzqos/internal/workload"
+)
+
+func main() {
+	var (
+		disks       = flag.Int("disks", 4, "number of disks")
+		rounds      = flag.Int("rounds", 600, "rounds to simulate")
+		arrivals    = flag.Float64("arrivals", 0.8, "mean client arrivals per round (Poisson)")
+		clipLen     = flag.Int("cliplen", 300, "mean clip length in rounds (geometric)")
+		catalog     = flag.Int("catalog", 100, "number of clips in the catalog")
+		declMean    = flag.Float64("declared-mean", 200, "declared mean fragment size (KB)")
+		declSD      = flag.Float64("declared-sd", 100, "declared fragment size std dev (KB)")
+		meanKB      = flag.Float64("mean", 200, "actual mean fragment size (KB)")
+		sdKB        = flag.Float64("sd", 100, "actual fragment size std dev (KB)")
+		recalEvery  = flag.Int("recalibrate", 0, "recalibrate the admission limit every N rounds (0 = never)")
+		streamLimit = flag.Float64("eps", 0.01, "per-round lateness threshold")
+		zipfS       = flag.Float64("zipf", 0.8, "Zipf popularity exponent for clip selection (0 = uniform)")
+		seed        = flag.Uint64("seed", 42, "random seed")
+		report      = flag.Int("report", 100, "progress report interval in rounds")
+	)
+	flag.Parse()
+
+	declared, err := workload.GammaSizes(*declMean*workload.KB, *declSD*workload.KB)
+	fatal(err)
+	actual, err := workload.GammaSizes(*meanKB*workload.KB, *sdKB*workload.KB)
+	fatal(err)
+
+	srv, err := server.New(server.Config{
+		Disk:        disk.QuantumViking21(),
+		NumDisks:    *disks,
+		RoundLength: 1,
+		Sizes:       declared,
+		Guarantee:   model.Guarantee{Threshold: *streamLimit},
+		Seed:        *seed,
+	})
+	fatal(err)
+
+	rng := dist.NewRand(*seed, *seed^0xfeed)
+	fmt.Printf("server: %d disks, admission limit %d/disk (%d total), declared %s, actual %s\n",
+		*disks, srv.PerDiskLimit(), srv.Capacity(), declared.Name, actual.Name)
+
+	// Build the catalog with the *actual* workload.
+	for i := 0; i < *catalog; i++ {
+		length := 1 + geometric(float64(*clipLen), rng)
+		sizes := make([]float64, length)
+		for j := range sizes {
+			sizes[j] = actual.Sample(rng)
+		}
+		fatal(srv.AddObject(fmt.Sprintf("clip-%04d", i), sizes))
+	}
+
+	pop, err := workload.NewZipf(*catalog, *zipfS)
+	fatal(err)
+	fmt.Printf("popularity: Zipf(s=%g), top 10%% of clips draw %.0f%% of requests\n",
+		*zipfS, 100*pop.TopShare(*catalog/10))
+
+	var admitted, rejected, completedStreams int
+	var glitchTotal, requestTotal int
+	var busy float64
+	for r := 0; r < *rounds; r++ {
+		// Poisson arrivals pick catalog entries by popularity.
+		for k := poisson(*arrivals, rng); k > 0; k-- {
+			name := fmt.Sprintf("clip-%04d", pop.Sample(rng))
+			if _, _, err := srv.Open(name); err != nil {
+				rejected++
+			} else {
+				admitted++
+			}
+		}
+		rep := srv.Step()
+		glitchTotal += rep.Glitches
+		completedStreams += len(rep.Completed)
+		for _, d := range rep.Disks {
+			requestTotal += d.Requests
+			busy += d.Busy
+		}
+		if *recalEvery > 0 && (r+1)%*recalEvery == 0 {
+			if old, now, err := srv.Recalibrate(500); err == nil && old != now {
+				fmt.Printf("round %4d: recalibrated admission limit %d -> %d (observed drift %.0f%%)\n",
+					r+1, old, now, 100*srv.SizeDrift())
+				srv.RestartObservation()
+			}
+		}
+		if *report > 0 && (r+1)%*report == 0 {
+			util := busy / (float64(r+1) * float64(*disks))
+			fmt.Printf("round %4d: active %3d  admitted %4d  rejected %4d  glitches %5d  util %5.1f%%\n",
+				r+1, srv.Active(), admitted, rejected, glitchTotal, 100*util)
+		}
+	}
+
+	fmt.Println()
+	fmt.Printf("final: %d streams admitted, %d rejected (%.1f%% block rate), %d completed\n",
+		admitted, rejected, 100*float64(rejected)/math.Max(1, float64(admitted+rejected)), completedStreams)
+	if requestTotal > 0 {
+		fmt.Printf("served %d fragments, %d glitches (rate %.5f%%)\n",
+			requestTotal, glitchTotal, 100*float64(glitchTotal)/float64(requestTotal))
+	}
+	fmt.Printf("disk utilization %.1f%%\n", 100*busy/(float64(*rounds)*float64(*disks)))
+	mean, sd, n := srv.ObservedSizeStats()
+	if n > 0 {
+		fmt.Printf("observed workload: mean %.0f KB, sd %.0f KB over %d fragments (drift %.0f%%)\n",
+			mean/workload.KB, sd/workload.KB, n, 100*srv.SizeDrift())
+	}
+}
+
+func poisson(lambda float64, rng interface{ Float64() float64 }) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func geometric(mean float64, rng interface{ Float64() float64 }) int {
+	if mean < 1 {
+		mean = 1
+	}
+	p := 1 / mean
+	n := 0
+	for rng.Float64() > p && n < 1<<20 {
+		n++
+	}
+	return n
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mzserver: %v\n", err)
+		os.Exit(1)
+	}
+}

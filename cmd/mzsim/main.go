@@ -1,0 +1,90 @@
+// Command mzsim runs the detailed Monte-Carlo disk simulator (§4):
+// estimates of p_late and p_error with confidence intervals, and sweeps
+// over the multiprogramming level.
+//
+// Usage:
+//
+//	mzsim plate -n 28 -trials 200000
+//	mzsim perror -n 31 -rounds 1200 -g 12 -runs 400
+//	mzsim sweep -from 20 -to 32 -trials 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/sim"
+	"mzqos/internal/workload"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mzsim <plate|perror|sweep> [flags]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		roundLen = fs.Float64("t", 1.0, "round length in seconds")
+		meanKB   = fs.Float64("mean", 200, "mean fragment size in KB")
+		sdKB     = fs.Float64("sd", 100, "fragment size standard deviation in KB")
+		n        = fs.Int("n", 26, "multiprogramming level")
+		trials   = fs.Int("trials", 100000, "simulated rounds (plate, sweep)")
+		rounds   = fs.Int("rounds", 1200, "stream length M in rounds (perror)")
+		glitches = fs.Int("g", 12, "tolerated glitches per stream (perror)")
+		runs     = fs.Int("runs", 200, "independent stream histories per estimate (perror)")
+		from     = fs.Int("from", 20, "sweep start N")
+		to       = fs.Int("to", 32, "sweep end N")
+		seed     = fs.Uint64("seed", 1997, "simulation seed")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		usage()
+	}
+
+	sizes, err := workload.GammaSizes(*meanKB*workload.KB, *sdKB*workload.KB)
+	fatal(err)
+	cfg := sim.Config{
+		Disk:        disk.QuantumViking21(),
+		Sizes:       sizes,
+		RoundLength: *roundLen,
+		N:           *n,
+	}
+
+	start := time.Now()
+	switch cmd {
+	case "plate":
+		est, err := sim.EstimatePLate(cfg, *trials, *seed)
+		fatal(err)
+		fmt.Printf("p_late(N=%d, t=%gs) = %.6f  [%.6f, %.6f]  (%d/%d rounds late)\n",
+			*n, *roundLen, est.P, est.Lo, est.Hi, est.Hits, est.Trials)
+	case "perror":
+		est, err := sim.EstimatePError(cfg, *rounds, *glitches, *runs, *seed)
+		fatal(err)
+		fmt.Printf("p_error(N=%d, M=%d, g=%d) = %.6f  [%.6f, %.6f]  (%d/%d streams)\n",
+			*n, *rounds, *glitches, est.P, est.Lo, est.Hi, est.Hits, est.Trials)
+	case "sweep":
+		ests, err := sim.PLateSweep(cfg, *from, *to, *trials, *seed)
+		fatal(err)
+		fmt.Printf("%4s  %-9s  %s\n", "N", "p_late", "95% CI")
+		for i, e := range ests {
+			fmt.Printf("%4d  %.6f  [%.6f, %.6f]\n", *from+i, e.P, e.Lo, e.Hi)
+		}
+	default:
+		usage()
+	}
+	fmt.Printf("(%v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mzsim: %v\n", err)
+		os.Exit(1)
+	}
+}

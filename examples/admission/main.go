@@ -1,0 +1,93 @@
+// Admission: run a striped multimedia server under table-driven admission
+// control (§5 of the paper) and watch the per-stream service quality it
+// delivers.
+//
+// A news-on-demand site stores a library of clips on a 4-disk array.
+// Clients arrive continuously; the admission controller turns requests
+// away once the stochastic guarantee would be violated, and the round loop
+// reports glitch statistics that stay within the guaranteed budget.
+//
+// Run with: go run ./examples/admission
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"mzqos"
+)
+
+func main() {
+	const disks = 4
+	srv, err := mzqos.NewServer(mzqos.ServerConfig{
+		Disk:        mzqos.QuantumViking21(),
+		NumDisks:    disks,
+		RoundLength: 1.0,
+		Sizes:       mzqos.PaperSizes(),
+		// Per-stream guarantee: at most 12 glitches over a 1200-round
+		// (20-minute) playback, with probability at least 99%.
+		Guarantee: mzqos.Guarantee{Rounds: 1200, Glitches: 12, Threshold: 0.01},
+		Seed:      2024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admission limit: %d streams per disk, %d server-wide\n",
+		srv.PerDiskLimit(), srv.Capacity())
+
+	// A catalog of 150 clips, five minutes each.
+	for i := 0; i < 150; i++ {
+		if err := srv.AddSyntheticObject(fmt.Sprintf("clip-%03d", i), 300); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Clients try to open every clip; admission control says when to stop.
+	var admitted, rejected int
+	var ids []mzqos.StreamID
+	for i := 0; ; i++ {
+		id, delay, err := srv.Open(fmt.Sprintf("clip-%03d", i%150))
+		if errors.Is(err, mzqos.ErrRejected) {
+			rejected++
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		admitted++
+		ids = append(ids, id)
+		_ = delay
+	}
+	fmt.Printf("admitted %d streams, then rejected further arrivals\n", admitted)
+
+	// Serve five simulated minutes.
+	sum := srv.Run(300)
+	fmt.Printf("served %d fragments over %d rounds on %d disks\n", sum.Requests, sum.Rounds, disks)
+	fmt.Printf("disk utilization: %.1f%%   glitch rate: %.5f%%\n",
+		100*sum.Utilization(), 100*sum.GlitchRate())
+
+	// Per-stream quality: how many streams stayed within the glitch budget?
+	worst := 0
+	over := 0
+	for _, id := range ids {
+		st, err := srv.Stats(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.Glitches > worst {
+			worst = st.Glitches
+		}
+		// Pro-rate the 12-in-1200 budget to the 300 rounds we played.
+		if st.Glitches > 3 {
+			over++
+		}
+	}
+	fmt.Printf("worst stream saw %d glitches; %d of %d streams exceeded the pro-rated budget\n",
+		worst, over, len(ids))
+	bound, err := srv.Model().GlitchBound(srv.PerDiskLimit())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analytic per-round glitch bound at this load: %.5f%%\n", 100*bound)
+}

@@ -1,0 +1,84 @@
+// Capacity: plan a video-server configuration with the analytic model —
+// sweep the round length and the disk generation, and read off how many
+// streams each configuration guarantees (the paper's §5 use case:
+// precompute N_max once per configuration).
+//
+// Run with: go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mzqos"
+)
+
+func main() {
+	sizes := mzqos.PaperSizes()
+	base := mzqos.QuantumViking21()
+
+	// Sweep 1: round length. Longer rounds amortize seeks over more data
+	// per request (fragment size scales with display time), admitting more
+	// streams per disk at the cost of client buffer space and startup lag.
+	fmt.Println("round-length sweep (Quantum Viking 2.1, 1% round-lateness guarantee):")
+	fmt.Printf("  %-9s %-22s %-10s %s\n", "round", "fragment mean", "N_max", "buffer/client")
+	for _, t := range []float64{0.5, 1, 2, 4} {
+		// Fragment display time equals the round length, so the mean
+		// fragment grows proportionally (same 200 KB/s bandwidth).
+		sz := mzqos.MustGammaSizes(200*mzqos.KB*t, 100*mzqos.KB*t)
+		m, err := mzqos.NewModel(mzqos.ModelConfig{Disk: base, Sizes: sz, RoundLength: t})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nmax, err := m.NMaxLate(0.01)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s %-22s %-10d ~%.0f KB\n",
+			fmt.Sprintf("%gs", t), sz.Name, nmax, 2*200*t)
+	}
+
+	// Sweep 2: disk generation. Denser media transfer faster; the model
+	// quantifies how much of that converts into admitted streams.
+	fmt.Println("\ndisk-generation sweep (1 s rounds, 1% guarantee):")
+	fmt.Printf("  %-24s %-12s %s\n", "disk", "min rate", "N_max")
+	for _, gen := range []struct {
+		name   string
+		factor float64
+	}{
+		{"Viking 2.1 (1997)", 1},
+		{"1.5x denser media", 1.5},
+		{"2x denser media", 2},
+		{"4x denser media", 4},
+	} {
+		g, err := base.Scaled(gen.name, gen.factor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := mzqos.NewModel(mzqos.ModelConfig{Disk: g, Sizes: sizes, RoundLength: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nmax, err := m.NMaxLate(0.01)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-24s %6.1f MB/s %6d\n", gen.name, g.MinRate()/1e6, nmax)
+	}
+
+	// Sweep 3: server sizing. How many disks for a 500-seat deployment
+	// under the per-stream guarantee?
+	m, err := mzqos.NewModel(mzqos.ModelConfig{Disk: base, Sizes: sizes, RoundLength: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	perDisk, err := m.NMaxError(1200, 12, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seats := 500
+	disks := (seats + perDisk - 1) / perDisk
+	fmt.Printf("\nserver sizing: %d streams per disk under the per-stream guarantee\n", perDisk)
+	fmt.Printf("a %d-seat deployment needs %d disks (%d-seat headroom)\n",
+		seats, disks, disks*perDisk-seats)
+}

@@ -1,0 +1,73 @@
+// Mixedload: share one disk array between continuous streams and
+// conventional "discrete" requests (HTML pages, thumbnails, index reads) —
+// the digital-library scenario the paper sketches as future work in §6.
+//
+// The scheme reserves a slice of every round for discrete service. The
+// example plans the reserve, checks the continuous guarantee survives, and
+// validates discrete response times by simulation.
+//
+// Run with: go run ./examples/mixedload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mzqos"
+)
+
+func main() {
+	// The discrete side: 40 KB pages, heavier-tailed than their mean
+	// suggests, arriving at 5 requests/second per disk.
+	pages, err := mzqos.GammaSizes(40*mzqos.KB, 30*mzqos.KB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := mzqos.MixedConfig{
+		Disk:            mzqos.QuantumViking21(),
+		RoundLength:     1.0,
+		ContinuousSizes: mzqos.PaperSizes(),
+		DiscreteSizes:   pages,
+		DiscreteRate:    5,
+	}
+
+	// Sweep the reserve: how many streams does each discrete-service
+	// level cost, and what response time does it buy?
+	fmt.Println("reserve   streams   discrete rho   est. response")
+	points, err := mzqos.MixedTradeOff(cfg, []float64{0.1, 0.2, 0.3}, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range points {
+		fmt.Printf("  %3.0f%%      %3d        %4.2f         %6.0f ms\n",
+			p.Reserve*100, p.ContinuousNMax, p.DiscreteRho, p.DiscreteResponse*1e3)
+	}
+
+	// Operate at a 20% reserve and validate by simulation.
+	cfg.Reserve = 0.2
+	mm, err := mzqos.NewMixedModel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := mm.ContinuousNMax(0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mzqos.SimulateMixed(cfg, n, 5000, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noperating point: reserve 20%%, %d continuous streams\n", n)
+	fmt.Printf("simulated over %d rounds:\n", res.Rounds)
+	fmt.Printf("  continuous glitch rate: %.5f (guarantee: <= 0.01)\n", res.ContinuousGlitchRate)
+	fmt.Printf("  discrete served: %d   mean response %.0f ms   p95 %.0f ms\n",
+		res.DiscreteServed, res.DiscreteMeanResponse*1e3, res.DiscreteP95Response*1e3)
+	fmt.Printf("  max queue depth: %d\n", res.DiscreteMaxQueue)
+
+	// How much discrete traffic could this reserve sustain?
+	maxRate, err := mm.MaxDiscreteRate(0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("headroom: the 20%% reserve sustains up to %.1f discrete req/s at 80%% utilization\n", maxRate)
+}

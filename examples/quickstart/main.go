@@ -1,0 +1,68 @@
+// Quickstart: compute stochastic service guarantees for a video server
+// disk and derive its admission limit.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mzqos"
+)
+
+func main() {
+	// The drive from the paper's Table 1 and its VBR workload: fragments
+	// with one second of display time, Gamma-distributed sizes with mean
+	// 200 KB and standard deviation 100 KB (MPEG-2 at ~1.6 Mbit/s).
+	m, err := mzqos.NewModel(mzqos.ModelConfig{
+		Disk:        mzqos.QuantumViking21(),
+		Sizes:       mzqos.MustGammaSizes(200*mzqos.KB, 100*mzqos.KB),
+		RoundLength: 1.0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// How likely is a round with 26 concurrent streams to overrun?
+	b, err := m.LateBound(26)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P[round with 26 streams is late] <= %.4f\n", b)
+
+	// How many streams can the disk admit if at most 1% of rounds may be
+	// late?
+	nmax, err := m.NMaxLate(0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admit up to %d streams per disk for a 1%% round-lateness guarantee\n", nmax)
+
+	// A per-stream guarantee: over a 20-minute playback (1200 rounds), a
+	// stream may suffer at most 12 glitches (1%), with 99% confidence.
+	nstream, err := m.NMaxError(1200, 12, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admit up to %d streams for the per-stream glitch guarantee\n", nstream)
+
+	// Compare with the deterministic worst-case policy (eq. 4.1).
+	wc, err := m.WorstCaseNMax(mzqos.WorstCaseSpec{SizeQuantile: 0.99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("a deterministic worst-case design would admit only %d streams\n", wc)
+
+	// Cross-check the analytic bound against the detailed simulator.
+	est, err := mzqos.SimulatePLate(mzqos.SimConfig{
+		Disk:        mzqos.QuantumViking21(),
+		Sizes:       mzqos.PaperSizes(),
+		RoundLength: 1.0,
+		N:           nmax,
+	}, 50000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated p_late at N=%d: %.4f (bound %.4f holds)\n", nmax, est.P, b)
+}

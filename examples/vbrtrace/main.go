@@ -1,0 +1,129 @@
+// VBR trace: generate a synthetic MPEG-2-like trace, fragment it into
+// constant-display-time pieces (§2.1 of the paper), fit the admission
+// model to the measured fragment statistics, and compare against the
+// parametric Gamma workload.
+//
+// This is the full ingest pipeline of a real deployment: objects are
+// parsed once at insertion time, their fragment-size statistics feed the
+// admission control (§2.3: "workload statistics ... are fed into the
+// admission control").
+//
+// Run with: go run ./examples/vbrtrace
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mzqos"
+)
+
+func main() {
+	rng := mzqos.NewRand(42, 4242)
+
+	// A 30-minute MPEG-2-like clip at 25 fps, 1.6 Mbit/s, with scene-level
+	// rate variation.
+	cfg := mzqos.DefaultTraceConfig()
+	frames, err := mzqos.GenerateTrace(cfg, 1800, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d frames (%.0f minutes at %g fps)\n",
+		len(frames), 1800/60.0, cfg.FrameRate)
+
+	// Fragment at one second of display time per fragment: the paper's
+	// constant-display-time layout, so fragment sizes vary with the bit
+	// rate.
+	frags, err := mzqos.FragmentTrace(frames, cfg.FrameRate, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fitted, err := mzqos.SizesFromSample("trace-fitted", frags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fragments: %d   mean %.0f KB   sd %.0f KB\n",
+		len(frags), fitted.Mean()/mzqos.KB, sd(fitted)/mzqos.KB)
+
+	// Fit the admission model to the measured statistics.
+	mFit, err := mzqos.NewModel(mzqos.ModelConfig{
+		Disk:        mzqos.QuantumViking21(),
+		Sizes:       fitted,
+		RoundLength: 1.0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nFit, err := mFit.NMaxLate(0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare with the paper's parametric assumption.
+	mPaper, err := mzqos.NewModel(mzqos.ModelConfig{
+		Disk:        mzqos.QuantumViking21(),
+		Sizes:       mzqos.PaperSizes(),
+		RoundLength: 1.0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nPaper, err := mPaper.NMaxLate(0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admission limit from trace statistics: %d streams per disk\n", nFit)
+	fmt.Printf("admission limit from Gamma(200KB,100KB): %d streams per disk\n", nPaper)
+
+	// Validate the fitted model against a simulation that replays
+	// trace-like sizes.
+	est, err := mzqos.SimulatePLate(mzqos.SimConfig{
+		Disk:        mzqos.QuantumViking21(),
+		Sizes:       fitted,
+		RoundLength: 1.0,
+		N:           nFit,
+	}, 50000, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := mFit.LateBound(nFit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("at N=%d: simulated p_late %.4f vs analytic bound %.4f\n", nFit, est.P, bound)
+
+	// Store the clip on a server and play it back end to end.
+	srv, err := mzqos.NewServer(mzqos.ServerConfig{
+		Disk:        mzqos.QuantumViking21(),
+		NumDisks:    2,
+		RoundLength: 1.0,
+		Sizes:       fitted,
+		Guarantee:   mzqos.Guarantee{Threshold: 0.01},
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.AddObject("documentary", frags); err != nil {
+		log.Fatal(err)
+	}
+	id, delay, err := srv.Open("documentary")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Run(delay + len(frags))
+	st, err := srv.Stats(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("playback complete: %d fragments served, %d glitches\n", st.Served, st.Glitches)
+}
+
+func sd(m mzqos.SizeModel) float64 {
+	v := m.Var()
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

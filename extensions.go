@@ -1,0 +1,94 @@
+package mzqos
+
+import (
+	"mzqos/internal/buffer"
+	"mzqos/internal/disk"
+	"mzqos/internal/mixed"
+	"mzqos/internal/model"
+)
+
+// Extension types: mixed workloads (§6), client buffering (§6), and
+// zone-aware placement (§2.2 outlook).
+type (
+	// MixedConfig configures one disk of a mixed continuous/discrete
+	// workload server.
+	MixedConfig = mixed.Config
+	// MixedModel couples continuous guarantees with discrete-response
+	// estimates.
+	MixedModel = mixed.Model
+	// MixedSimResult summarizes a mixed-workload simulation.
+	MixedSimResult = mixed.SimResult
+	// TradeOffPoint is one row of the reserve sweep.
+	TradeOffPoint = mixed.TradeOffPoint
+
+	// BufferSimConfig configures the buffered-client simulator.
+	BufferSimConfig = buffer.SimConfig
+	// BufferSimResult reports buffered playback quality.
+	BufferSimResult = buffer.SimResult
+
+	// AccessProfile is a per-zone request-frequency profile.
+	AccessProfile = disk.AccessProfile
+)
+
+// NewMixedModel builds the mixed-workload model (§6 extension): the
+// continuous class is admitted against the round shortened by the reserve
+// while the reserved tail serves discrete requests.
+func NewMixedModel(cfg MixedConfig) (*MixedModel, error) { return mixed.New(cfg) }
+
+// MixedTradeOff sweeps the reserve fraction, reporting continuous
+// admission limits and discrete response estimates.
+func MixedTradeOff(cfg MixedConfig, reserves []float64, delta float64) ([]TradeOffPoint, error) {
+	return mixed.TradeOff(cfg, reserves, delta)
+}
+
+// SimulateMixed plays a mixed-workload schedule: continuous SCAN sweep
+// first, then FCFS discrete service in the reserved tail of each round.
+func SimulateMixed(cfg MixedConfig, n, rounds int, seed uint64) (MixedSimResult, error) {
+	return mixed.Simulate(cfg, n, rounds, seed)
+}
+
+// VisibleGlitchBound bounds the per-round probability that a client with
+// the given rounds of buffer slack perceives a glitch (§6 extension;
+// slack 0 recovers the paper's b_glitch).
+func VisibleGlitchBound(m *Model, n, slackRounds int) (float64, error) {
+	return buffer.VisibleGlitchBound(m, n, slackRounds)
+}
+
+// NMaxBuffered returns the admission limit for buffered clients at the
+// given visible-glitch threshold, ceilinged by sweep stability.
+func NMaxBuffered(m *Model, slackRounds int, delta float64) (int, error) {
+	return buffer.NMaxBuffered(m, slackRounds, delta)
+}
+
+// SimulateBuffered plays rounds with exact overrun carry-over and
+// slack-shifted display deadlines.
+func SimulateBuffered(cfg BufferSimConfig, rounds int, seed uint64) (BufferSimResult, error) {
+	return buffer.Simulate(cfg, rounds, seed)
+}
+
+// ClientBufferBytes returns the client memory for s rounds of slack,
+// including the minimum double buffer.
+func ClientBufferBytes(meanFragment float64, slackRounds int) float64 {
+	return buffer.ClientBufferBytes(meanFragment, slackRounds)
+}
+
+// UniformAccess returns the paper's uniform-over-sectors placement
+// profile for g.
+func UniformAccess(g *Geometry) AccessProfile { return disk.UniformAccess(g) }
+
+// SkewedAccess returns a profile with access mass shifted toward fast
+// outer zones (positive skew) or slow inner zones (negative skew).
+func SkewedAccess(g *Geometry, skew float64) AccessProfile { return disk.SkewedAccess(g, skew) }
+
+// OrganPipeAccess returns a generalized organ-pipe profile peaked at
+// fraction center01 of the cylinder range.
+func OrganPipeAccess(g *Geometry, center01, concentration float64) AccessProfile {
+	return disk.OrganPipeAccess(g, center01, concentration)
+}
+
+// TransferExactMixture selects the exact zone-mixture transform instead of
+// the paper's Gamma matching (set ModelConfig.Mode).
+const TransferExactMixture = model.TransferExactMixture
+
+// TransferGammaApprox is the paper's Gamma moment-matching transform mode.
+const TransferGammaApprox = model.TransferGammaApprox

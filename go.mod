@@ -1,0 +1,3 @@
+module mzqos
+
+go 1.22

@@ -1,0 +1,211 @@
+// Package chernoff implements the tail-bound machinery of the paper:
+//
+//   - the generic Chernoff bound P[X ≥ t] ≤ inf_{θ>0} e^{-θt}·M(θ)
+//     (eq. 3.1.5/3.2.12), computed by convex minimization of the exponent
+//     -θt + log M(θ) over the MGF's domain of convergence;
+//   - the Hagerup–Rüb Chernoff bound for binomial tails (eq. 3.3.5), used
+//     for the per-stream glitch count over M rounds;
+//   - the exact binomial tail (for comparison);
+//   - the Chebyshev bound and the CLT normal approximation, the weaker
+//     alternatives used by prior work ([CL96] and [CZ94, VGG94]) that the
+//     paper's related-work section contrasts against.
+package chernoff
+
+import (
+	"errors"
+	"math"
+
+	"mzqos/internal/lst"
+	"mzqos/internal/numeric"
+	"mzqos/internal/specfn"
+)
+
+// ErrParam is returned for invalid arguments.
+var ErrParam = errors.New("chernoff: invalid parameter")
+
+// Result reports a Chernoff bound together with the optimizing θ, which is
+// useful for diagnostics and warm-starting neighbouring optimizations.
+type Result struct {
+	// Bound is the Chernoff upper bound on P[X >= T], clamped to [0, 1].
+	Bound float64
+	// Theta is the minimizing exponent parameter (0 if the bound is
+	// trivially 1, i.e. t <= E[X]).
+	Theta float64
+	// Exponent is log of the unclamped bound, -θt + log M(θ).
+	Exponent float64
+}
+
+// Bound computes the sharpest Chernoff bound on P[X ≥ t] for a variable
+// with transform tr: inf over θ in (0, MaxTheta) of exp(-θt + log M(θ)).
+// The exponent is convex in θ, so a bracketed scalar minimization finds the
+// infimum; the result is clamped to at most 1 (θ→0 always yields 1).
+func Bound(tr lst.Transform, t float64) (Result, error) {
+	if tr == nil || math.IsNaN(t) {
+		return Result{}, ErrParam
+	}
+	// If t does not exceed the mean, the bound is trivial.
+	if t <= tr.Mean() {
+		return Result{Bound: 1, Theta: 0, Exponent: 0}, nil
+	}
+	g := func(theta float64) float64 {
+		return -theta*t + lst.LogMGF(tr, theta)
+	}
+	hi, err := upperSearchLimit(g, tr.MaxTheta())
+	if err != nil {
+		return Result{}, err
+	}
+	theta, ge, err := numeric.BrentMin(g, 0, hi, 1e-12)
+	if err != nil {
+		// BrentMin reports ErrMaxIter with its best iterate; the exponent
+		// value is still a valid (if slightly loose) Chernoff bound.
+		if !errors.Is(err, numeric.ErrMaxIter) {
+			return Result{}, err
+		}
+	}
+	if ge > 0 {
+		// Any θ gives a valid bound; exp(positive) would exceed 1, so the
+		// trivial bound is tighter.
+		return Result{Bound: 1, Theta: 0, Exponent: 0}, nil
+	}
+	return Result{Bound: math.Exp(ge), Theta: theta, Exponent: ge}, nil
+}
+
+// upperSearchLimit picks the right end of the θ search interval: just
+// inside the MGF abscissa when it is finite, otherwise a point found by
+// doubling until the (convex) exponent starts increasing.
+func upperSearchLimit(g func(float64) float64, maxTheta float64) (float64, error) {
+	if !math.IsInf(maxTheta, 1) {
+		if !(maxTheta > 0) {
+			return 0, ErrParam
+		}
+		return maxTheta * (1 - 1e-12), nil
+	}
+	hi := 1.0
+	prev := g(hi / 2)
+	for i := 0; i < 80; i++ {
+		cur := g(hi)
+		if cur > prev {
+			return hi, nil
+		}
+		prev = cur
+		hi *= 2
+	}
+	return hi, nil
+}
+
+// BinomialUpperTail returns the Hagerup–Rüb Chernoff bound on
+// P[Bin(m, p) ≥ g] (eq. 3.3.5):
+//
+//	(mp/g)^g · ((m - mp)/(m - g))^(m-g)   for g/m > p,
+//
+// and 1 otherwise (the bound only applies above the mean). Computation is
+// in log space; the g = m edge uses the convention 0^0 = 1, giving p^m.
+func BinomialUpperTail(m int, p float64, g int) (float64, error) {
+	if m <= 0 || g < 0 || g > m || math.IsNaN(p) || p < 0 || p > 1 {
+		return 0, ErrParam
+	}
+	mf := float64(m)
+	gf := float64(g)
+	if p == 0 {
+		if g == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if gf/mf <= p {
+		return 1, nil
+	}
+	logb := gf * math.Log(mf*p/gf)
+	if g < m {
+		logb += (mf - gf) * math.Log((mf-mf*p)/(mf-gf))
+	}
+	if logb > 0 {
+		return 1, nil
+	}
+	return math.Exp(logb), nil
+}
+
+// BinomialTailExact returns P[Bin(m, p) ≥ g] exactly, by a numerically
+// stable log-space summation. With m around 1200 this is entirely feasible;
+// the paper prefers the HR89 bound only because table precomputation in
+// 1997 favoured closed forms.
+func BinomialTailExact(m int, p float64, g int) (float64, error) {
+	if m <= 0 || g < 0 || g > m || math.IsNaN(p) || p < 0 || p > 1 {
+		return 0, ErrParam
+	}
+	if g == 0 {
+		return 1, nil
+	}
+	if p == 0 {
+		return 0, nil
+	}
+	if p == 1 {
+		return 1, nil
+	}
+	// Sum P[X = k] for k = g..m using logs of binomial pmf.
+	lp := math.Log(p)
+	lq := math.Log1p(-p)
+	lgm, _ := math.Lgamma(float64(m) + 1)
+	maxLog := math.Inf(-1)
+	logs := make([]float64, 0, m-g+1)
+	for k := g; k <= m; k++ {
+		lgk, _ := math.Lgamma(float64(k) + 1)
+		lgmk, _ := math.Lgamma(float64(m-k) + 1)
+		l := lgm - lgk - lgmk + float64(k)*lp + float64(m-k)*lq
+		logs = append(logs, l)
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	var sum float64
+	for _, l := range logs {
+		sum += math.Exp(l - maxLog)
+	}
+	v := math.Exp(maxLog) * sum
+	if v > 1 {
+		v = 1
+	}
+	return v, nil
+}
+
+// Chebyshev returns the one-sided Chebyshev (Cantelli) bound on
+// P[X ≥ t]: Var/(Var + (t-mean)²) for t > mean, 1 otherwise. This is the
+// style of bound used by [CL96] ("a relatively coarse bound based on the
+// Tschebyscheff inequality").
+func Chebyshev(mean, variance, t float64) float64 {
+	if !(variance >= 0) {
+		return 1
+	}
+	d := t - mean
+	if d <= 0 {
+		return 1
+	}
+	return variance / (variance + d*d)
+}
+
+// CLT returns the central-limit-theorem estimate of P[X ≥ t]: the normal
+// tail Q((t-mean)/sd). Unlike the Chernoff and Chebyshev results this is an
+// approximation, not a bound — the paper criticizes [CZ94, VGG94] for
+// relying on it at realistic N (10–50 streams per disk).
+func CLT(mean, variance, t float64) float64 {
+	if !(variance > 0) {
+		if t > mean {
+			return 0
+		}
+		return 1
+	}
+	return 1 - specfn.NormCDF((t-mean)/math.Sqrt(variance))
+}
+
+// Markov returns the Markov bound mean/t for t > 0 (clamped to 1), the
+// weakest of the moment bounds, included for the bound-comparison ablation.
+func Markov(mean, t float64) float64 {
+	if !(t > 0) || mean < 0 {
+		return 1
+	}
+	v := mean / t
+	if v > 1 {
+		return 1
+	}
+	return v
+}

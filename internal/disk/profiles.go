@@ -1,0 +1,100 @@
+package disk
+
+// QuantumViking21 returns the disk profile of Table 1 of the paper: a
+// Quantum Viking 2.1 with 6720 cylinders in 15 equal-sized zones whose
+// track capacities increase linearly from 58368 bytes (innermost) to
+// 95744 bytes (outermost), 8.34 ms revolution time, and the two-regime
+// seek curve
+//
+//	seek(d) = 1.867·10⁻³ + 1.315·10⁻⁴·√d   for d < 1344
+//	seek(d) = 3.8635·10⁻³ + 2.1·10⁻⁶·d     for d ≥ 1344.
+func QuantumViking21() *Geometry {
+	const (
+		cyl  = 6720
+		nz   = 15
+		cmin = 58368.0
+		cmax = 95744.0
+		rot  = 0.00834
+	)
+	zones := make([]Zone, nz)
+	for i := range zones {
+		zones[i] = Zone{
+			Tracks:        cyl / nz,
+			TrackCapacity: cmin + (cmax-cmin)*float64(i)/float64(nz-1),
+		}
+	}
+	g, err := New("Quantum Viking 2.1", rot, zones, SeekCurve{
+		A1: 1.867e-3, B1: 1.315e-4,
+		A2: 3.8635e-3, B2: 2.1e-6,
+		Threshold: 1344,
+	})
+	if err != nil {
+		panic("disk: QuantumViking21 profile invalid: " + err.Error())
+	}
+	return g
+}
+
+// Synthetic2000 returns a year-2000-class synthetic profile: a 10k RPM
+// drive (6 ms revolution) with 12000 cylinders in 24 zones, track
+// capacities from 160 KB to 320 KB (the factor-of-two outer/inner ratio
+// the paper calls typical, §2.2), and a proportionally faster seek curve.
+// Useful for sweeps showing how the guarantees scale across drive
+// generations.
+func Synthetic2000() *Geometry {
+	const (
+		cyl  = 12000
+		nz   = 24
+		cmin = 160000.0
+		cmax = 320000.0
+		rot  = 0.006
+	)
+	zones := make([]Zone, nz)
+	for i := range zones {
+		zones[i] = Zone{
+			Tracks:        cyl / nz,
+			TrackCapacity: cmin + (cmax-cmin)*float64(i)/float64(nz-1),
+		}
+	}
+	g, err := New("Synthetic 10k (2000)", rot, zones, SeekCurve{
+		A1: 1.0e-3, B1: 0.9e-4,
+		A2: 2.4e-3, B2: 0.7e-6,
+		Threshold: 2400,
+	})
+	if err != nil {
+		panic("disk: Synthetic2000 profile invalid: " + err.Error())
+	}
+	return g
+}
+
+// SingleZone returns a conventional one-zone disk with the given cylinder
+// count, rotation time, uniform track capacity, and seek curve. The §3.1
+// model is the special case of the §3.2 model on such a geometry.
+func SingleZone(name string, cylinders int, rot, trackCapacity float64, seek SeekCurve) (*Geometry, error) {
+	return New(name, rot, []Zone{{Tracks: cylinders, TrackCapacity: trackCapacity}}, seek)
+}
+
+// Uniformized returns the single-zone disk obtained by replacing every
+// zone of g with the mean track capacity — the "ignore zoning" model of the
+// paper's predecessor [NMW97], used by the zoning ablation (A4). The seek
+// curve, rotation time, and total capacity are preserved.
+func (g *Geometry) Uniformized() *Geometry {
+	u, err := SingleZone(g.Name+" (uniformized)", g.Cylinders(), g.RotationTime, g.MeanTrackCapacity(), g.Seek)
+	if err != nil {
+		panic("disk: Uniformized invalid: " + err.Error())
+	}
+	return u
+}
+
+// Scaled returns a geometry with every track capacity multiplied by factor
+// (>1 models a denser media generation), keeping zone structure and seek
+// behaviour. Useful for capacity-planning sweeps.
+func (g *Geometry) Scaled(name string, factor float64) (*Geometry, error) {
+	if !(factor > 0) {
+		return nil, ErrGeometry
+	}
+	zones := make([]Zone, len(g.Zones))
+	for i, z := range g.Zones {
+		zones[i] = Zone{Tracks: z.Tracks, TrackCapacity: z.TrackCapacity * factor}
+	}
+	return New(name, g.RotationTime, zones, g.Seek)
+}

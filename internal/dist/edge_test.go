@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGammaPDFEdgeCases(t *testing.T) {
+	// Shape < 1: density diverges at 0.
+	g, _ := NewGamma(0.5, 1)
+	if !math.IsInf(g.PDF(0), 1) {
+		t.Errorf("shape<1 PDF(0) = %v, want +Inf", g.PDF(0))
+	}
+	// Shape = 1 (exponential): density at 0 equals the rate.
+	e, _ := NewGamma(1, 3)
+	if e.PDF(0) != 3 {
+		t.Errorf("shape=1 PDF(0) = %v, want 3", e.PDF(0))
+	}
+	// Shape > 1: density vanishes at 0 and below.
+	h, _ := NewGamma(4, 1)
+	if h.PDF(0) != 0 || h.PDF(-1) != 0 {
+		t.Error("shape>1 PDF at/below 0 should be 0")
+	}
+}
+
+func TestGammaCDFQuantileDomains(t *testing.T) {
+	g, _ := NewGamma(4, 1)
+	if g.CDF(-5) != 0 || g.CDF(0) != 0 {
+		t.Error("CDF below support should be 0")
+	}
+	if _, err := g.Quantile(0); err != ErrDomain {
+		t.Errorf("Quantile(0) err = %v", err)
+	}
+	if _, err := g.Quantile(1); err != ErrDomain {
+		t.Errorf("Quantile(1) err = %v", err)
+	}
+}
+
+func TestUniformPDF(t *testing.T) {
+	u, _ := NewUniform(2, 4)
+	if u.PDF(1.9) != 0 || u.PDF(4.1) != 0 {
+		t.Error("PDF outside support should be 0")
+	}
+	if math.Abs(u.PDF(3)-0.5) > 1e-15 {
+		t.Errorf("PDF inside = %v, want 0.5", u.PDF(3))
+	}
+	if _, err := u.Quantile(-0.1); err != ErrDomain {
+		t.Errorf("Quantile domain err = %v", err)
+	}
+}
+
+func TestExponentialEdges(t *testing.T) {
+	e, _ := NewExponential(2)
+	if e.PDF(-1) != 0 || e.CDF(-1) != 0 || e.CDF(0) != 0 {
+		t.Error("support edges wrong")
+	}
+	if math.Abs(e.PDF(0)-2) > 1e-15 {
+		t.Errorf("PDF(0) = %v", e.PDF(0))
+	}
+	if _, err := e.Quantile(1); err != ErrDomain {
+		t.Errorf("Quantile(1) err = %v", err)
+	}
+	rng := NewRand(1, 1)
+	var w Welford
+	for i := 0; i < 100000; i++ {
+		x := e.Sample(rng)
+		if x < 0 {
+			t.Fatal("negative exponential sample")
+		}
+		w.Add(x)
+	}
+	if math.Abs(w.Mean()-0.5) > 0.01 {
+		t.Errorf("sample mean = %v, want 0.5", w.Mean())
+	}
+}
+
+func TestNormalSamplePDF(t *testing.T) {
+	n, _ := NewNormal(10, 2)
+	// PDF peak at the mean: 1/(σ√(2π)).
+	want := 1 / (2 * math.Sqrt(2*math.Pi))
+	if math.Abs(n.PDF(10)-want) > 1e-12 {
+		t.Errorf("PDF(mean) = %v, want %v", n.PDF(10), want)
+	}
+	rng := NewRand(2, 2)
+	var w Welford
+	for i := 0; i < 100000; i++ {
+		w.Add(n.Sample(rng))
+	}
+	if math.Abs(w.Mean()-10) > 0.05 || math.Abs(w.Std()-2) > 0.05 {
+		t.Errorf("sample moments: %v, %v", w.Mean(), w.Std())
+	}
+	if _, err := n.Quantile(0); err != ErrDomain {
+		t.Errorf("Quantile(0) err = %v", err)
+	}
+}
+
+func TestLognormalParetoPDFs(t *testing.T) {
+	l, _ := NewLognormal(0, 1)
+	// Standard lognormal density at 1: 1/√(2π).
+	if math.Abs(l.PDF(1)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Errorf("lognormal PDF(1) = %v", l.PDF(1))
+	}
+	if l.PDF(0) != 0 || l.PDF(-1) != 0 {
+		t.Error("lognormal support wrong")
+	}
+	p, _ := NewPareto(2, 3)
+	// f(x) = α·xm^α/x^{α+1}: at x=2, 3·8/16 = 1.5.
+	if math.Abs(p.PDF(2)-1.5) > 1e-12 {
+		t.Errorf("pareto PDF(xm) = %v, want 1.5", p.PDF(2))
+	}
+	if p.PDF(1.9) != 0 {
+		t.Error("pareto below xm should be 0")
+	}
+	if _, err := p.Quantile(0); err != ErrDomain {
+		t.Errorf("pareto Quantile(0) err = %v", err)
+	}
+	if _, err := NewLognormal(math.Inf(1), 1); err != ErrParam {
+		t.Errorf("lognormal inf mu err = %v", err)
+	}
+	if _, err := NewLognormal(0, 0); err != ErrParam {
+		t.Errorf("lognormal zero sigma err = %v", err)
+	}
+	if _, err := NewPareto(0, 1); err != ErrParam {
+		t.Errorf("pareto zero xm err = %v", err)
+	}
+	if _, err := NewPareto(1, 0); err != ErrParam {
+		t.Errorf("pareto zero alpha err = %v", err)
+	}
+}
+
+func TestEmpiricalPDFAndQuantileEdges(t *testing.T) {
+	e, _ := NewEmpirical([]float64{1, 2, 3, 4})
+	if e.PDF(2) != 0 {
+		t.Error("empirical PDF is defined as 0")
+	}
+	if _, err := e.Quantile(0); err != ErrDomain {
+		t.Errorf("Quantile(0) err = %v", err)
+	}
+	q, err := e.Quantile(0.999999)
+	if err != nil || q > 4 {
+		t.Errorf("near-1 quantile = %v, %v", q, err)
+	}
+	single, _ := NewEmpirical([]float64{7})
+	q, err = single.Quantile(0.5)
+	if err != nil || q != 7 {
+		t.Errorf("single-sample quantile = %v, %v", q, err)
+	}
+	if single.Var() != 0 {
+		t.Errorf("single-sample variance = %v", single.Var())
+	}
+}
+
+func TestWelfordVarSmallN(t *testing.T) {
+	var w Welford
+	if w.Var() != 0 || w.Std() != 0 {
+		t.Error("empty accumulator moments should be 0")
+	}
+	w.Add(5)
+	if w.Var() != 0 {
+		t.Error("single-sample variance should be 0")
+	}
+}
+
+func TestLogExpm1LargeZ(t *testing.T) {
+	// For large z, log(e^z − 1) ≈ z.
+	if math.Abs(logExpm1(50)-50) > 1e-12 {
+		t.Errorf("logExpm1(50) = %v", logExpm1(50))
+	}
+	if math.Abs(logExpm1(1)-math.Log(math.E-1)) > 1e-12 {
+		t.Errorf("logExpm1(1) = %v", logExpm1(1))
+	}
+	// Negative z: log|e^z − 1|.
+	want := math.Log(1 - math.Exp(-2))
+	if math.Abs(logExpm1(-2)-want) > 1e-12 {
+		t.Errorf("logExpm1(-2) = %v, want %v", logExpm1(-2), want)
+	}
+}

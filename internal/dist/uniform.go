@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Uniform is the continuous uniform distribution on [A, B]. The rotational
+// latency of a disk request is Uniform(0, ROT) (§3.1).
+type Uniform struct {
+	A, B float64
+}
+
+// NewUniform returns a Uniform distribution on [a, b].
+func NewUniform(a, b float64) (Uniform, error) {
+	if !(a < b) || math.IsNaN(a) || math.IsNaN(b) {
+		return Uniform{}, ErrParam
+	}
+	return Uniform{A: a, B: b}, nil
+}
+
+// Mean returns (A+B)/2.
+func (u Uniform) Mean() float64 { return (u.A + u.B) / 2 }
+
+// Var returns (B-A)²/12.
+func (u Uniform) Var() float64 { d := u.B - u.A; return d * d / 12 }
+
+// PDF returns the density at x.
+func (u Uniform) PDF(x float64) float64 {
+	if x < u.A || x > u.B {
+		return 0
+	}
+	return 1 / (u.B - u.A)
+}
+
+// CDF returns P[X <= x].
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.A:
+		return 0
+	case x >= u.B:
+		return 1
+	default:
+		return (x - u.A) / (u.B - u.A)
+	}
+}
+
+// Quantile returns the p-quantile.
+func (u Uniform) Quantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, ErrDomain
+	}
+	return u.A + p*(u.B-u.A), nil
+}
+
+// Sample draws a variate.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.A + rng.Float64()*(u.B-u.A)
+}
+
+// LogMGF returns log E[e^{sX}] = log((e^{sB} - e^{sA})/(s(B-A))), with the
+// removable singularity at s=0 handled analytically. For Uniform(0, ROT)
+// this is the log of the MGF corresponding to the LST in eq. (3.1.3).
+func (u Uniform) LogMGF(s float64) float64 {
+	w := u.B - u.A
+	z := s * w
+	if math.Abs(z) < 1e-8 {
+		// log((e^z - 1)/z) = z/2 + z²/24 + O(z⁴), shifted by s·A.
+		return s*u.A + z/2 + z*z/24
+	}
+	// (e^{sB}-e^{sA})/(s·w) = e^{sA}·(e^{z}-1)/z
+	return s*u.A + logExpm1(z) - math.Log(math.Abs(z))
+}
+
+// logExpm1 returns log|e^z - 1| in a numerically stable way for z != 0.
+func logExpm1(z float64) float64 {
+	if z > 30 {
+		return z
+	}
+	return math.Log(math.Abs(math.Expm1(z)))
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// series is one plotted curve.
+type series struct {
+	name   string
+	marker byte
+	ys     []float64
+}
+
+// asciiChart renders curves over a shared integer x-axis on a log10 y
+// scale, the shape Figure 1 uses (probabilities spanning several decades).
+// Zero or negative values are clamped to the plot floor.
+func asciiChart(title string, xs []int, ss []series, height int) []string {
+	if height < 4 {
+		height = 4
+	}
+	const floor = 1e-6
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range ss {
+		for _, y := range s.ys {
+			if y < floor {
+				y = floor
+			}
+			ly := math.Log10(y)
+			if ly < lo {
+				lo = ly
+			}
+			if ly > hi {
+				hi = ly
+			}
+		}
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	width := len(xs)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(y float64) int {
+		if y < floor {
+			y = floor
+		}
+		frac := (math.Log10(y) - lo) / (hi - lo)
+		r := int(math.Round(frac * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r > height-1 {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 is the top
+	}
+	for _, s := range ss {
+		for i, y := range s.ys {
+			if i < width {
+				grid[rowOf(y)][i] = s.marker
+			}
+		}
+	}
+	out := []string{title}
+	for r := 0; r < height; r++ {
+		frac := float64(height-1-r) / float64(height-1)
+		label := fmt.Sprintf("%8.0e |", math.Pow(10, lo+frac*(hi-lo)))
+		out = append(out, label+string(grid[r]))
+	}
+	axis := "         +" + strings.Repeat("-", width)
+	out = append(out, axis)
+	xlab := "          "
+	for i, x := range xs {
+		if i%4 == 0 {
+			s := fmt.Sprintf("%d", x)
+			xlab += s
+			for len(xlab) < 10+i+4 && i+4 <= width {
+				xlab += " "
+			}
+		}
+	}
+	out = append(out, xlab)
+	legend := "          "
+	for i, s := range ss {
+		if i > 0 {
+			legend += "   "
+		}
+		legend += fmt.Sprintf("%c = %s", s.marker, s.name)
+	}
+	out = append(out, legend)
+	return out
+}

@@ -1,0 +1,200 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3 worked examples, Table 1, Figure 1, Table 2, the
+// worst-case comparison of §4) plus the ablations called out in DESIGN.md.
+// Each experiment returns a renderable Table so the same code backs the
+// mzexp CLI, the test suite, and the benchmark harness.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/model"
+	"mzqos/internal/workload"
+)
+
+// ErrUnknown is returned for unrecognized experiment names.
+var ErrUnknown = errors.New("experiments: unknown experiment")
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "figure1").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the formatted cells.
+	Rows [][]string
+	// Plot holds optional preformatted chart lines (rendered verbatim).
+	Plot []string
+	// Notes carries reproduction commentary (paper vs measured).
+	Notes []string
+}
+
+// Render writes the table as aligned text.
+func (t Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if len(t.Plot) > 0 {
+		fmt.Fprintln(w)
+		for _, p := range t.Plot {
+			fmt.Fprintln(w, "  "+p)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Options tunes simulation fidelity so tests can run scaled-down while the
+// CLI regenerates at full paper scale.
+type Options struct {
+	// Figure1Trials is the number of simulated rounds per N (Figure 1).
+	Figure1Trials int
+	// Table2Runs is the number of independent M-round histories per N.
+	Table2Runs int
+	// Rounds is the per-stream horizon M (paper: 1200).
+	Rounds int
+	// Glitches is the tolerated glitch count g (paper: 12).
+	Glitches int
+	// Seed drives all simulations.
+	Seed uint64
+}
+
+// DefaultOptions reproduces the evaluation at paper scale.
+func DefaultOptions() Options {
+	return Options{
+		Figure1Trials: 200000,
+		Table2Runs:    400,
+		Rounds:        1200,
+		Glitches:      12,
+		Seed:          1997,
+	}
+}
+
+// QuickOptions is a scaled-down preset for smoke tests.
+func QuickOptions() Options {
+	return Options{
+		Figure1Trials: 4000,
+		Table2Runs:    8,
+		Rounds:        300,
+		Glitches:      3,
+		Seed:          1997,
+	}
+}
+
+// paperModel returns the Table-1 configuration model.
+func paperModel() (*model.Model, error) {
+	return model.New(model.Config{
+		Disk:        disk.QuantumViking21(),
+		Sizes:       workload.PaperSizes(),
+		RoundLength: 1,
+	})
+}
+
+// singleZonePaperModel returns the §3.1 worked-example model.
+func singleZonePaperModel() (*model.Model, error) {
+	v := disk.QuantumViking21()
+	g, err := disk.SingleZone("viking-single-zone", v.Cylinders(), v.RotationTime, v.MeanTrackCapacity(), v.Seek)
+	if err != nil {
+		return nil, err
+	}
+	return model.New(model.Config{
+		Disk:         g,
+		RoundLength:  1,
+		TransferMean: 0.02174,
+		TransferVar:  0.00011815,
+	})
+}
+
+// All lists every experiment id in presentation order.
+func All() []string {
+	return []string{
+		"table1", "e1", "e2", "e3", "figure1", "table2", "worstcase",
+		"ablation-bounds", "ablation-scan", "ablation-sizedist",
+		"ablation-zones", "ablation-approx", "ablation-exactlst",
+		"ablation-conservatism",
+		"ext-mixed", "ext-buffers", "ext-placement", "ext-gss",
+		"diag-positionbias",
+	}
+}
+
+// Run executes the named experiment.
+func Run(id string, opts Options) (Table, error) {
+	switch id {
+	case "table1":
+		return Table1()
+	case "e1":
+		return E1SingleZone()
+	case "e2":
+		return E2MultiZone()
+	case "e3":
+		return E3Glitch(opts)
+	case "figure1":
+		return Figure1(opts)
+	case "table2":
+		return Table2(opts)
+	case "worstcase":
+		return E4WorstCase()
+	case "ablation-bounds":
+		return AblationBounds(opts)
+	case "ablation-scan":
+		return AblationScan()
+	case "ablation-sizedist":
+		return AblationSizeDist(opts)
+	case "ablation-zones":
+		return AblationZones()
+	case "ablation-approx":
+		return AblationApprox()
+	case "ablation-exactlst":
+		return AblationExactLST()
+	case "ablation-conservatism":
+		return AblationConservatism(opts)
+	case "ext-mixed":
+		return ExtMixed(opts)
+	case "ext-buffers":
+		return ExtBuffers(opts)
+	case "ext-placement":
+		return ExtPlacement(opts)
+	case "ext-gss":
+		return ExtGSS(opts)
+	case "diag-positionbias":
+		return DiagPositionBias(opts)
+	default:
+		return Table{}, fmt.Errorf("%w: %q", ErrUnknown, id)
+	}
+}
+
+func f(format string, a ...any) string { return fmt.Sprintf(format, a...) }

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"mzqos/internal/disk"
+	"mzqos/internal/model"
+	"mzqos/internal/sim"
+	"mzqos/internal/workload"
+)
+
+// Table1 renders the disk and data characteristics of the simulation
+// (paper Table 1), read back from the implemented profile.
+func Table1() (Table, error) {
+	g := disk.QuantumViking21()
+	sz := workload.PaperSizes()
+	t := Table{
+		ID:     "table1",
+		Title:  "Disk and data characteristics (paper Table 1)",
+		Header: []string{"parameter", "symbol", "value"},
+		Rows: [][]string{
+			{"number of cylinders", "CYL", f("%d", g.Cylinders())},
+			{"number of zones", "Z", f("%d", g.ZoneCount())},
+			{"revolution time", "ROT", f("%.2f ms", g.RotationTime*1e3)},
+			{"track capacity innermost", "Cmin", f("%.0f bytes", g.Zones[0].TrackCapacity)},
+			{"track capacity outermost", "Cmax", f("%.0f bytes", g.Zones[g.ZoneCount()-1].TrackCapacity)},
+			{"full-stroke seek", "seek(CYL)", f("%.2f ms", g.Seek.MaxTime(g.Cylinders())*1e3)},
+			{"mean fragment size", "E[S]", f("%.0f KB", sz.Mean()/workload.KB)},
+			{"fragment size std dev", "sd[S]", f("%.0f KB", 100.0)},
+			{"round length", "t", "1 s"},
+			{"number of rounds", "M", "1200"},
+			{"tolerated glitches", "g", "12"},
+		},
+	}
+	return t, nil
+}
+
+// E1SingleZone reproduces the §3.1 worked example on a conventional disk.
+func E1SingleZone() (Table, error) {
+	m, err := singleZonePaperModel()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "e1",
+		Title:  "Single-zone Chernoff bound b_late(N, 1s) (paper §3.1 example)",
+		Header: []string{"N", "SEEK(N) [s]", "b_late (ours)", "b_late (paper)"},
+	}
+	paper := map[int]string{26: "0.00225", 27: "0.0103"}
+	for _, n := range []int{24, 25, 26, 27, 28} {
+		b, err := m.LateBound(n)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%d", n), f("%.5f", m.SeekBound(n)), f("%.5f", b), orDash(paper[n]),
+		})
+	}
+	nmax, err := m.NMaxLate(0.01)
+	if err != nil {
+		return Table{}, err
+	}
+	t.Notes = append(t.Notes,
+		f("N_max at delta=1%%: ours %d, paper 26", nmax),
+		"workload given as transfer moments E=0.02174 s, Var=1.1815e-4 s^2 (paper values)")
+	return t, nil
+}
+
+// E2MultiZone reproduces the §3.2 worked example on the Table-1 disk.
+func E2MultiZone() (Table, error) {
+	m, err := paperModel()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "e2",
+		Title:  "Multi-zone Chernoff bound b_late(N, 1s) (paper §3.2 example)",
+		Header: []string{"N", "b_late (ours)", "b_late (paper)"},
+	}
+	paper := map[int]string{26: "0.00324", 27: "0.0133"}
+	for _, n := range []int{24, 25, 26, 27, 28} {
+		b, err := m.LateBound(n)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{f("%d", n), f("%.5f", b), orDash(paper[n])})
+	}
+	nmax, err := m.NMaxLate(0.01)
+	if err != nil {
+		return Table{}, err
+	}
+	mean, variance := m.TransferMoments()
+	t.Notes = append(t.Notes,
+		f("N_max at delta=1%%: ours %d, paper 26", nmax),
+		f("derived transfer moments: E=%.5f s, Var=%.3e s^2", mean, variance))
+	return t, nil
+}
+
+// E3Glitch reproduces the §3.3 worked example: the per-stream glitch-count
+// bound at N=28, M=1200, g=12.
+func E3Glitch(opts Options) (Table, error) {
+	m, err := paperModel()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "e3",
+		Title:  "Per-stream glitch bound p_error(N, 1s, M=1200, g=12) (paper §3.3 example)",
+		Header: []string{"N", "b_glitch", "p_error HR89", "p_error exact-binomial", "paper"},
+	}
+	paper := map[int]string{28: "1.4e-04"}
+	for _, n := range []int{26, 27, 28, 29} {
+		bg, err := m.GlitchBound(n)
+		if err != nil {
+			return Table{}, err
+		}
+		hr, err := m.StreamErrorBound(n, 1200, 12)
+		if err != nil {
+			return Table{}, err
+		}
+		ex, err := m.StreamErrorExact(n, 1200, 12)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%d", n), f("%.3e", bg), f("%.3e", hr), f("%.3e", ex), orDash(paper[n]),
+		})
+	}
+	return t, nil
+}
+
+// Figure1 regenerates the analytic-vs-simulated p_late curves.
+func Figure1(opts Options) (Table, error) {
+	m, err := paperModel()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:    "figure1",
+		Title: "Analytic bound vs simulated p_late (paper Figure 1)",
+		Header: []string{
+			"N", "analytic b_late", "simulated p_late", "95% CI",
+		},
+	}
+	cfg := sim.Config{
+		Disk:        disk.QuantumViking21(),
+		Sizes:       workload.PaperSizes(),
+		RoundLength: 1,
+		N:           1,
+	}
+	var xs []int
+	var analytic, simulated []float64
+	for n := 20; n <= 32; n++ {
+		b, err := m.LateBound(n)
+		if err != nil {
+			return Table{}, err
+		}
+		cfg.N = n
+		est, err := sim.EstimatePLate(cfg, opts.Figure1Trials, opts.Seed+uint64(n))
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%d", n), f("%.5f", b), f("%.5f", est.P),
+			f("[%.5f, %.5f]", est.Lo, est.Hi),
+		})
+		xs = append(xs, n)
+		analytic = append(analytic, b)
+		simulated = append(simulated, est.P)
+	}
+	t.Plot = asciiChart("p_late vs N (log scale)", xs, []series{
+		{name: "analytic bound", marker: 'a', ys: analytic},
+		{name: "simulated", marker: 's', ys: simulated},
+	}, 12)
+	nA, err := m.NMaxLate(0.01)
+	if err != nil {
+		return Table{}, err
+	}
+	t.Notes = append(t.Notes,
+		f("analytic model admits N=%d at the 1%% level (paper: 26); the simulated curve crosses 1%% later (paper: 28 sustainable)", nA),
+		"the analytic bound must lie above the simulated curve at every N (conservative model)")
+	return t, nil
+}
+
+// Table2 regenerates the analytic-vs-simulated p_error comparison.
+func Table2(opts Options) (Table, error) {
+	m, err := paperModel()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:    "table2",
+		Title: f("Analytic vs simulated p_error (paper Table 2; M=%d, g=%d)", opts.Rounds, opts.Glitches),
+		Header: []string{
+			"N", "analytic p_error", "paper analytic", "simulated p_error", "95% CI", "paper simulated",
+		},
+	}
+	paperA := map[int]string{28: "0.00014", 29: "0.318", 30: "1", 31: "1", 32: "1"}
+	paperS := map[int]string{28: "0", 29: "0", 30: "0", 31: "0.00678", 32: "0.454"}
+	cfg := sim.Config{
+		Disk:        disk.QuantumViking21(),
+		Sizes:       workload.PaperSizes(),
+		RoundLength: 1,
+	}
+	for n := 28; n <= 32; n++ {
+		pa, err := m.StreamErrorBound(n, opts.Rounds, opts.Glitches)
+		if err != nil {
+			return Table{}, err
+		}
+		cfg.N = n
+		est, err := sim.EstimatePError(cfg, opts.Rounds, opts.Glitches, opts.Table2Runs, opts.Seed+uint64(100+n))
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%d", n), f("%.3e", pa), orDash(paperA[n]),
+			f("%.4f", est.P), f("[%.4f, %.4f]", est.Lo, est.Hi), orDash(paperS[n]),
+		})
+	}
+	nA, err := m.NMaxError(opts.Rounds, opts.Glitches, 0.01)
+	if err != nil {
+		return Table{}, err
+	}
+	t.Notes = append(t.Notes,
+		f("analytic N_max at eps=1%%: ours %d, paper 28; simulation sustains more (paper: 31)", nA))
+	return t, nil
+}
+
+// E4WorstCase reproduces the deterministic worst-case comparison (eq. 4.1).
+func E4WorstCase() (Table, error) {
+	m, err := paperModel()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "worstcase",
+		Title:  "Deterministic worst-case admission vs stochastic guarantees (paper §4, eq. 4.1)",
+		Header: []string{"policy", "N_max (ours)", "N_max (paper)"},
+	}
+	pess, err := m.WorstCaseNMax(model.WorstCaseSpec{SizeQuantile: 0.99})
+	if err != nil {
+		return Table{}, err
+	}
+	opt, err := m.WorstCaseNMax(model.WorstCaseSpec{SizeQuantile: 0.95, UseMeanRate: true})
+	if err != nil {
+		return Table{}, err
+	}
+	late, err := m.NMaxLate(0.01)
+	if err != nil {
+		return Table{}, err
+	}
+	perr, err := m.NMaxError(1200, 12, 0.01)
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = [][]string{
+		{"worst case (99-pct size, innermost rate)", f("%d", pess), "10"},
+		{"worst case optimistic (95-pct size, mean rate)", f("%d", opt), "14"},
+		{"stochastic p_late <= 1%", f("%d", late), "26"},
+		{"stochastic p_error <= 1% (M=1200, g=12)", f("%d", perr), "28"},
+	}
+	t.Notes = append(t.Notes,
+		"the stochastic guarantees admit 2-3x the worst-case stream count at a 1% risk level")
+	return t, nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderCSV writes the table as CSV (header row first). Plot lines are
+// omitted; notes become trailing comment rows prefixed with '#'.
+func (t Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderMarkdown writes the table as GitHub-flavored Markdown.
+func (t Table) RenderMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s: %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	cells := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		cells[i] = esc(h)
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	if len(t.Plot) > 0 {
+		if _, err := fmt.Fprintf(w, "\n```\n%s\n```\n", strings.Join(t.Plot, "\n")); err != nil {
+			return err
+		}
+	}
+	if len(t.Notes) > 0 {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		for _, n := range t.Notes {
+			if _, err := fmt.Fprintf(w, "> %s\n", n); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

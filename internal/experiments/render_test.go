@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable() Table {
+	return Table{
+		ID:     "x",
+		Title:  "Sample",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4|5"}},
+		Plot:   []string{"** chart **"},
+		Notes:  []string{"a note"},
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,2" {
+		t.Errorf("row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "4|5") {
+		t.Errorf("pipe cell mangled: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "# a note") {
+		t.Errorf("note = %q", lines[3])
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "### x: Sample") {
+		t.Error("missing heading")
+	}
+	if !strings.Contains(out, "| a | b |") {
+		t.Error("missing header row")
+	}
+	if !strings.Contains(out, "| --- | --- |") {
+		t.Error("missing separator")
+	}
+	if !strings.Contains(out, `4\|5`) {
+		t.Error("pipe not escaped")
+	}
+	if !strings.Contains(out, "```\n** chart **\n```") {
+		t.Error("plot not fenced")
+	}
+	if !strings.Contains(out, "> a note") {
+		t.Error("note not quoted")
+	}
+}
+
+func TestRenderFormatsOnRealExperiment(t *testing.T) {
+	tbl, err := E4WorstCase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf, mdBuf bytes.Buffer
+	if err := tbl.RenderCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.RenderMarkdown(&mdBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvBuf.String(), "10") || !strings.Contains(mdBuf.String(), "10") {
+		t.Error("worst-case value missing from rendered output")
+	}
+}

@@ -1,0 +1,49 @@
+package lst
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// InvertCDF numerically inverts the Laplace–Stieltjes transform to recover
+// the CDF F(t) = P[X <= t], using the fixed-Talbot method on F̂(s) =
+// T*(s)/s. m is the number of Talbot nodes (32–64 is ample for the smooth
+// service-time distributions here; m <= 0 selects 48).
+//
+// This inversion is not used by the admission bounds themselves — the paper
+// relies on Chernoff bounds precisely to avoid it — but serves as an
+// independent cross-check of how conservative those bounds are.
+func InvertCDF(t Transform, x float64, m int) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if m <= 0 {
+		m = 48
+	}
+	r := 2 * float64(m) / (5 * x)
+	// k = 0 term: θ=0, s=r (real axis).
+	sum := 0.5 * math.Exp(r*x) * real(t.At(complex(r, 0))) / r
+	for k := 1; k < m; k++ {
+		theta := float64(k) * math.Pi / float64(m)
+		cot := math.Cos(theta) / math.Sin(theta)
+		s := complex(r*theta*cot, r*theta)
+		sigma := theta + (theta*cot-1)*cot
+		fhat := t.At(s) / s
+		term := cmplx.Exp(s*complex(x, 0)) * fhat * complex(1, sigma)
+		sum += real(term)
+	}
+	v := sum * r / float64(m)
+	// Clamp to [0, 1]: the inversion can ring slightly at the tails.
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// TailFromInversion returns P[X >= x] computed via InvertCDF.
+func TailFromInversion(t Transform, x float64, m int) float64 {
+	return 1 - InvertCDF(t, x, m)
+}

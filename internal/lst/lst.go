@@ -1,0 +1,154 @@
+// Package lst implements the Laplace–Stieltjes transform (LST) algebra at
+// the heart of the paper's analysis (§3.1, eq. 3.1.3–3.1.5).
+//
+// For a nonnegative random variable X, the LST is T*(s) = E[e^{-sX}]. Sums
+// of independent variables multiply their transforms, so the total round
+// service time T_N = SEEK + Σ T_rot,i + Σ T_trans,i has
+//
+//	T_N*(s) = e^{-s·SEEK} · (T_rot*(s))^N · (T_trans*(s))^N
+//
+// The moment generating function is M(θ) = T*(-θ), which feeds the Chernoff
+// bound P[T_N ≥ t] ≤ inf_θ e^{-θt} M(θ).
+//
+// All evaluation is carried out in log space (LogAt) for numerical
+// stability: with N around 30 the raw MGF easily exceeds float range while
+// its logarithm stays small. Complex evaluation (At) supports numerical
+// transform inversion (Talbot's method) used to cross-check bound tightness.
+package lst
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// ErrParam is returned by constructors for invalid parameters.
+var ErrParam = errors.New("lst: invalid parameter")
+
+// Transform is the Laplace–Stieltjes transform of a nonnegative random
+// variable. Implementations are immutable and safe for concurrent use.
+type Transform interface {
+	// LogAt returns log T*(s) for real s. For s < 0 this is the log-MGF at
+	// θ = -s; it returns +Inf when E[e^{-sX}] diverges.
+	LogAt(s float64) float64
+	// At returns T*(s) for complex s with Re(s) >= 0 (used by inversion).
+	At(s complex128) complex128
+	// MaxTheta returns the supremum of θ such that E[e^{θX}] is finite,
+	// i.e. the right abscissa of convergence of the MGF. Chernoff
+	// optimization searches θ in (0, MaxTheta). +Inf for bounded X.
+	MaxTheta() float64
+	// Mean returns E[X].
+	Mean() float64
+	// Var returns Var[X].
+	Var() float64
+}
+
+// LogMGF returns log E[e^{θX}] = log T*(-θ).
+func LogMGF(t Transform, theta float64) float64 {
+	return t.LogAt(-theta)
+}
+
+// PointMass is the transform of the constant c >= 0: T*(s) = e^{-sc}.
+// It models the SEEK term (§3.1: the Oyang worst-case total seek time is a
+// constant for given N).
+type PointMass struct {
+	C float64
+}
+
+// LogAt returns -s·c.
+func (p PointMass) LogAt(s float64) float64 { return -s * p.C }
+
+// At returns e^{-s·c}.
+func (p PointMass) At(s complex128) complex128 { return cmplx.Exp(-s * complex(p.C, 0)) }
+
+// MaxTheta returns +Inf (a constant has an entire MGF).
+func (p PointMass) MaxTheta() float64 { return math.Inf(1) }
+
+// Mean returns c.
+func (p PointMass) Mean() float64 { return p.C }
+
+// Var returns 0.
+func (p PointMass) Var() float64 { return 0 }
+
+// Uniform is the transform of Uniform(A, B), 0 <= A < B. For A=0 this is
+// the rotational-latency transform (1-e^{-s·ROT})/(s·ROT) of eq. (3.1.3).
+type Uniform struct {
+	A, B float64
+}
+
+// NewUniform returns the transform of Uniform(a, b).
+func NewUniform(a, b float64) (Uniform, error) {
+	if !(0 <= a && a < b) || math.IsInf(b, 1) {
+		return Uniform{}, ErrParam
+	}
+	return Uniform{A: a, B: b}, nil
+}
+
+// LogAt returns log[(e^{-sA} - e^{-sB})/(s(B-A))] with the removable
+// singularity at s=0 handled by series expansion.
+func (u Uniform) LogAt(s float64) float64 {
+	w := u.B - u.A
+	z := s * w
+	if math.Abs(z) < 1e-8 {
+		// log[(1-e^{-z})/z] = -z/2 + z²/24 + O(z⁴), shifted by -s·A.
+		return -s*u.A - z/2 + z*z/24
+	}
+	// (e^{-sA}-e^{-sB})/(s·w) = e^{-sA}·(1-e^{-z})/z; for z<0 both numerator
+	// and denominator are negative, so take logs of magnitudes.
+	return -s*u.A + math.Log(math.Abs(-math.Expm1(-z))) - math.Log(math.Abs(z))
+}
+
+// At returns the transform at complex s.
+func (u Uniform) At(s complex128) complex128 {
+	w := complex(u.B-u.A, 0)
+	if cmplx.Abs(s) < 1e-10 {
+		return 1
+	}
+	return (cmplx.Exp(-s*complex(u.A, 0)) - cmplx.Exp(-s*complex(u.B, 0))) / (s * w)
+}
+
+// MaxTheta returns +Inf (bounded support).
+func (u Uniform) MaxTheta() float64 { return math.Inf(1) }
+
+// Mean returns (A+B)/2.
+func (u Uniform) Mean() float64 { return (u.A + u.B) / 2 }
+
+// Var returns (B-A)²/12.
+func (u Uniform) Var() float64 { w := u.B - u.A; return w * w / 12 }
+
+// Gamma is the transform of a Gamma(shape β, rate α) variable:
+// T*(s) = (α/(α+s))^β (eq. 3.1.3). This models the transfer time of one
+// fragment, after moment matching in the multi-zone case (eq. 3.2.10).
+type Gamma struct {
+	Shape, Rate float64 // β, α
+}
+
+// NewGamma returns the transform of Gamma(shape, rate).
+func NewGamma(shape, rate float64) (Gamma, error) {
+	if !(shape > 0) || !(rate > 0) {
+		return Gamma{}, ErrParam
+	}
+	return Gamma{Shape: shape, Rate: rate}, nil
+}
+
+// LogAt returns -β·log(1 + s/α); +Inf for s <= -α (MGF divergence).
+func (g Gamma) LogAt(s float64) float64 {
+	if s <= -g.Rate {
+		return math.Inf(1)
+	}
+	return -g.Shape * math.Log1p(s/g.Rate)
+}
+
+// At returns (α/(α+s))^β for complex s.
+func (g Gamma) At(s complex128) complex128 {
+	return cmplx.Exp(complex(-g.Shape, 0) * cmplx.Log(1+s/complex(g.Rate, 0)))
+}
+
+// MaxTheta returns α, the MGF abscissa of convergence.
+func (g Gamma) MaxTheta() float64 { return g.Rate }
+
+// Mean returns β/α.
+func (g Gamma) Mean() float64 { return g.Shape / g.Rate }
+
+// Var returns β/α².
+func (g Gamma) Var() float64 { return g.Shape / (g.Rate * g.Rate) }

@@ -1,0 +1,193 @@
+package model
+
+import (
+	"fmt"
+
+	"mzqos/internal/chernoff"
+	"mzqos/internal/lst"
+)
+
+// LateBound returns b_late(n, t): the Chernoff upper bound on the
+// probability that the n requests of one round are not all served within
+// the round (eq. 3.1.6 / 3.2.12). Results are memoized per n.
+func (m *Model) LateBound(n int) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("%w: negative stream count", ErrConfig)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	m.mu.Lock()
+	if v, ok := m.lateCache[n]; ok {
+		m.mu.Unlock()
+		return v, nil
+	}
+	m.mu.Unlock()
+
+	tr, err := m.RoundTransform(n)
+	if err != nil {
+		return 0, err
+	}
+	res, err := chernoff.Bound(tr, m.cfg.RoundLength)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	m.lateCache[n] = res.Bound
+	m.mu.Unlock()
+	return res.Bound, nil
+}
+
+// LateBoundAt returns the Chernoff bound on P[T_n >= deadline] for an
+// arbitrary deadline (not cached). The buffered-client extension uses it
+// with deadlines beyond the round length: a client holding `s` rounds of
+// smoothing slack only sees a glitch when the sweep overruns by more than
+// s·t.
+func (m *Model) LateBoundAt(n int, deadline float64) (float64, error) {
+	if n < 0 || !(deadline > 0) {
+		return 0, fmt.Errorf("%w: need n >= 0 and positive deadline", ErrConfig)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	tr, err := m.RoundTransform(n)
+	if err != nil {
+		return 0, err
+	}
+	res, err := chernoff.Bound(tr, deadline)
+	if err != nil {
+		return 0, err
+	}
+	return res.Bound, nil
+}
+
+// LateProbInversion returns P[T_n >= t] computed by numerically inverting
+// the round transform (fixed-Talbot), i.e. the model's exact tail rather
+// than its Chernoff bound. Comparing the three quantities
+//
+//	simulated p_late  <=  inversion tail  <=  Chernoff bound
+//
+// decomposes the admission conservatism into its two sources: the
+// worst-case SEEK constant (simulated vs inversion) and the Chernoff
+// slack (inversion vs bound). Accuracy is limited by the inversion to
+// roughly 1e-7 absolute; nodes <= 0 selects a default.
+func (m *Model) LateProbInversion(n, nodes int) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("%w: negative stream count", ErrConfig)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	tr, err := m.RoundTransform(n)
+	if err != nil {
+		return 0, err
+	}
+	return lst.TailFromInversion(tr, m.cfg.RoundLength, nodes), nil
+}
+
+// GlitchBound returns b_glitch(n, t), the bound on the probability that a
+// particular stream suffers a glitch in one round (eq. 3.3.3):
+//
+//	b_glitch(n, t) = (1/n) Σ_{k=1..n} b_late(k, t)
+//
+// Each term uses its own SEEK(k), matching the derivation in eq. 3.3.2
+// where T_k is the service time of the first k requests of the sweep.
+func (m *Model) GlitchBound(n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: stream count must be positive", ErrConfig)
+	}
+	var sum float64
+	for k := 1; k <= n; k++ {
+		b, err := m.LateBound(k)
+		if err != nil {
+			return 0, err
+		}
+		sum += b
+	}
+	v := sum / float64(n)
+	if v > 1 {
+		v = 1
+	}
+	return v, nil
+}
+
+// StreamErrorBound returns p_error(n, t, M, g): the Hagerup–Rüb bound on
+// the probability that one stream of M rounds suffers at least g glitches
+// (eq. 3.3.5). The bound is 1 whenever g/M does not exceed the glitch
+// bound (the binomial Chernoff bound only applies above the mean).
+func (m *Model) StreamErrorBound(n, rounds, glitches int) (float64, error) {
+	if rounds <= 0 || glitches < 0 || glitches > rounds {
+		return 0, fmt.Errorf("%w: need 0 <= g <= M and M > 0", ErrConfig)
+	}
+	pg, err := m.GlitchBound(n)
+	if err != nil {
+		return 0, err
+	}
+	return chernoff.BinomialUpperTail(rounds, pg, glitches)
+}
+
+// StreamErrorExact returns the exact binomial tail P[#glitches >= g] at
+// the *bounded* per-round glitch probability b_glitch. Still an upper
+// bound on the true error probability (the binomial tail is monotone in
+// p), but tighter than the HR89 closed form; provided for comparison.
+func (m *Model) StreamErrorExact(n, rounds, glitches int) (float64, error) {
+	if rounds <= 0 || glitches < 0 || glitches > rounds {
+		return 0, fmt.Errorf("%w: need 0 <= g <= M and M > 0", ErrConfig)
+	}
+	pg, err := m.GlitchBound(n)
+	if err != nil {
+		return 0, err
+	}
+	return chernoff.BinomialTailExact(rounds, pg, glitches)
+}
+
+// maxSearchN caps admission searches; a round can never hold more requests
+// than t/E[T_trans] plus slack, so the cap is generous.
+func (m *Model) maxSearchN() int {
+	cap := int(4*m.cfg.RoundLength/m.transMean) + 64
+	return cap
+}
+
+// NMaxLate returns N_max^plate = max{N : b_late(N, t) <= delta}
+// (eq. 3.1.7). It returns ErrOverload if even N=1 violates delta.
+func (m *Model) NMaxLate(delta float64) (int, error) {
+	if !(delta > 0 && delta < 1) {
+		return 0, fmt.Errorf("%w: delta must be in (0,1)", ErrConfig)
+	}
+	limit := m.maxSearchN()
+	for n := 1; n <= limit; n++ {
+		b, err := m.LateBound(n)
+		if err != nil {
+			return 0, err
+		}
+		if b > delta {
+			if n == 1 {
+				return 0, ErrOverload
+			}
+			return n - 1, nil
+		}
+	}
+	return limit, nil
+}
+
+// NMaxError returns N_max^perror = max{N : p_error(N, t, M, g) <= eps}
+// (eq. 3.3.6).
+func (m *Model) NMaxError(rounds, glitches int, eps float64) (int, error) {
+	if !(eps > 0 && eps < 1) {
+		return 0, fmt.Errorf("%w: eps must be in (0,1)", ErrConfig)
+	}
+	limit := m.maxSearchN()
+	for n := 1; n <= limit; n++ {
+		p, err := m.StreamErrorBound(n, rounds, glitches)
+		if err != nil {
+			return 0, err
+		}
+		if p > eps {
+			if n == 1 {
+				return 0, ErrOverload
+			}
+			return n - 1, nil
+		}
+	}
+	return limit, nil
+}

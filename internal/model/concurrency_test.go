@@ -1,0 +1,71 @@
+package model
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentBounds hammers the memoized bound cache from many
+// goroutines; run with -race to validate the locking.
+func TestConcurrentBounds(t *testing.T) {
+	m := paperMultiZoneModel(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 1; n <= 30; n++ {
+				if _, err := m.LateBound(n); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if _, err := m.GlitchBound(25 + w%5); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := m.StreamErrorBound(28, 1200, 12); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentBoundsConsistent verifies concurrent and serial paths
+// produce identical values.
+func TestConcurrentBoundsConsistent(t *testing.T) {
+	serial := paperMultiZoneModel(t)
+	want := make([]float64, 31)
+	for n := 1; n <= 30; n++ {
+		v, err := serial.LateBound(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[n] = v
+	}
+	concurrent := paperMultiZoneModel(t)
+	var wg sync.WaitGroup
+	got := make([]float64, 31)
+	for n := 1; n <= 30; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			v, err := concurrent.LateBound(n)
+			if err == nil {
+				got[n] = v
+			}
+		}(n)
+	}
+	wg.Wait()
+	for n := 1; n <= 30; n++ {
+		if got[n] != want[n] {
+			t.Errorf("N=%d: concurrent %v != serial %v", n, got[n], want[n])
+		}
+	}
+}

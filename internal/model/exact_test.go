@@ -1,0 +1,124 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/workload"
+)
+
+func exactMixtureModel(t testing.TB) *Model {
+	t.Helper()
+	m, err := New(Config{
+		Disk:        disk.QuantumViking21(),
+		Sizes:       workload.PaperSizes(),
+		RoundLength: 1,
+		Mode:        TransferExactMixture,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestExactMixtureMomentsMatchClosedForm(t *testing.T) {
+	// The mixture's analytic mean/variance must equal the moment pipeline:
+	// moment matching preserves exactly the first two moments.
+	me := exactMixtureModel(t)
+	mean, variance := me.TransferMoments()
+	tr, err := me.RoundTransform(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subtract the non-transfer parts of the one-request round.
+	rot := 0.00834
+	wantMean := me.SeekBound(1) + rot/2 + mean
+	if math.Abs(tr.Mean()-wantMean) > 1e-12 {
+		t.Errorf("round mean = %v, want %v", tr.Mean(), wantMean)
+	}
+	wantVar := rot*rot/12 + variance
+	if math.Abs(tr.Var()-wantVar) > 1e-15 {
+		t.Errorf("round var = %v, want %v", tr.Var(), wantVar)
+	}
+}
+
+func TestExactMixtureBoundsCloseToApprox(t *testing.T) {
+	// The Gamma approximation should track the exact mixture closely: the
+	// paper's claim is that moment matching is adequate for admission.
+	ma := paperMultiZoneModel(t)
+	me := exactMixtureModel(t)
+	for _, n := range []int{24, 26, 28} {
+		ba, err := ma.LateBound(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		be, err := me.LateBound(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Within a factor of two across the admission-relevant range.
+		if be > 2*ba || ba > 2*be {
+			t.Errorf("N=%d: exact %v vs approx %v differ too much", n, be, ba)
+		}
+	}
+	// And the admission decisions agree (or differ by at most one stream).
+	na, err := ma.NMaxLate(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, err := me.NMaxLate(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := na - ne; d < -1 || d > 1 {
+		t.Errorf("N_max: exact %d vs approx %d", ne, na)
+	}
+}
+
+func TestExactMixtureRequiresGammaSizes(t *testing.T) {
+	logn, err := workload.LognormalSizes(200*workload.KB, 100*workload.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{
+		Disk:        disk.QuantumViking21(),
+		Sizes:       logn,
+		RoundLength: 1,
+		Mode:        TransferExactMixture,
+	}); err == nil {
+		t.Error("lognormal sizes in exact mode should error")
+	}
+}
+
+func TestExactMixtureRejectsExplicitMoments(t *testing.T) {
+	if _, err := New(Config{
+		Disk:         disk.QuantumViking21(),
+		Sizes:        workload.PaperSizes(),
+		RoundLength:  1,
+		Mode:         TransferExactMixture,
+		TransferMean: 0.02,
+		TransferVar:  1e-4,
+	}); err == nil {
+		t.Error("explicit moments in exact mode should error")
+	}
+}
+
+func TestExactMixtureSingleZoneDegenerates(t *testing.T) {
+	// On a single-zone disk the mixture has one component, so exact and
+	// approx modes coincide.
+	g := disk.QuantumViking21().Uniformized()
+	ma, err := New(Config{Disk: g, Sizes: workload.PaperSizes(), RoundLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, err := New(Config{Disk: g, Sizes: workload.PaperSizes(), RoundLength: 1, Mode: TransferExactMixture})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := ma.LateBound(26)
+	be, _ := me.LateBound(26)
+	if math.Abs(ba-be) > 1e-9 {
+		t.Errorf("single-zone exact %v vs approx %v should coincide", be, ba)
+	}
+}

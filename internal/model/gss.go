@@ -1,0 +1,112 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// GSSResult describes one Group Sweeping Scheduling configuration.
+//
+// GSS [CKY93], cited by the paper as the generalization of its round
+// scheme, splits the N streams of a round into G groups served in G
+// consecutive subperiods of length t/G, each with its own SCAN sweep.
+// G=1 is the paper's scheme (one sweep per round, double buffering);
+// larger G shrinks the client buffer — a fragment is consumed right after
+// its subperiod instead of waiting out the whole round — at the price of
+// shorter sweeps that amortize seeks over fewer requests.
+type GSSResult struct {
+	// Groups is G.
+	Groups int
+	// GroupSize is the per-sweep request count ⌈N/G⌉.
+	GroupSize int
+	// SubPeriod is t/G in seconds.
+	SubPeriod float64
+	// LateBound is the Chernoff bound on one subperiod overrunning.
+	LateBound float64
+	// BufferPerStream is the client buffer requirement in bytes:
+	// (1 + 1/G)·E[S] — one fragment being consumed plus the fraction of a
+	// period during which the next one arrives.
+	BufferPerStream float64
+	// AdmittedN is the stream count the configuration admits (set by
+	// GSSSweep; zero when the guarantee is unattainable).
+	AdmittedN int
+}
+
+// GSS evaluates Group Sweeping Scheduling with n streams in `groups`
+// groups: each subperiod serves ⌈n/G⌉ requests within t/G, bounded with
+// exactly the machinery of §3 applied at the subperiod scale.
+func (m *Model) GSS(n, groups int) (GSSResult, error) {
+	if n < 1 || groups < 1 || groups > n {
+		return GSSResult{}, fmt.Errorf("%w: need 1 <= groups <= n", ErrConfig)
+	}
+	k := (n + groups - 1) / groups
+	sub := m.cfg.RoundLength / float64(groups)
+	b, err := m.LateBoundAt(k, sub)
+	if err != nil {
+		return GSSResult{}, err
+	}
+	res := GSSResult{
+		Groups:    groups,
+		GroupSize: k,
+		SubPeriod: sub,
+		LateBound: b,
+	}
+	if m.hasSizes {
+		res.BufferPerStream = (1 + 1/float64(groups)) * m.cfg.Sizes.Mean()
+	}
+	return res, nil
+}
+
+// GSSNMax returns the largest stream count admissible with G groups at a
+// subperiod-lateness threshold delta: the GSS analogue of eq. (3.1.7).
+func (m *Model) GSSNMax(groups int, delta float64) (int, error) {
+	if groups < 1 {
+		return 0, fmt.Errorf("%w: groups must be positive", ErrConfig)
+	}
+	if !(delta > 0 && delta < 1) {
+		return 0, fmt.Errorf("%w: delta must be in (0,1)", ErrConfig)
+	}
+	limit := m.maxSearchN()
+	best := 0
+	for n := groups; n <= limit; n++ {
+		r, err := m.GSS(n, groups)
+		if err != nil {
+			return 0, err
+		}
+		if r.LateBound > delta {
+			break
+		}
+		best = n
+	}
+	if best == 0 {
+		return 0, ErrOverload
+	}
+	return best, nil
+}
+
+// GSSSweep evaluates a set of group counts at a fixed lateness threshold,
+// returning for each the admission limit and the buffer requirement — the
+// classic GSS throughput-vs-memory trade-off curve.
+func (m *Model) GSSSweep(groups []int, delta float64) ([]GSSResult, error) {
+	out := make([]GSSResult, 0, len(groups))
+	for _, g := range groups {
+		n, err := m.GSSNMax(g, delta)
+		if err != nil {
+			if err == ErrOverload {
+				out = append(out, GSSResult{Groups: g})
+				continue
+			}
+			return nil, err
+		}
+		r, err := m.GSS(n, g)
+		if err != nil {
+			return nil, err
+		}
+		// Report the admitted N, not the per-group size alone.
+		r.GroupSize = (n + g - 1) / g
+		r.LateBound = math.Min(r.LateBound, 1)
+		r.AdmittedN = n
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGSSOneGroupMatchesBase(t *testing.T) {
+	m := paperMultiZoneModel(t)
+	r, err := m.GSS(26, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.LateBound(26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.LateBound-base) > 1e-12 {
+		t.Errorf("G=1 GSS bound %v != base bound %v", r.LateBound, base)
+	}
+	if r.GroupSize != 26 || math.Abs(r.SubPeriod-1) > 1e-15 {
+		t.Errorf("G=1 shape: %+v", r)
+	}
+	// Double buffering at G=1.
+	if math.Abs(r.BufferPerStream-2*200000) > 1e-6 {
+		t.Errorf("buffer = %v, want 400000", r.BufferPerStream)
+	}
+}
+
+func TestGSSBufferShrinksWithGroups(t *testing.T) {
+	m := paperMultiZoneModel(t)
+	prev := math.Inf(1)
+	for _, g := range []int{1, 2, 4, 8} {
+		r, err := m.GSS(24, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(r.BufferPerStream < prev) {
+			t.Errorf("G=%d: buffer %v not below previous %v", g, r.BufferPerStream, prev)
+		}
+		prev = r.BufferPerStream
+	}
+}
+
+func TestGSSAdmissionShrinksWithGroups(t *testing.T) {
+	// More groups → shorter sweeps → more seek overhead per request →
+	// fewer admissible streams: the GSS trade-off.
+	m := paperMultiZoneModel(t)
+	prev := math.MaxInt
+	for _, g := range []int{1, 2, 4} {
+		n, err := m.GSSNMax(g, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > prev {
+			t.Errorf("G=%d admits %d > previous %d", g, n, prev)
+		}
+		prev = n
+	}
+	// G=1 must reproduce the paper's 26.
+	n1, _ := m.GSSNMax(1, 0.01)
+	if n1 != 26 {
+		t.Errorf("GSSNMax(1) = %d, want 26", n1)
+	}
+}
+
+func TestGSSSweep(t *testing.T) {
+	m := paperMultiZoneModel(t)
+	rs, err := m.GSSSweep([]int{1, 2, 4, 8}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("sweep length %d", len(rs))
+	}
+	if rs[0].AdmittedN != 26 {
+		t.Errorf("G=1 admitted %d, want 26", rs[0].AdmittedN)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].AdmittedN > rs[i-1].AdmittedN {
+			t.Errorf("admission not nonincreasing: %+v", rs)
+		}
+		if rs[i].BufferPerStream >= rs[i-1].BufferPerStream && rs[i].AdmittedN > 0 {
+			t.Errorf("buffer not decreasing: %+v", rs)
+		}
+	}
+}
+
+func TestGSSValidation(t *testing.T) {
+	m := paperMultiZoneModel(t)
+	if _, err := m.GSS(0, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := m.GSS(5, 6); err == nil {
+		t.Error("groups > n should error")
+	}
+	if _, err := m.GSSNMax(0, 0.01); err == nil {
+		t.Error("groups=0 should error")
+	}
+	if _, err := m.GSSNMax(1, 0); err == nil {
+		t.Error("delta=0 should error")
+	}
+}
+
+func TestGSSOverload(t *testing.T) {
+	// Absurdly many groups: even one stream per group cannot meet the
+	// subperiod deadline.
+	m := paperMultiZoneModel(t)
+	if _, err := m.GSSNMax(200, 0.01); err != ErrOverload {
+		t.Errorf("err = %v, want ErrOverload", err)
+	}
+	// The sweep reports unattainable entries as zero rather than failing.
+	rs, err := m.GSSSweep([]int{1, 200}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[1].AdmittedN != 0 {
+		t.Errorf("unattainable sweep entry = %+v", rs[1])
+	}
+}
+
+func TestGSSSimConsistency(t *testing.T) {
+	// A GSS subperiod is exactly a shorter round with fewer requests, so
+	// the existing round machinery can validate it: the subperiod bound
+	// must sit at/above the equivalent round-model bound by construction.
+	m := paperMultiZoneModel(t)
+	r, err := m.GSS(24, 4) // 6 requests per t/4 subperiod
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := m.LateBoundAt(6, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.LateBound-direct) > 1e-12 {
+		t.Errorf("GSS bound %v != direct subperiod bound %v", r.LateBound, direct)
+	}
+}

@@ -1,0 +1,59 @@
+package model
+
+import "testing"
+
+func TestLateProbInversionOrdering(t *testing.T) {
+	// The model's exact tail (by transform inversion) must sit at or
+	// below its Chernoff bound, and above zero in the interesting range.
+	m := paperMultiZoneModel(t)
+	for _, n := range []int{27, 28, 29, 30} {
+		inv, err := m.LateProbInversion(n, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := m.LateBound(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inv > ch+1e-9 {
+			t.Errorf("N=%d: inversion tail %v above Chernoff bound %v", n, inv, ch)
+		}
+		if inv < 0 || inv > 1 {
+			t.Errorf("N=%d: inversion tail %v outside [0,1]", n, inv)
+		}
+	}
+	// At a clearly loaded point the exact tail is meaningfully positive.
+	inv30, err := m.LateProbInversion(30, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv30 < 0.005 {
+		t.Errorf("inversion tail at N=30 = %v, expected clearly positive", inv30)
+	}
+}
+
+func TestLateProbInversionMonotone(t *testing.T) {
+	m := paperMultiZoneModel(t)
+	prev := -1.0
+	for n := 26; n <= 32; n++ {
+		inv, err := m.LateProbInversion(n, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow inversion noise at the 1e-6 level.
+		if inv < prev-1e-6 {
+			t.Errorf("inversion tail not monotone at N=%d: %v < %v", n, inv, prev)
+		}
+		prev = inv
+	}
+}
+
+func TestLateProbInversionEdges(t *testing.T) {
+	m := paperMultiZoneModel(t)
+	if v, err := m.LateProbInversion(0, 0); err != nil || v != 0 {
+		t.Errorf("N=0: %v, %v", v, err)
+	}
+	if _, err := m.LateProbInversion(-1, 0); err == nil {
+		t.Error("negative N should error")
+	}
+}

@@ -1,0 +1,271 @@
+// Package model implements the paper's analytic model (§3) and the
+// admission-control machinery built on it (§5).
+//
+// The total service time of one round with N requests on one disk is
+//
+//	T_N = SEEK(N) + Σᵢ T_rot,i + Σᵢ T_trans,i                 (3.1.1)
+//
+// with SEEK(N) the Oyang worst-case SCAN seek constant, T_rot,i ~
+// Uniform(0, ROT), and T_trans,i Gamma distributed. On a multi-zone disk
+// the transfer time of a request is S/R with S the fragment size and R the
+// zone-dependent transfer rate; its first two moments are matched by a
+// Gamma law (§3.2) so the Laplace–Stieltjes machinery of §3.1 applies
+// unchanged. Chernoff bounds on T_N yield the round-lateness bound
+// b_late(N, t) (3.2.12), per-stream glitch probability bounds (3.3.3), the
+// M-round glitch-count bound p_error (3.3.5), and the admission limits
+// N_max (3.1.7, 3.3.6).
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/dist"
+	"mzqos/internal/lst"
+	"mzqos/internal/workload"
+)
+
+// Errors reported by the model.
+var (
+	// ErrConfig is returned for invalid model configurations.
+	ErrConfig = errors.New("model: invalid configuration")
+	// ErrOverload is returned when even a single stream cannot meet the
+	// requested guarantee.
+	ErrOverload = errors.New("model: guarantee unattainable even for N=1")
+	// ErrNoSizeModel is returned by operations that need the fragment-size
+	// distribution when the model was built from transfer moments alone.
+	ErrNoSizeModel = errors.New("model: operation requires a fragment-size model")
+)
+
+// RateMoments selects how the zone-dependent transfer-rate moments are
+// computed when translating fragment sizes into transfer times.
+type RateMoments int
+
+const (
+	// RateDiscrete uses the exact Z-zone mixture (default).
+	RateDiscrete RateMoments = iota
+	// RateContinuous uses the paper's continuous-rate approximation
+	// (eq. 3.2.5/3.2.6); provided for the approximation ablation.
+	RateContinuous
+)
+
+// TransferMode selects the transfer-time transform fed into the Chernoff
+// machinery.
+type TransferMode int
+
+const (
+	// TransferGammaApprox is the paper's approach (§3.2): match the first
+	// two moments of the transfer time with a Gamma law and use its
+	// closed-form transform (eq. 3.2.10). Default.
+	TransferGammaApprox TransferMode = iota
+	// TransferExactMixture uses the exact transform of the zoned transfer
+	// time: a request hitting zone i has T = S/R_i, so for Gamma sizes the
+	// transform is the finite mixture Σᵢ P[zone i]·(α_i/(α_i+s))^β with
+	// α_i = α_S·R_i — closed form with no approximation. An extension
+	// beyond the paper, used to quantify what its Gamma matching costs.
+	// Requires a Gamma fragment-size model.
+	TransferExactMixture
+)
+
+// Config assembles a model instance.
+type Config struct {
+	// Disk is the drive geometry (required).
+	Disk *disk.Geometry
+	// Sizes is the fragment-size model (required unless TransferMean and
+	// TransferVar are set directly).
+	Sizes workload.SizeModel
+	// RoundLength is the scheduling round length t in seconds (required).
+	RoundLength float64
+	// RateMode selects discrete or continuous rate moments.
+	RateMode RateMoments
+	// Mode selects the Gamma approximation (paper) or the exact
+	// zone-mixture transform (extension).
+	Mode TransferMode
+	// Access optionally replaces the uniform-over-sectors placement with
+	// a zone-aware access profile (organ-pipe, hot-on-outer, ...); nil
+	// means the paper's uniform placement. Ignored when RateContinuous is
+	// selected (the continuous approximation assumes uniform placement).
+	Access disk.AccessProfile
+	// TransferMean/TransferVar, when both positive, override the
+	// size-derived transfer-time moments (seconds, seconds²). This is how
+	// the §3.1 worked example specifies its workload.
+	TransferMean float64
+	TransferVar  float64
+}
+
+// Model computes the paper's service-quality bounds for one disk. It is
+// safe for concurrent use; per-N bound results are memoized.
+type Model struct {
+	cfg       Config
+	transGam  lst.Gamma     // moment-matched transfer-time transform (3.2.10)
+	transLST  lst.Transform // transform actually used by the bounds
+	transMean float64
+	transVar  float64
+	hasSizes  bool
+
+	mu        sync.Mutex
+	lateCache map[int]float64
+}
+
+// New validates cfg and precomputes the transfer-time Gamma matching.
+func New(cfg Config) (*Model, error) {
+	if cfg.Disk == nil {
+		return nil, fmt.Errorf("%w: nil disk geometry", ErrConfig)
+	}
+	if !(cfg.RoundLength > 0) {
+		return nil, fmt.Errorf("%w: round length must be positive", ErrConfig)
+	}
+	m := &Model{cfg: cfg, lateCache: make(map[int]float64)}
+	switch {
+	case cfg.TransferMean > 0 && cfg.TransferVar > 0:
+		m.transMean, m.transVar = cfg.TransferMean, cfg.TransferVar
+		m.hasSizes = cfg.Sizes.Dist != nil
+	case cfg.Sizes.Dist != nil:
+		mean, variance, err := transferMoments(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.transMean, m.transVar = mean, variance
+		m.hasSizes = true
+	default:
+		return nil, fmt.Errorf("%w: need a size model or explicit transfer moments", ErrConfig)
+	}
+	g, err := dist.GammaFromMeanVar(m.transMean, m.transVar)
+	if err != nil {
+		return nil, fmt.Errorf("%w: transfer moments not matchable: %v", ErrConfig, err)
+	}
+	m.transGam = lst.Gamma{Shape: g.Shape, Rate: g.Rate}
+	m.transLST = m.transGam
+	if cfg.Mode == TransferExactMixture {
+		mix, err := exactMixtureTransform(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.transLST = mix
+	}
+	return m, nil
+}
+
+// exactMixtureTransform builds the exact transfer-time transform for Gamma
+// fragment sizes on a zoned disk: hitting zone i (probability C_i·tracks_i
+// divided by capacity) turns a size Gamma(β, α_S) into a time
+// Gamma(β, α_S·R_i), so the transform is a finite Gamma mixture.
+func exactMixtureTransform(cfg Config) (lst.Transform, error) {
+	sg, ok := cfg.Sizes.Dist.(dist.Gamma)
+	if !ok {
+		return nil, fmt.Errorf("%w: TransferExactMixture requires a Gamma fragment-size model", ErrConfig)
+	}
+	if cfg.TransferMean > 0 || cfg.TransferVar > 0 {
+		return nil, fmt.Errorf("%w: TransferExactMixture is incompatible with explicit transfer moments", ErrConfig)
+	}
+	g := cfg.Disk
+	access := cfg.Access
+	if access == nil {
+		access = disk.UniformAccess(g)
+	} else if !access.Valid(g) {
+		return nil, fmt.Errorf("%w: access profile does not match the geometry", ErrConfig)
+	}
+	weights := make([]float64, g.ZoneCount())
+	parts := make([]lst.Transform, g.ZoneCount())
+	for i := range parts {
+		weights[i] = access[i]
+		zt, err := lst.NewGamma(sg.Shape, sg.Rate*g.TransferRate(i))
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = zt
+	}
+	mix, err := lst.NewMixture(weights, parts)
+	if err != nil {
+		return nil, err
+	}
+	return mix, nil
+}
+
+// transferMoments computes E[T_trans] and Var[T_trans] from the size model
+// and the zone-rate distribution: with S ⟂ R,
+//
+//	E[T]  = E[S]·E[1/R]
+//	E[T²] = E[S²]·E[1/R²]
+func transferMoments(cfg Config) (mean, variance float64, err error) {
+	es := cfg.Sizes.Mean()
+	vs := cfg.Sizes.Var()
+	if !(es > 0) || math.IsNaN(vs) || vs < 0 || math.IsInf(vs, 1) {
+		return 0, 0, fmt.Errorf("%w: size model needs positive mean and finite variance", ErrConfig)
+	}
+	var inv, inv2 float64
+	switch {
+	case cfg.RateMode == RateContinuous:
+		inv, inv2 = cfg.Disk.ContinuousInvRateMoments()
+	case cfg.Access != nil:
+		if !cfg.Access.Valid(cfg.Disk) {
+			return 0, 0, fmt.Errorf("%w: access profile does not match the geometry", ErrConfig)
+		}
+		inv, inv2 = cfg.Disk.InvRateMomentsUnder(cfg.Access)
+	default:
+		inv, inv2 = cfg.Disk.InvRateMoments()
+	}
+	es2 := vs + es*es
+	mean = es * inv
+	variance = es2*inv2 - mean*mean
+	if !(variance > 0) {
+		// CBR sizes on a single-zone disk: give the matcher a tiny
+		// variance so the Gamma degenerates gracefully toward the mean.
+		variance = mean * mean * 1e-9
+	}
+	return mean, variance, nil
+}
+
+// Disk returns the configured geometry.
+func (m *Model) Disk() *disk.Geometry { return m.cfg.Disk }
+
+// RoundLength returns the configured round length t.
+func (m *Model) RoundLength() float64 { return m.cfg.RoundLength }
+
+// Sizes returns the fragment-size model and whether one is present.
+func (m *Model) Sizes() (workload.SizeModel, bool) { return m.cfg.Sizes, m.hasSizes }
+
+// TransferMoments returns the modeled E[T_trans] and Var[T_trans].
+func (m *Model) TransferMoments() (mean, variance float64) {
+	return m.transMean, m.transVar
+}
+
+// TransferGamma returns the moment-matched Gamma transform of the transfer
+// time (eq. 3.2.10); its Shape and Rate are the paper's β and α.
+func (m *Model) TransferGamma() lst.Gamma { return m.transGam }
+
+// SeekBound returns SEEK(n), the Oyang worst-case total SCAN seek time.
+func (m *Model) SeekBound(n int) float64 { return m.cfg.Disk.SeekBound(n) }
+
+// RoundTransform returns the LST of T_N for n concurrent requests
+// (eq. 3.1.4 / 3.2.11).
+func (m *Model) RoundTransform(n int) (lst.Transform, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: negative stream count", ErrConfig)
+	}
+	rot, err := lst.NewUniform(0, m.cfg.Disk.RotationTime)
+	if err != nil {
+		return nil, err
+	}
+	rotN, err := lst.NewIID(rot, n)
+	if err != nil {
+		return nil, err
+	}
+	trN, err := lst.NewIID(m.transLST, n)
+	if err != nil {
+		return nil, err
+	}
+	return lst.NewSum(lst.PointMass{C: m.SeekBound(n)}, rotN, trN), nil
+}
+
+// RoundMoments returns the mean and variance of T_N under the model.
+func (m *Model) RoundMoments(n int) (mean, variance float64, err error) {
+	tr, err := m.RoundTransform(n)
+	if err != nil {
+		return 0, 0, err
+	}
+	return tr.Mean(), tr.Var(), nil
+}

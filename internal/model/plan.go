@@ -1,0 +1,71 @@
+package model
+
+import (
+	"fmt"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/workload"
+)
+
+// PlanRoundLength finds the smallest round length t in [tLo, tHi] that
+// admits at least targetN concurrent streams at the per-round lateness
+// threshold delta, for streams of the given mean bandwidth (bytes/second)
+// and bandwidth coefficient of variation.
+//
+// Because fragments carry a constant display time (§2.1), the fragment
+// size scales linearly with the round length: sizes at round t are
+// Gamma(meanRate·t, (cv·meanRate·t)²). Longer rounds amortize the sweep's
+// seek and rotation overheads over more payload, so admission grows with
+// t — at the cost of client buffer (∝ t) and startup delay (up to one
+// round). The returned t is located by bisection on that monotone trade.
+func PlanRoundLength(g *disk.Geometry, meanRate, cv, delta float64, targetN int, tLo, tHi float64) (float64, error) {
+	if g == nil || !(meanRate > 0) || !(cv > 0) || targetN < 1 || !(tLo > 0) || !(tHi > tLo) {
+		return 0, fmt.Errorf("%w: invalid planning parameters", ErrConfig)
+	}
+	if !(delta > 0 && delta < 1) {
+		return 0, fmt.Errorf("%w: delta must be in (0,1)", ErrConfig)
+	}
+	nmaxAt := func(t float64) (int, error) {
+		sizes, err := workload.GammaSizes(meanRate*t, cv*meanRate*t)
+		if err != nil {
+			return 0, err
+		}
+		m, err := New(Config{Disk: g, Sizes: sizes, RoundLength: t})
+		if err != nil {
+			return 0, err
+		}
+		n, err := m.NMaxLate(delta)
+		if err == ErrOverload {
+			return 0, nil
+		}
+		return n, err
+	}
+	nHi, err := nmaxAt(tHi)
+	if err != nil {
+		return 0, err
+	}
+	if nHi < targetN {
+		return 0, ErrOverload
+	}
+	nLo, err := nmaxAt(tLo)
+	if err != nil {
+		return 0, err
+	}
+	if nLo >= targetN {
+		return tLo, nil
+	}
+	lo, hi := tLo, tHi
+	for i := 0; i < 48 && hi-lo > 1e-4*hi; i++ {
+		mid := (lo + hi) / 2
+		n, err := nmaxAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if n >= targetN {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

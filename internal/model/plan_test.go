@@ -1,0 +1,88 @@
+package model
+
+import (
+	"testing"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/workload"
+)
+
+func TestPlanRoundLengthPaperPoint(t *testing.T) {
+	g := disk.QuantumViking21()
+	// 200 KB/s streams with cv 0.5 (the Table-1 workload at t=1) and a
+	// target of 26 streams: t=1 s must suffice, and the planner should
+	// find something at or below 1 s.
+	tt, err := PlanRoundLength(g, 200*workload.KB, 0.5, 0.01, 26, 0.1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt > 1.0 {
+		t.Errorf("planned t = %v s for N=26, expected <= 1 s", tt)
+	}
+	// Verify the plan delivers.
+	sizes, err := workload.GammaSizes(200*workload.KB*tt, 100*workload.KB*tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{Disk: g, Sizes: sizes, RoundLength: tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.NMaxLate(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 26 {
+		t.Errorf("planned t=%v only admits %d", tt, n)
+	}
+}
+
+func TestPlanRoundLengthMonotoneTargets(t *testing.T) {
+	g := disk.QuantumViking21()
+	prev := 0.0
+	for _, target := range []int{20, 26, 30} {
+		tt, err := PlanRoundLength(g, 200*workload.KB, 0.5, 0.01, target, 0.1, 8)
+		if err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		if tt < prev {
+			t.Errorf("target %d: planned t %v below previous %v", target, tt, prev)
+		}
+		prev = tt
+	}
+}
+
+func TestPlanRoundLengthUnattainable(t *testing.T) {
+	g := disk.QuantumViking21()
+	// 500 streams of 200 KB/s exceed the disk's raw bandwidth at any t.
+	if _, err := PlanRoundLength(g, 200*workload.KB, 0.5, 0.01, 500, 0.1, 16); err != ErrOverload {
+		t.Errorf("err = %v, want ErrOverload", err)
+	}
+}
+
+func TestPlanRoundLengthLowTargetHitsFloor(t *testing.T) {
+	g := disk.QuantumViking21()
+	tt, err := PlanRoundLength(g, 200*workload.KB, 0.5, 0.01, 1, 0.25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt != 0.25 {
+		t.Errorf("trivial target should return the floor, got %v", tt)
+	}
+}
+
+func TestPlanRoundLengthValidation(t *testing.T) {
+	g := disk.QuantumViking21()
+	if _, err := PlanRoundLength(nil, 1, 1, 0.01, 5, 0.1, 1); err == nil {
+		t.Error("nil disk should error")
+	}
+	if _, err := PlanRoundLength(g, 0, 1, 0.01, 5, 0.1, 1); err == nil {
+		t.Error("zero rate should error")
+	}
+	if _, err := PlanRoundLength(g, 1, 1, 0, 5, 0.1, 1); err == nil {
+		t.Error("delta=0 should error")
+	}
+	if _, err := PlanRoundLength(g, 1, 1, 0.01, 5, 2, 1); err == nil {
+		t.Error("inverted range should error")
+	}
+}

@@ -1,0 +1,21 @@
+package numeric
+
+import "math"
+
+// Derivative estimates f'(x) with a central difference using a step scaled
+// to the magnitude of x. Accuracy is O(h²) with h ≈ cbrt(eps)·|x|.
+func Derivative(f func(float64) float64, x float64) float64 {
+	h := math.Cbrt(2.2e-16) * math.Max(math.Abs(x), 1e-8)
+	// Make h exactly representable relative to x to reduce rounding error.
+	xh := x + h
+	h = xh - x
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+// SecondDerivative estimates f”(x) with a central second difference.
+func SecondDerivative(f func(float64) float64, x float64) float64 {
+	h := math.Pow(2.2e-16, 0.25) * math.Max(math.Abs(x), 1e-6)
+	xh := x + h
+	h = xh - x
+	return (f(x+h) - 2*f(x) + f(x-h)) / (h * h)
+}

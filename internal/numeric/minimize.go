@@ -1,0 +1,126 @@
+package numeric
+
+import "math"
+
+// invPhi is 1/phi, the inverse golden ratio, used by golden-section search.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenSection minimizes f over [a, b] by golden-section search and returns
+// the abscissa of the minimum. It requires only unimodality of f on [a, b]
+// and converges linearly; use BrentMin for smooth functions. tol <= 0
+// selects a default relative tolerance.
+func GoldenSection(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if !isFinite(a) || !isFinite(b) || a >= b {
+		return 0, ErrInvalidInterval
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < 400; i++ {
+		if b-a <= tol*(math.Abs(a)+math.Abs(b)+1e-300) || b-a <= tol*tol {
+			break
+		}
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	if f1 < f2 {
+		return x1, nil
+	}
+	return x2, nil
+}
+
+// BrentMin minimizes f over [a, b] using Brent's parabolic-interpolation
+// method with golden-section fallback. It returns the abscissa xmin and the
+// value f(xmin). f should be unimodal on [a, b]; for smooth f convergence is
+// superlinear.
+func BrentMin(f func(float64) float64, a, b, tol float64) (xmin, fmin float64, err error) {
+	if !isFinite(a) || !isFinite(b) || a >= b {
+		return 0, 0, ErrInvalidInterval
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	const cgold = 0.3819660112501051
+	var d, e float64
+	x := a + cgold*(b-a)
+	w, v := x, x
+	fx := f(x)
+	fw, fv := fx, fx
+	for i := 0; i < 300; i++ {
+		xm := (a + b) / 2
+		tol1 := tol*math.Abs(x) + 1e-15
+		tol2 := 2 * tol1
+		if math.Abs(x-xm) <= tol2-(b-a)/2 {
+			return x, fx, nil
+		}
+		useGolden := true
+		if math.Abs(e) > tol1 {
+			// Fit a parabola through (v,fv), (w,fw), (x,fx).
+			r := (x - w) * (fx - fv)
+			q := (x - v) * (fx - fw)
+			p := (x-v)*q - (x-w)*r
+			q = 2 * (q - r)
+			if q > 0 {
+				p = -p
+			}
+			q = math.Abs(q)
+			etemp := e
+			e = d
+			if math.Abs(p) < math.Abs(q*etemp/2) && p > q*(a-x) && p < q*(b-x) {
+				d = p / q
+				u := x + d
+				if u-a < tol2 || b-u < tol2 {
+					d = math.Copysign(tol1, xm-x)
+				}
+				useGolden = false
+			}
+		}
+		if useGolden {
+			if x >= xm {
+				e = a - x
+			} else {
+				e = b - x
+			}
+			d = cgold * e
+		}
+		var u float64
+		if math.Abs(d) >= tol1 {
+			u = x + d
+		} else {
+			u = x + math.Copysign(tol1, d)
+		}
+		fu := f(u)
+		if fu <= fx {
+			if u >= x {
+				a = x
+			} else {
+				b = x
+			}
+			v, w, x = w, x, u
+			fv, fw, fx = fw, fx, fu
+		} else {
+			if u < x {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == x {
+				v, w = w, u
+				fv, fw = fw, fu
+			} else if fu <= fv || v == x || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return x, fx, ErrMaxIter
+}

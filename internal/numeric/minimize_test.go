@@ -1,0 +1,85 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3) * (x - 3) }
+	x, err := GoldenSection(f, -10, 10, 1e-10)
+	if err != nil {
+		t.Fatalf("GoldenSection: %v", err)
+	}
+	if math.Abs(x-3) > 1e-6 {
+		t.Errorf("GoldenSection min = %v, want 3", x)
+	}
+}
+
+func TestBrentMinQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return 2*(x+1.5)*(x+1.5) + 7 }
+	x, fx, err := BrentMin(f, -100, 100, 1e-12)
+	if err != nil {
+		t.Fatalf("BrentMin: %v", err)
+	}
+	if math.Abs(x+1.5) > 1e-6 {
+		t.Errorf("BrentMin xmin = %v, want -1.5", x)
+	}
+	if math.Abs(fx-7) > 1e-9 {
+		t.Errorf("BrentMin fmin = %v, want 7", fx)
+	}
+}
+
+func TestBrentMinNonPolynomial(t *testing.T) {
+	// min of x - log(x) is at x = 1.
+	f := func(x float64) float64 { return x - math.Log(x) }
+	x, _, err := BrentMin(f, 0.01, 10, 1e-12)
+	if err != nil {
+		t.Fatalf("BrentMin: %v", err)
+	}
+	if math.Abs(x-1) > 1e-6 {
+		t.Errorf("BrentMin xmin = %v, want 1", x)
+	}
+}
+
+func TestBrentMinEdgeMinimum(t *testing.T) {
+	// Monotone increasing: the minimum is at the left endpoint.
+	f := func(x float64) float64 { return x }
+	x, _, err := BrentMin(f, 2, 5, 1e-10)
+	if err != nil {
+		t.Fatalf("BrentMin: %v", err)
+	}
+	if x > 2.001 {
+		t.Errorf("BrentMin on monotone f returned %v, want ~2", x)
+	}
+}
+
+func TestMinimizersInvalidInterval(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	if _, err := GoldenSection(f, 1, 1, 0); err != ErrInvalidInterval {
+		t.Errorf("GoldenSection err = %v, want ErrInvalidInterval", err)
+	}
+	if _, _, err := BrentMin(f, 2, 1, 0); err != ErrInvalidInterval {
+		t.Errorf("BrentMin err = %v, want ErrInvalidInterval", err)
+	}
+}
+
+// Property: both minimizers find the vertex of random upward parabolas.
+func TestMinimizersAgreeOnParabolas(t *testing.T) {
+	prop := func(c, k float64) bool {
+		center := math.Mod(c, 50)
+		curv := 0.1 + math.Abs(math.Mod(k, 10))
+		f := func(x float64) float64 { return curv * (x - center) * (x - center) }
+		a, b := center-23, center+31
+		x1, err1 := GoldenSection(f, a, b, 1e-11)
+		x2, _, err2 := BrentMin(f, a, b, 1e-11)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(x1-center) < 1e-4 && math.Abs(x2-center) < 1e-4
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

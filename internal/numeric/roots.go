@@ -1,0 +1,148 @@
+package numeric
+
+import "math"
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must have
+// opposite signs. The returned x satisfies |b-a| <= tol at termination (the
+// bracket width, not the residual). tol <= 0 selects a default of 1e-12
+// relative to the bracket magnitude.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if !isFinite(a) || !isFinite(b) || a >= b {
+		return 0, ErrInvalidInterval
+	}
+	if tol <= 0 {
+		tol = defaultTol * math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < 2000; i++ {
+		m := a + (b-a)/2
+		if b-a <= tol || m == a || m == b {
+			return m, nil
+		}
+		fm := f(m)
+		if fm == 0 {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return a + (b-a)/2, ErrMaxIter
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). f(a) and f(b) must have opposite
+// signs. It converges superlinearly for smooth f while retaining the
+// robustness of bisection.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if !isFinite(a) || !isFinite(b) || a >= b {
+		return 0, ErrInvalidInterval
+	}
+	if tol <= 0 {
+		tol = defaultTol
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, ErrNoBracket
+	}
+	c, fc := a, fa
+	d, e := b-a, b-a
+	for i := 0; i < defaultMaxIter*5; i++ {
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		tol1 := 2*math.SmallestNonzeroFloat64*math.Abs(b) + tol/2
+		xm := (c - b) / 2
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			// Attempt inverse quadratic interpolation.
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			min1 := 3*xm*q - math.Abs(tol1*q)
+			min2 := math.Abs(e * q)
+			if 2*p < math.Min(min1, min2) {
+				e, d = d, p/q
+			} else {
+				d, e = xm, xm
+			}
+		} else {
+			d, e = xm, xm
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else if xm > 0 {
+			b += tol1
+		} else {
+			b -= tol1
+		}
+		fb = f(b)
+		if math.Signbit(fb) != math.Signbit(fc) {
+			// keep the bracket [b, c]
+		} else {
+			c, fc = a, fa
+			d, e = b-a, b-a
+		}
+	}
+	return b, ErrMaxIter
+}
+
+// FindBracket expands an initial guess interval geometrically until it
+// brackets a root of f, or returns ErrNoBracket after maxExpand doublings.
+// It never expands past [lo, hi].
+func FindBracket(f func(float64) float64, a, b, lo, hi float64, maxExpand int) (float64, float64, error) {
+	if a >= b {
+		return 0, 0, ErrInvalidInterval
+	}
+	fa, fb := f(a), f(b)
+	for i := 0; i < maxExpand; i++ {
+		if math.Signbit(fa) != math.Signbit(fb) || fa == 0 || fb == 0 {
+			return a, b, nil
+		}
+		w := b - a
+		if math.Abs(fa) < math.Abs(fb) {
+			a = math.Max(lo, a-w)
+			fa = f(a)
+		} else {
+			b = math.Min(hi, b+w)
+			fb = f(b)
+		}
+	}
+	if math.Signbit(fa) != math.Signbit(fb) {
+		return a, b, nil
+	}
+	return 0, 0, ErrNoBracket
+}

@@ -1,0 +1,114 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectSimple(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	x, err := Bisect(f, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-10 {
+		t.Errorf("Bisect root = %v, want sqrt(2)=%v", x, math.Sqrt2)
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	x, err := Bisect(f, 0, 1, 0)
+	if err != nil || x != 0 {
+		t.Errorf("Bisect endpoint root = %v, %v; want 0, nil", x, err)
+	}
+	x, err = Bisect(f, -1, 0, 0)
+	if err != nil || x != 0 {
+		t.Errorf("Bisect endpoint root = %v, %v; want 0, nil", x, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 0); err != ErrNoBracket {
+		t.Errorf("Bisect err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBisectInvalidInterval(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if _, err := Bisect(f, 1, 0, 0); err != ErrInvalidInterval {
+		t.Errorf("Bisect err = %v, want ErrInvalidInterval", err)
+	}
+	if _, err := Bisect(f, math.NaN(), 1, 0); err != ErrInvalidInterval {
+		t.Errorf("Bisect err with NaN = %v, want ErrInvalidInterval", err)
+	}
+}
+
+func TestBrentRoot(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"sqrt2", func(x float64) float64 { return x*x - 2 }, 0, 2, math.Sqrt2},
+		{"cos", math.Cos, 1, 2, math.Pi / 2},
+		{"cubic", func(x float64) float64 { return x*x*x - x - 2 }, 1, 2, 1.5213797068045675},
+		{"expm1", func(x float64) float64 { return math.Exp(x) - 1 }, -1, 3, 0},
+	}
+	for _, tc := range cases {
+		x, err := Brent(tc.f, tc.a, tc.b, 1e-13)
+		if err != nil {
+			t.Fatalf("%s: Brent: %v", tc.name, err)
+		}
+		if math.Abs(x-tc.want) > 1e-9 {
+			t.Errorf("%s: Brent root = %v, want %v", tc.name, x, tc.want)
+		}
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return 1 + x*x }, -5, 5, 0); err != ErrNoBracket {
+		t.Errorf("Brent err = %v, want ErrNoBracket", err)
+	}
+}
+
+// Property: for random monotone lines with a root inside the bracket, Brent
+// and Bisect agree with the analytic root.
+func TestRootFindersAgreeOnLines(t *testing.T) {
+	prop := func(m, r float64) bool {
+		slope := 0.5 + math.Abs(math.Mod(m, 10)) // positive slope
+		root := math.Mod(r, 100)
+		f := func(x float64) float64 { return slope * (x - root) }
+		a, b := root-13, root+17
+		x1, err1 := Bisect(f, a, b, 1e-12)
+		x2, err2 := Brent(f, a, b, 1e-13)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(x1-root) < 1e-7 && math.Abs(x2-root) < 1e-7
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindBracket(t *testing.T) {
+	f := func(x float64) float64 { return x - 40 }
+	a, b, err := FindBracket(f, 0, 1, -1e9, 1e9, 60)
+	if err != nil {
+		t.Fatalf("FindBracket: %v", err)
+	}
+	if !(f(a) <= 0 && f(b) >= 0) {
+		t.Errorf("FindBracket returned non-bracket [%v, %v]", a, b)
+	}
+}
+
+func TestFindBracketFails(t *testing.T) {
+	f := func(x float64) float64 { return 1.0 }
+	if _, _, err := FindBracket(f, 0, 1, -10, 10, 20); err != ErrNoBracket {
+		t.Errorf("FindBracket err = %v, want ErrNoBracket", err)
+	}
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mzqos/internal/dist"
+	"mzqos/internal/model"
+	"mzqos/internal/workload"
+)
+
+// ErrTooFewSamples is returned by Recalibrate before enough fragment sizes
+// have been observed to refit the workload statistics.
+var ErrTooFewSamples = errors.New("server: too few observed fragment sizes to recalibrate")
+
+// ObservedSizeStats returns the running mean, standard deviation, and
+// count of fragment sizes actually served — the "workload statistics"
+// §2.3 says are fed into the admission control.
+func (s *Server) ObservedSizeStats() (mean, sd float64, n int64) {
+	return s.observed.Mean(), s.observed.Std(), s.observed.N()
+}
+
+// Recalibrate refits the admission model to the observed fragment-size
+// moments and rebuilds the per-disk limit (§5: the precomputed table "has
+// to be updated by re-evaluating the analytic model only if the disk
+// configuration or general data characteristics change"). At least
+// minSamples observations are required. The limit may shrink below the
+// current occupancy of some offset classes; no streams are evicted — the
+// classes simply admit nothing until they drain below the new limit.
+func (s *Server) Recalibrate(minSamples int64) (oldLimit, newLimit int, err error) {
+	if minSamples < 2 {
+		minSamples = 2
+	}
+	if s.observed.N() < minSamples {
+		return s.nmax, s.nmax, fmt.Errorf("%w: have %d, need %d", ErrTooFewSamples, s.observed.N(), minSamples)
+	}
+	mean := s.observed.Mean()
+	sd := s.observed.Std()
+	if !(mean > 0) || !(sd > 0) {
+		return s.nmax, s.nmax, fmt.Errorf("%w: degenerate observed moments", ErrConfig)
+	}
+	sizes, err := workload.GammaSizes(mean, sd)
+	if err != nil {
+		return s.nmax, s.nmax, err
+	}
+	// Refit per distinct disk; the binding constraint is the minimum.
+	nmax := -1
+	var binding *model.Model
+	for _, g := range s.geoms {
+		mdl, err := model.New(model.Config{
+			Disk:        g,
+			Sizes:       sizes,
+			RoundLength: s.cfg.RoundLength,
+		})
+		if err != nil {
+			return s.nmax, s.nmax, err
+		}
+		n, err := mdl.NMaxFor(s.cfg.Guarantee)
+		if err != nil {
+			if errors.Is(err, model.ErrOverload) {
+				n = 0
+			} else {
+				return s.nmax, s.nmax, err
+			}
+		}
+		if nmax < 0 || n < nmax {
+			nmax = n
+			binding = mdl
+		}
+	}
+	oldLimit = s.nmax
+	s.mdl = binding
+	s.nmax = nmax
+	return oldLimit, nmax, nil
+}
+
+// SizeDrift returns the relative deviation of the observed mean fragment
+// size from the configured size model's mean — a trigger signal for
+// Recalibrate. It returns 0 until samples exist.
+func (s *Server) SizeDrift() float64 {
+	if s.observed.N() == 0 {
+		return 0
+	}
+	declared := s.cfg.Sizes.Mean()
+	if !(declared > 0) {
+		return 0
+	}
+	return math.Abs(s.observed.Mean()-declared) / declared
+}
+
+// resetObservation clears the running statistics (used after a
+// recalibration epoch if the caller wants drift measured against the new
+// fit; exported via RestartObservation).
+func (s *Server) resetObservation() { s.observed = dist.Welford{} }
+
+// RestartObservation clears the observed fragment-size statistics so a
+// new observation epoch begins.
+func (s *Server) RestartObservation() { s.resetObservation() }

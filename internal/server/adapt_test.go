@@ -1,0 +1,167 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/model"
+	"mzqos/internal/workload"
+)
+
+// heavyServer declares the paper workload but stores objects whose actual
+// fragments are twice as large.
+func heavyServer(t *testing.T) *Server {
+	t.Helper()
+	s := paperServer(t, 1)
+	heavy, err := workload.GammaSizes(400*workload.KB, 200*workload.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workloadRand()
+	for i := 0; i < 30; i++ {
+		sizes := make([]float64, 200)
+		for j := range sizes {
+			sizes[j] = heavy.Sample(rng)
+		}
+		if err := s.AddObject(fmt.Sprintf("h%d", i), sizes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestRecalibrateShrinksOnHeavierWorkload(t *testing.T) {
+	s := heavyServer(t)
+	for i := 0; i < 20; i++ {
+		if _, _, err := s.Open(fmt.Sprintf("h%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(60)
+
+	// Observed sizes reflect the heavy reality, not the declared model.
+	mean, sd, n := s.ObservedSizeStats()
+	if n < 1000 {
+		t.Fatalf("observed only %d fragments", n)
+	}
+	if math.Abs(mean-400*workload.KB) > 0.1*400*workload.KB {
+		t.Errorf("observed mean = %v KB, want ≈400", mean/workload.KB)
+	}
+	if !(sd > 0) {
+		t.Error("observed sd should be positive")
+	}
+	if drift := s.SizeDrift(); drift < 0.5 {
+		t.Errorf("drift = %v, expected ≈1.0 (declared 200 KB, actual 400 KB)", drift)
+	}
+
+	old, now, err := s.Recalibrate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != 26 {
+		t.Errorf("old limit = %d, want 26", old)
+	}
+	if !(now < old) {
+		t.Errorf("recalibration did not shrink the limit: %d -> %d", old, now)
+	}
+	if s.PerDiskLimit() != now {
+		t.Errorf("PerDiskLimit = %d, want %d", s.PerDiskLimit(), now)
+	}
+	// 400 KB fragments roughly halve the transfer budget: expect ≈13-16.
+	if now < 10 || now > 18 {
+		t.Errorf("new limit = %d, expected in [10,18]", now)
+	}
+}
+
+func TestRecalibrateNeedsSamples(t *testing.T) {
+	s := paperServer(t, 1)
+	if _, _, err := s.Recalibrate(100); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("err = %v, want ErrTooFewSamples", err)
+	}
+}
+
+func TestRecalibrateNoEviction(t *testing.T) {
+	s := heavyServer(t)
+	limit := s.PerDiskLimit()
+	for i := 0; i < limit; i++ {
+		if _, _, err := s.Open(fmt.Sprintf("h%d", i%30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(30)
+	_, now, err := s.Recalibrate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now >= limit {
+		t.Fatalf("limit did not shrink: %d -> %d", limit, now)
+	}
+	// Existing streams keep running (no evictions)...
+	if s.Active() != limit {
+		t.Errorf("Active = %d after recalibration, want %d", s.Active(), limit)
+	}
+	// ...but no new stream is admitted while above the new limit.
+	if _, _, err := s.Open("h0"); !errors.Is(err, ErrRejected) {
+		t.Errorf("open above new limit err = %v, want ErrRejected", err)
+	}
+}
+
+func TestRestartObservation(t *testing.T) {
+	s := heavyServer(t)
+	if _, _, err := s.Open("h0"); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10)
+	if _, _, n := s.ObservedSizeStats(); n == 0 {
+		t.Fatal("no observations recorded")
+	}
+	s.RestartObservation()
+	if _, _, n := s.ObservedSizeStats(); n != 0 {
+		t.Errorf("observations not cleared: %d", n)
+	}
+	if s.SizeDrift() != 0 {
+		t.Errorf("drift after reset = %v", s.SizeDrift())
+	}
+}
+
+func TestRecalibrateMatchesDirectModel(t *testing.T) {
+	// Recalibrating on data matching the declared model keeps the limit.
+	s := paperServer(t, 1)
+	for i := 0; i < 20; i++ {
+		if err := s.AddSyntheticObject(fmt.Sprintf("v%d", i), 300); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if _, _, err := s.Open(fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(200)
+	old, now, err := s.Recalibrate(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := now - old; d < -1 || d > 1 {
+		t.Errorf("limit moved %d -> %d on matching data", old, now)
+	}
+	// The refit model reproduces the paper limit on its own.
+	mdl, err := model.New(model.Config{
+		Disk:        disk.QuantumViking21(),
+		Sizes:       workload.PaperSizes(),
+		RoundLength: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mdl.NMaxLate(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := now - want; d < -1 || d > 1 {
+		t.Errorf("recalibrated limit %d vs direct model %d", now, want)
+	}
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/model"
+	"mzqos/internal/workload"
+)
+
+// heteroServer builds a 3-disk array mixing the Viking with a 2x-denser
+// drive: the Viking is the binding constraint.
+func heteroServer(t testing.TB) *Server {
+	t.Helper()
+	v := disk.QuantumViking21()
+	fast, err := v.Scaled("viking-2x", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Disks:       []*disk.Geometry{v, fast, fast},
+		RoundLength: 1,
+		Sizes:       workload.PaperSizes(),
+		Guarantee:   model.Guarantee{Threshold: 0.01},
+		Seed:        77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHeteroLimitIsBindingDisk(t *testing.T) {
+	s := heteroServer(t)
+	if s.NumDisks() != 3 {
+		t.Fatalf("NumDisks = %d", s.NumDisks())
+	}
+	// The slowest (original Viking) disk's 26 binds the whole array even
+	// though the 2x disks would admit ~46.
+	if s.PerDiskLimit() != 26 {
+		t.Errorf("PerDiskLimit = %d, want 26 (binding Viking)", s.PerDiskLimit())
+	}
+	if s.Capacity() != 3*26 {
+		t.Errorf("Capacity = %d", s.Capacity())
+	}
+}
+
+func TestHeteroServiceUsesPerDiskGeometry(t *testing.T) {
+	s := heteroServer(t)
+	for i := 0; i < 12; i++ {
+		if err := s.AddSyntheticObject(fmt.Sprintf("v%d", i), 60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		if _, _, err := s.Open(fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm past the startup transient, then measure per-disk busy time
+	// over many rounds: with equal load, the fast disks must be busy for
+	// roughly half the Viking's time (2x transfer rate; seeks equal).
+	for r := 0; r < 3; r++ {
+		s.Step()
+	}
+	var busy [3]float64
+	var reqs [3]int
+	for r := 0; r < 60; r++ {
+		rep := s.Step()
+		for d := range rep.Disks {
+			busy[d] += rep.Disks[d].Busy
+			reqs[d] += rep.Disks[d].Requests
+		}
+	}
+	if reqs[0] == 0 || reqs[1] == 0 || reqs[2] == 0 {
+		t.Fatalf("requests not spread: %v", reqs)
+	}
+	perReq0 := busy[0] / float64(reqs[0])
+	perReq1 := busy[1] / float64(reqs[1])
+	if !(perReq1 < perReq0) {
+		t.Errorf("fast disk per-request time %v not below viking %v", perReq1, perReq0)
+	}
+}
+
+func TestHeteroValidation(t *testing.T) {
+	v := disk.QuantumViking21()
+	if _, err := New(Config{
+		Disks:       []*disk.Geometry{v, nil},
+		RoundLength: 1,
+		Sizes:       workload.PaperSizes(),
+		Guarantee:   model.Guarantee{Threshold: 0.01},
+	}); err != ErrConfig {
+		t.Errorf("nil disk entry err = %v", err)
+	}
+	if _, err := New(Config{
+		RoundLength: 1,
+		Sizes:       workload.PaperSizes(),
+		Guarantee:   model.Guarantee{Threshold: 0.01},
+	}); err != ErrConfig {
+		t.Errorf("no disks err = %v", err)
+	}
+}
+
+func TestHeteroRecalibrate(t *testing.T) {
+	s := heteroServer(t)
+	if err := s.AddSyntheticObject("v", 300); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := s.Open("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(100)
+	old, now, err := s.Recalibrate(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matching workload: limit stays at the binding disk's value.
+	if old != 26 || now < 25 || now > 27 {
+		t.Errorf("recalibrate %d -> %d, want ≈26", old, now)
+	}
+}

@@ -1,0 +1,62 @@
+package server
+
+// Pause suspends an active stream: playback stops at its current
+// fragment and the stream's admission slot is released for other clients
+// (the paper's model covers steady playback only — VCR-style interactions
+// re-enter admission control, which is exactly what Resume does).
+func (s *Server) Pause(id StreamID) error {
+	st, ok := s.active[id]
+	if !ok {
+		if _, paused := s.paused[id]; paused {
+			return nil // idempotent
+		}
+		return ErrUnknownStream
+	}
+	delete(s.active, st.id)
+	s.classes[st.offset]--
+	s.paused[st.id] = st
+	return nil
+}
+
+// Resume re-admits a paused stream. Continuity of the striping layout
+// pins the offset class: fragment k of the object lives on disk
+// (base+k) mod D, so resuming at round r with the next fragment k forces
+// class (base+k−r−delay) mod D for a startup delay of `delay` rounds. The
+// least-loaded admissible class within the next D rounds is chosen;
+// ErrRejected leaves the stream paused.
+func (s *Server) Resume(id StreamID) (startupDelay int, err error) {
+	st, ok := s.paused[id]
+	if !ok {
+		if _, active := s.active[id]; active {
+			return 0, nil // idempotent
+		}
+		return 0, ErrUnknownStream
+	}
+	if s.nmax == 0 {
+		return 0, ErrRejected
+	}
+	d := len(s.geoms)
+	bestDelay := -1
+	bestCount := s.nmax
+	for delay := 0; delay < d; delay++ {
+		class := mod(st.obj.base+st.next-(s.round+delay), d)
+		if s.classes[class] < bestCount {
+			bestCount = s.classes[class]
+			bestDelay = delay
+		}
+	}
+	if bestDelay < 0 {
+		return 0, ErrRejected
+	}
+	class := mod(st.obj.base+st.next-(s.round+bestDelay), d)
+	delete(s.paused, st.id)
+	st.offset = class
+	st.start = s.round + bestDelay
+	st.delay += bestDelay
+	s.active[st.id] = st
+	s.classes[class]++
+	return bestDelay, nil
+}
+
+// Paused returns the number of paused streams.
+func (s *Server) Paused() int { return len(s.paused) }

@@ -1,0 +1,153 @@
+package server
+
+import "sort"
+
+// DiskRoundReport is the outcome of one disk's sweep in one round.
+type DiskRoundReport struct {
+	// Requests is the number of fragments the disk served.
+	Requests int
+	// Busy is the total service time of the sweep in seconds.
+	Busy float64
+	// Late is the number of requests that finished after the round end.
+	Late int
+}
+
+// RoundReport is the outcome of one server round.
+type RoundReport struct {
+	// Round is the executed round index.
+	Round int
+	// Disks holds one report per disk.
+	Disks []DiskRoundReport
+	// Glitches is the total number of late fragments across disks.
+	Glitches int
+	// Completed lists streams that consumed their last fragment.
+	Completed []StreamID
+}
+
+// diskRequest pairs a due stream with its current fragment for the sweep.
+type diskRequest struct {
+	st   *stream
+	frag fragment
+}
+
+// Step executes one round: every active stream whose start round has
+// arrived reads its next fragment from its disk of the round; each disk
+// serves its requests in one SCAN sweep (ascending cylinders from a parked
+// arm); requests finishing after the round length are glitches for their
+// streams (§2.3). Streams that consumed their final fragment complete.
+func (s *Server) Step() RoundReport {
+	rep := RoundReport{Round: s.round, Disks: make([]DiskRoundReport, len(s.geoms))}
+
+	// Gather the due requests per disk.
+	perDisk := make([][]diskRequest, len(s.geoms))
+	for _, st := range s.active {
+		if s.round < st.start {
+			continue
+		}
+		d := mod(st.offset+s.round, len(s.geoms))
+		perDisk[d] = append(perDisk[d], diskRequest{st: st, frag: st.obj.frags[st.next]})
+	}
+
+	var done []*stream
+	for d, reqs := range perDisk {
+		if len(reqs) == 0 {
+			continue
+		}
+		// SCAN: sort by cylinder, sweep from the parked arm at cylinder 0.
+		sort.Slice(reqs, func(a, b int) bool {
+			return reqs[a].frag.loc.Cylinder < reqs[b].frag.loc.Cylinder
+		})
+		arm := 0
+		var clock float64
+		dr := &rep.Disks[d]
+		dr.Requests = len(reqs)
+		for _, r := range reqs {
+			dd := float64(r.frag.loc.Cylinder - arm)
+			if dd < 0 {
+				dd = -dd
+			}
+			g := s.geoms[d]
+			clock += g.Seek.Time(dd)
+			clock += s.rng.Float64() * g.RotationTime
+			clock += g.TransferTime(r.frag.size, r.frag.loc.Zone)
+			arm = r.frag.loc.Cylinder
+
+			st := r.st
+			st.served++
+			s.observed.Add(r.frag.size)
+			if clock > s.cfg.RoundLength {
+				st.glitches++
+				dr.Late++
+				rep.Glitches++
+			}
+			st.next++
+			if st.next >= len(st.obj.frags) {
+				done = append(done, st)
+			}
+		}
+		dr.Busy = clock
+	}
+
+	for _, st := range done {
+		rep.Completed = append(rep.Completed, st.id)
+		s.retire(st, true)
+	}
+	s.round++
+	return rep
+}
+
+// Run executes n rounds and returns an aggregate summary.
+func (s *Server) Run(n int) RunSummary {
+	var sum RunSummary
+	sum.FirstRound = s.round
+	for i := 0; i < n; i++ {
+		rep := s.Step()
+		sum.Rounds++
+		sum.Glitches += rep.Glitches
+		sum.Completed += len(rep.Completed)
+		for _, dr := range rep.Disks {
+			sum.Requests += dr.Requests
+			sum.BusyTime += dr.Busy
+			if dr.Requests > sum.PeakDiskLoad {
+				sum.PeakDiskLoad = dr.Requests
+			}
+		}
+	}
+	sum.DiskTime = float64(n) * s.cfg.RoundLength * float64(len(s.geoms))
+	return sum
+}
+
+// RunSummary aggregates a multi-round execution.
+type RunSummary struct {
+	// FirstRound is the round index the run started at.
+	FirstRound int
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Requests is the total fragments served.
+	Requests int
+	// Glitches is the total late fragments.
+	Glitches int
+	// Completed is the number of streams that finished playback.
+	Completed int
+	// PeakDiskLoad is the largest per-disk per-round request count seen.
+	PeakDiskLoad int
+	// BusyTime is the summed disk service time; DiskTime the summed
+	// capacity (rounds × round length × disks). Their ratio is utilization.
+	BusyTime, DiskTime float64
+}
+
+// Utilization returns BusyTime/DiskTime (0 when no time has passed).
+func (r RunSummary) Utilization() float64 {
+	if r.DiskTime == 0 {
+		return 0
+	}
+	return r.BusyTime / r.DiskTime
+}
+
+// GlitchRate returns Glitches/Requests (0 when idle).
+func (r RunSummary) GlitchRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Glitches) / float64(r.Requests)
+}

@@ -1,0 +1,358 @@
+// Package server implements the multimedia server architecture of §2 and
+// the table-driven admission control of §5: continuous objects fragmented
+// into constant-display-time pieces, coarse-grained round-robin striping
+// across D disks, round-based SCAN scheduling per disk, and an admission
+// controller that caps the per-disk multiprogramming level at the N_max
+// precomputed by the analytic model.
+//
+// Striping detail: fragment k of an object with base disk b resides on
+// disk (b+k) mod D, so a stream that starts in round r0 always loads disk
+// (offset + r) mod D in round r, where offset = (b − r0) mod D is constant
+// for the stream's lifetime. Admission therefore reduces to bounding the
+// stream count of each offset class by N_max, and the server can balance
+// classes by delaying a new stream's start by up to D−1 rounds (for D=1
+// this is the paper's "startup delay of up to one round", §2.3).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/dist"
+	"mzqos/internal/model"
+	"mzqos/internal/workload"
+)
+
+// Errors reported by the server.
+var (
+	// ErrConfig is returned for invalid server configurations.
+	ErrConfig = errors.New("server: invalid configuration")
+	// ErrRejected is returned when admission control turns a stream away.
+	ErrRejected = errors.New("server: admission control rejected the stream")
+	// ErrUnknownObject is returned for opens of objects not in the catalog.
+	ErrUnknownObject = errors.New("server: unknown object")
+	// ErrUnknownStream is returned for operations on closed or unknown streams.
+	ErrUnknownStream = errors.New("server: unknown stream")
+	// ErrDuplicateObject is returned when an object name is already taken.
+	ErrDuplicateObject = errors.New("server: object already exists")
+)
+
+// Config assembles a server.
+type Config struct {
+	// Disk is the drive geometry replicated NumDisks times (the paper's
+	// homogeneous array). Ignored when Disks is set.
+	Disk     *disk.Geometry
+	NumDisks int
+	// Disks optionally lists heterogeneous per-disk geometries (an
+	// extension: mixed drive generations in one array). With round-robin
+	// striping every stream visits every disk cyclically, so the admission
+	// limit is the minimum N_max across the disks.
+	Disks []*disk.Geometry
+	// RoundLength is the scheduling round length t in seconds; it equals
+	// the display time of every fragment.
+	RoundLength float64
+	// Sizes is the fragment-size statistics fed to the admission model.
+	Sizes workload.SizeModel
+	// Guarantee is the stochastic service target enforced by admission.
+	Guarantee model.Guarantee
+	// Seed makes fragment placement and service simulation reproducible.
+	Seed uint64
+}
+
+// StreamID identifies an open stream.
+type StreamID int64
+
+// fragment is one stored piece of an object: its size and its fixed
+// physical location on its disk (chosen uniformly at layout time, which is
+// what makes per-round glitch events independent across rounds, §3.3).
+type fragment struct {
+	size float64
+	loc  disk.Location
+}
+
+// object is a catalog entry. Fragment k lives on disk (base+k) mod D.
+type object struct {
+	name  string
+	base  int
+	frags []fragment
+}
+
+// stream is one active playback.
+type stream struct {
+	id       StreamID
+	obj      *object
+	offset   int // offset class: disk in round r is (offset+r) mod D
+	next     int // next fragment index to read
+	start    int // first round in which the stream reads
+	delay    int // startup delay in rounds (admission-time slotting)
+	glitches int
+	served   int
+}
+
+// StreamStats reports the service quality one stream experienced.
+type StreamStats struct {
+	Object   string
+	Served   int
+	Glitches int
+	// StartupDelay is the number of rounds between admission and the
+	// first fragment read (§2.3: "an admitted stream may receive a small
+	// startup delay"; with heterogeneous-width arrays up to D−1 rounds).
+	StartupDelay int
+	Done         bool
+}
+
+// Server is a striped continuous-media server. It is not safe for
+// concurrent use; drive it from one goroutine (the round loop).
+type Server struct {
+	cfg      Config
+	geoms    []*disk.Geometry // one per disk (repeated for homogeneous arrays)
+	mdl      *model.Model     // model of the binding (slowest) disk
+	nmax     int
+	rng      *rand.Rand
+	round    int
+	nextID   StreamID
+	nextBase int
+	catalog  map[string]*object
+	active   map[StreamID]*stream
+	paused   map[StreamID]*stream
+	classes  []int // active streams per offset class
+	finished map[StreamID]StreamStats
+	observed dist.Welford // served fragment sizes, for recalibration
+}
+
+// New validates cfg, evaluates the admission model once per distinct disk
+// (the lookup-table discipline of §5), and returns an empty server. For
+// heterogeneous arrays the per-disk limit is the minimum across disks,
+// since round-robin striping routes every stream over every disk.
+func New(cfg Config) (*Server, error) {
+	var geoms []*disk.Geometry
+	switch {
+	case len(cfg.Disks) > 0:
+		for _, g := range cfg.Disks {
+			if g == nil {
+				return nil, ErrConfig
+			}
+		}
+		geoms = append(geoms, cfg.Disks...)
+	case cfg.Disk != nil && cfg.NumDisks >= 1:
+		for i := 0; i < cfg.NumDisks; i++ {
+			geoms = append(geoms, cfg.Disk)
+		}
+	default:
+		return nil, ErrConfig
+	}
+	if !(cfg.RoundLength > 0) || cfg.Sizes.Dist == nil {
+		return nil, ErrConfig
+	}
+
+	nmax := -1
+	var binding *model.Model
+	for _, g := range geoms {
+		mdl, err := model.New(model.Config{
+			Disk:        g,
+			Sizes:       cfg.Sizes,
+			RoundLength: cfg.RoundLength,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: building admission model: %w", err)
+		}
+		n, err := mdl.NMaxFor(cfg.Guarantee)
+		if err != nil {
+			if errors.Is(err, model.ErrOverload) {
+				n = 0
+			} else {
+				return nil, fmt.Errorf("server: evaluating guarantee: %w", err)
+			}
+		}
+		if nmax < 0 || n < nmax {
+			nmax = n
+			binding = mdl
+		}
+	}
+	return &Server{
+		cfg:      cfg,
+		geoms:    geoms,
+		mdl:      binding,
+		nmax:     nmax,
+		rng:      dist.NewRand(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15),
+		catalog:  make(map[string]*object),
+		active:   make(map[StreamID]*stream),
+		paused:   make(map[StreamID]*stream),
+		classes:  make([]int, len(geoms)),
+		finished: make(map[StreamID]StreamStats),
+	}, nil
+}
+
+// NumDisks returns the array width D.
+func (s *Server) NumDisks() int { return len(s.geoms) }
+
+// Model exposes the admission model (for reporting).
+func (s *Server) Model() *model.Model { return s.mdl }
+
+// PerDiskLimit returns N_max, the admitted streams allowed per disk.
+func (s *Server) PerDiskLimit() int { return s.nmax }
+
+// Capacity returns the server-wide stream limit D·N_max.
+func (s *Server) Capacity() int { return s.nmax * len(s.geoms) }
+
+// Active returns the number of open streams.
+func (s *Server) Active() int { return len(s.active) }
+
+// Round returns the index of the next round to be executed.
+func (s *Server) Round() int { return s.round }
+
+// AddObject stores a continuous object with the given fragment sizes
+// (bytes, one per round of display time). Fragments are striped round-robin
+// from a rotating base disk and placed uniformly at random within each
+// disk, per §2.1/§3.3.
+func (s *Server) AddObject(name string, sizes []float64) error {
+	if name == "" || len(sizes) == 0 {
+		return ErrConfig
+	}
+	if _, ok := s.catalog[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateObject, name)
+	}
+	base := s.nextBase
+	frags := make([]fragment, len(sizes))
+	for i, sz := range sizes {
+		if !(sz > 0) {
+			return fmt.Errorf("%w: fragment %d has size %v", ErrConfig, i, sz)
+		}
+		// Fragment i lives on disk (base+i) mod D; place it uniformly
+		// within that disk's own geometry.
+		g := s.geoms[mod(base+i, len(s.geoms))]
+		frags[i] = fragment{size: sz, loc: g.SampleLocation(s.rng)}
+	}
+	s.catalog[name] = &object{name: name, base: base, frags: frags}
+	s.nextBase = (s.nextBase + 1) % len(s.geoms)
+	return nil
+}
+
+// AddSyntheticObject stores an object whose fragment sizes are drawn from
+// the server's size model — convenient for load generation.
+func (s *Server) AddSyntheticObject(name string, rounds int) error {
+	if rounds < 1 {
+		return ErrConfig
+	}
+	sizes := make([]float64, rounds)
+	for i := range sizes {
+		sizes[i] = s.cfg.Sizes.Sample(s.rng)
+	}
+	return s.AddObject(name, sizes)
+}
+
+// Objects returns the catalog names, sorted.
+func (s *Server) Objects() []string {
+	names := make([]string, 0, len(s.catalog))
+	for n := range s.catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Open admits a new stream on the named object, or returns ErrRejected
+// when every admissible start slot within the next D rounds is full. The
+// startup delay is the number of rounds before the first fragment is read.
+func (s *Server) Open(name string) (id StreamID, startupDelay int, err error) {
+	obj, ok := s.catalog[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownObject, name)
+	}
+	if s.nmax == 0 {
+		return 0, 0, ErrRejected
+	}
+	// Starting in round s.round+delay puts the stream in offset class
+	// (base − (round+delay)) mod D. Pick the least-loaded class (smallest
+	// delay on ties) so load stays balanced across disks; reject when even
+	// the emptiest class is at N_max.
+	d := len(s.geoms)
+	bestDelay := -1
+	bestCount := s.nmax
+	for delay := 0; delay < d; delay++ {
+		class := mod(obj.base-(s.round+delay), d)
+		if s.classes[class] < bestCount {
+			bestCount = s.classes[class]
+			bestDelay = delay
+		}
+	}
+	if bestDelay < 0 {
+		return 0, 0, ErrRejected
+	}
+	class := mod(obj.base-(s.round+bestDelay), d)
+	s.nextID++
+	st := &stream{
+		id:     s.nextID,
+		obj:    obj,
+		offset: class,
+		start:  s.round + bestDelay,
+		delay:  bestDelay,
+	}
+	s.active[st.id] = st
+	s.classes[class]++
+	return st.id, bestDelay, nil
+}
+
+// Close stops a stream early (active or paused), releasing its admission
+// slot if held. Its stats move to the finished set.
+func (s *Server) Close(id StreamID) error {
+	if st, ok := s.active[id]; ok {
+		s.retire(st, false)
+		return nil
+	}
+	if st, ok := s.paused[id]; ok {
+		// The slot was already released at Pause time.
+		delete(s.paused, id)
+		s.finished[st.id] = StreamStats{
+			Object:       st.obj.name,
+			Served:       st.served,
+			Glitches:     st.glitches,
+			StartupDelay: st.delay,
+		}
+		return nil
+	}
+	return ErrUnknownStream
+}
+
+func (s *Server) retire(st *stream, done bool) {
+	delete(s.active, st.id)
+	s.classes[st.offset]--
+	s.finished[st.id] = StreamStats{
+		Object:       st.obj.name,
+		Served:       st.served,
+		Glitches:     st.glitches,
+		StartupDelay: st.delay,
+		Done:         done,
+	}
+}
+
+// Stats returns the stats of an active, paused, or finished stream.
+func (s *Server) Stats(id StreamID) (StreamStats, error) {
+	st, ok := s.active[id]
+	if !ok {
+		st, ok = s.paused[id]
+	}
+	if ok {
+		return StreamStats{
+			Object:       st.obj.name,
+			Served:       st.served,
+			Glitches:     st.glitches,
+			StartupDelay: st.delay,
+		}, nil
+	}
+	if fs, ok := s.finished[id]; ok {
+		return fs, nil
+	}
+	return StreamStats{}, ErrUnknownStream
+}
+
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

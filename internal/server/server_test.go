@@ -1,0 +1,370 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/dist"
+	"mzqos/internal/model"
+	"mzqos/internal/workload"
+)
+
+func paperServer(t testing.TB, disks int) *Server {
+	t.Helper()
+	s, err := New(Config{
+		Disk:        disk.QuantumViking21(),
+		NumDisks:    disks,
+		RoundLength: 1,
+		Sizes:       workload.PaperSizes(),
+		Guarantee:   model.Guarantee{Threshold: 0.01},
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config should error")
+	}
+	if _, err := New(Config{Disk: disk.QuantumViking21(), NumDisks: 0, RoundLength: 1, Sizes: workload.PaperSizes(), Guarantee: model.Guarantee{Threshold: 0.01}}); err == nil {
+		t.Error("zero disks should error")
+	}
+	if _, err := New(Config{Disk: disk.QuantumViking21(), NumDisks: 1, RoundLength: 1, Sizes: workload.PaperSizes(), Guarantee: model.Guarantee{Threshold: 2}}); err == nil {
+		t.Error("invalid guarantee should error")
+	}
+}
+
+func TestPerDiskLimitMatchesModel(t *testing.T) {
+	s := paperServer(t, 4)
+	if s.PerDiskLimit() != 26 {
+		t.Errorf("PerDiskLimit = %d, want 26 (paper's N_max at δ=1%%)", s.PerDiskLimit())
+	}
+	if s.Capacity() != 4*26 {
+		t.Errorf("Capacity = %d, want %d", s.Capacity(), 4*26)
+	}
+}
+
+func TestOverloadedGuaranteeAdmitsNothing(t *testing.T) {
+	s, err := New(Config{
+		Disk:        disk.QuantumViking21(),
+		NumDisks:    1,
+		RoundLength: 0.001, // nothing fits in a 1 ms round
+		Sizes:       workload.PaperSizes(),
+		Guarantee:   model.Guarantee{Threshold: 0.01},
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PerDiskLimit() != 0 {
+		t.Errorf("PerDiskLimit = %d, want 0", s.PerDiskLimit())
+	}
+	if err := s.AddSyntheticObject("v", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Open("v"); !errors.Is(err, ErrRejected) {
+		t.Errorf("Open err = %v, want ErrRejected", err)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	s := paperServer(t, 2)
+	if err := s.AddObject("a", []float64{1e5, 2e5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddObject("a", []float64{1e5}); !errors.Is(err, ErrDuplicateObject) {
+		t.Errorf("duplicate err = %v", err)
+	}
+	if err := s.AddObject("", []float64{1e5}); !errors.Is(err, ErrConfig) {
+		t.Errorf("empty name err = %v", err)
+	}
+	if err := s.AddObject("b", nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("no fragments err = %v", err)
+	}
+	if err := s.AddObject("c", []float64{0}); !errors.Is(err, ErrConfig) {
+		t.Errorf("zero fragment err = %v", err)
+	}
+	if err := s.AddSyntheticObject("d", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSyntheticObject("e", 0); !errors.Is(err, ErrConfig) {
+		t.Errorf("zero rounds err = %v", err)
+	}
+	names := s.Objects()
+	if len(names) != 2 || names[0] != "a" || names[1] != "d" {
+		t.Errorf("Objects = %v", names)
+	}
+}
+
+func TestOpenUnknownObject(t *testing.T) {
+	s := paperServer(t, 1)
+	if _, _, err := s.Open("nope"); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAdmissionCapEnforced(t *testing.T) {
+	s := paperServer(t, 1)
+	if err := s.AddSyntheticObject("v", 100); err != nil {
+		t.Fatal(err)
+	}
+	limit := s.PerDiskLimit()
+	for i := 0; i < limit; i++ {
+		if _, _, err := s.Open("v"); err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+	}
+	if _, _, err := s.Open("v"); !errors.Is(err, ErrRejected) {
+		t.Errorf("open beyond limit err = %v, want ErrRejected", err)
+	}
+	if s.Active() != limit {
+		t.Errorf("Active = %d, want %d", s.Active(), limit)
+	}
+	// Closing one frees a slot.
+	var id StreamID = 1
+	if err := s.Close(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Open("v"); err != nil {
+		t.Errorf("open after close err = %v", err)
+	}
+	if err := s.Close(9999); !errors.Is(err, ErrUnknownStream) {
+		t.Errorf("close unknown err = %v", err)
+	}
+}
+
+func TestStartupDelayBalancesClasses(t *testing.T) {
+	s := paperServer(t, 4)
+	if err := s.AddSyntheticObject("v", 100); err != nil {
+		t.Fatal(err)
+	}
+	// All streams open on the same object in round 0; the delay mechanism
+	// must spread them across offset classes, so up to 4·N_max fit.
+	total := s.Capacity()
+	delays := make(map[int]int)
+	for i := 0; i < total; i++ {
+		_, delay, err := s.Open("v")
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		if delay < 0 || delay >= 4 {
+			t.Fatalf("delay %d outside [0,4)", delay)
+		}
+		delays[delay]++
+	}
+	if len(delays) != 4 {
+		t.Errorf("delays used = %v, want all 4 classes", delays)
+	}
+	if _, _, err := s.Open("v"); !errors.Is(err, ErrRejected) {
+		t.Errorf("open beyond capacity err = %v", err)
+	}
+}
+
+func TestRoundRobinLoadIsConstantPerDisk(t *testing.T) {
+	s := paperServer(t, 3)
+	if err := s.AddSyntheticObject("v", 30); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if _, _, err := s.Open("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After the startup transient (≤ D rounds), every disk serves the same
+	// number of requests each round: class sizes are constant.
+	for r := 0; r < 3; r++ {
+		s.Step()
+	}
+	rep := s.Step()
+	for d, dr := range rep.Disks {
+		if dr.Requests != 3 {
+			t.Errorf("round %d disk %d served %d, want 3", rep.Round, d, dr.Requests)
+		}
+	}
+}
+
+func TestStreamLifecycleAndStats(t *testing.T) {
+	s := paperServer(t, 2)
+	if err := s.AddObject("short", []float64{1e5, 1e5, 1e5}); err != nil {
+		t.Fatal(err)
+	}
+	id, delay, err := s.Open("short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalRounds := delay + 3
+	var completed []StreamID
+	for i := 0; i < totalRounds; i++ {
+		rep := s.Step()
+		completed = append(completed, rep.Completed...)
+	}
+	if len(completed) != 1 || completed[0] != id {
+		t.Fatalf("completed = %v, want [%d]", completed, id)
+	}
+	if s.Active() != 0 {
+		t.Errorf("Active = %d after completion", s.Active())
+	}
+	st, err := s.Stats(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Served != 3 || st.Object != "short" {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, err := s.Stats(777); !errors.Is(err, ErrUnknownStream) {
+		t.Errorf("stats unknown err = %v", err)
+	}
+}
+
+func TestRunSummaryAccounting(t *testing.T) {
+	s := paperServer(t, 2)
+	if err := s.AddSyntheticObject("v", 50); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, _, err := s.Open("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := s.Run(30)
+	if sum.Rounds != 30 {
+		t.Errorf("Rounds = %d", sum.Rounds)
+	}
+	if sum.Requests == 0 {
+		t.Error("no requests served")
+	}
+	if sum.PeakDiskLoad > s.PerDiskLimit() {
+		t.Errorf("peak disk load %d exceeds N_max %d", sum.PeakDiskLoad, s.PerDiskLimit())
+	}
+	u := sum.Utilization()
+	if u <= 0 || u >= 1 {
+		t.Errorf("utilization = %v", u)
+	}
+	if gr := sum.GlitchRate(); gr < 0 || gr > 1 {
+		t.Errorf("glitch rate = %v", gr)
+	}
+}
+
+func TestGlitchRateHonoursGuarantee(t *testing.T) {
+	// Run a full server at capacity with time-wise unrelated streams (one
+	// per object, the paper's §2.1 assumption): the observed per-request
+	// glitch rate must stay below the admission model's per-stream bound
+	// (the model is conservative, Figure 1).
+	s := paperServer(t, 2)
+	for i := 0; i < s.Capacity(); i++ {
+		if err := s.AddSyntheticObject(fmt.Sprintf("v%d", i), 400); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < s.Capacity(); i++ {
+		if _, _, err := s.Open(fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+	}
+	sum := s.Run(200)
+	bound, err := s.Model().GlitchBound(s.PerDiskLimit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.GlitchRate() > bound {
+		t.Errorf("observed glitch rate %v above analytic bound %v", sum.GlitchRate(), bound)
+	}
+}
+
+func TestLockstepStreamsDegradeService(t *testing.T) {
+	// Converse of the guarantee test: N_max identical streams opened in
+	// the same round on the same object read the same fragment every
+	// round, which breaks the model's independence assumption (§2.1's
+	// "time-wise unrelated" streams) and inflates the glitch rate. The
+	// server permits it — the guarantee just does not cover it.
+	s := paperServer(t, 1)
+	if err := s.AddSyntheticObject("v", 400); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.PerDiskLimit(); i++ {
+		if _, _, err := s.Open("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := s.Run(200)
+	bound, _ := s.Model().GlitchBound(s.PerDiskLimit())
+	if sum.GlitchRate() <= bound {
+		t.Logf("lockstep glitch rate %v unexpectedly within bound %v (statistically possible)", sum.GlitchRate(), bound)
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	s := paperServer(t, 1)
+	sum := s.Run(5)
+	if sum.Requests != 0 || sum.Glitches != 0 || sum.Utilization() != 0 || sum.GlitchRate() != 0 {
+		t.Errorf("idle run summary = %+v", sum)
+	}
+	var zero RunSummary
+	if zero.Utilization() != 0 || zero.GlitchRate() != 0 {
+		t.Error("zero summary ratios should be 0")
+	}
+}
+
+func TestManyObjectsStripeBases(t *testing.T) {
+	s := paperServer(t, 4)
+	for i := 0; i < 8; i++ {
+		if err := s.AddSyntheticObject(fmt.Sprintf("v%d", i), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bases rotate, so opening one stream per object with no delay spreads
+	// load across disks.
+	for i := 0; i < 8; i++ {
+		if _, _, err := s.Open(fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := s.Step()
+	for d, dr := range rep.Disks {
+		if dr.Requests != 2 {
+			t.Errorf("disk %d served %d, want 2", d, dr.Requests)
+		}
+	}
+}
+
+func TestVBRTraceObjectEndToEnd(t *testing.T) {
+	// Feed a synthetic MPEG trace through fragmentation into the server.
+	s := paperServer(t, 2)
+	cfg := workload.DefaultTraceConfig()
+	rng := workloadRand()
+	frames, err := workload.GenerateTrace(cfg, 120, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, err := workload.Fragment(frames, cfg.FrameRate, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddObject("movie", frags); err != nil {
+		t.Fatal(err)
+	}
+	id, delay, err := s.Open("movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(delay + len(frags))
+	st, err := s.Stats(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Served != len(frags) {
+		t.Errorf("stats = %+v, want done with %d served", st, len(frags))
+	}
+	if math.IsNaN(float64(st.Glitches)) || st.Glitches > len(frags) {
+		t.Errorf("glitches = %d", st.Glitches)
+	}
+}
+
+func workloadRand() *rand.Rand { return dist.NewRand(2024, 7) }

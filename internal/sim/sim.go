@@ -1,0 +1,389 @@
+// Package sim implements the detailed disk simulator the paper validates
+// its analytic model against (§4).
+//
+// One simulated round draws N requests — each with a placement uniform
+// over the disk's bytes (which fixes its zone, transfer rate, and seek
+// cylinder), a fragment size from the workload's size law, and a
+// rotational latency uniform in [0, ROT) — serves them in SCAN order with
+// the geometry's seek curve, and records which requests finish within the
+// round. Monte-Carlo estimators aggregate rounds into p_late estimates
+// (Figure 1) and whole stream histories into p_error estimates (Table 2),
+// with Wilson confidence intervals and deterministic seeding for
+// reproducibility. Workers run in parallel and merge their tallies.
+package sim
+
+import (
+	"errors"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/dist"
+	"mzqos/internal/workload"
+)
+
+// ErrConfig is returned for invalid simulation configurations.
+var ErrConfig = errors.New("sim: invalid configuration")
+
+// Config describes the simulated system: one disk of a striped server and
+// its per-round request load.
+type Config struct {
+	// Disk is the drive geometry.
+	Disk *disk.Geometry
+	// Sizes is the fragment-size law.
+	Sizes workload.SizeModel
+	// RoundLength is the scheduling round length t in seconds.
+	RoundLength float64
+	// N is the number of concurrent streams served by the disk per round.
+	N int
+	// Workers caps simulation parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Access optionally replaces uniform-over-sectors placement with a
+	// zone-aware access profile (must match the geometry when set).
+	Access disk.AccessProfile
+}
+
+func (c Config) validate() error {
+	if c.Disk == nil || c.Sizes.Dist == nil || !(c.RoundLength > 0) || c.N < 1 {
+		return ErrConfig
+	}
+	if c.Access != nil && !c.Access.Valid(c.Disk) {
+		return ErrConfig
+	}
+	return nil
+}
+
+// sampleLocation draws a request location under the configured placement.
+func (c Config) sampleLocation(rng *rand.Rand) disk.Location {
+	if c.Access != nil {
+		return c.Disk.SampleLocationUnder(c.Access, rng)
+	}
+	return c.Disk.SampleLocation(rng)
+}
+
+// request is one per-round disk request during simulation.
+type request struct {
+	stream   int
+	cylinder int
+	zone     int
+	size     float64
+}
+
+// roundScratch holds per-worker buffers so the hot loop does not allocate.
+type roundScratch struct {
+	reqs []request
+}
+
+// simulateRound plays one round: draws the N requests, serves them in SCAN
+// order starting from cylinder 0, and reports the total service time. If
+// lateFor is non-nil, it is filled with one bool per stream indicating
+// whether that stream's request missed the round deadline.
+func simulateRound(cfg Config, rng *rand.Rand, sc *roundScratch, lateFor []bool) (total float64) {
+	if cap(sc.reqs) < cfg.N {
+		sc.reqs = make([]request, cfg.N)
+	}
+	reqs := sc.reqs[:cfg.N]
+	for i := range reqs {
+		loc := cfg.sampleLocation(rng)
+		reqs[i] = request{
+			stream:   i,
+			cylinder: loc.Cylinder,
+			zone:     loc.Zone,
+			size:     cfg.Sizes.Sample(rng),
+		}
+	}
+	// SCAN: one sweep in ascending cylinder order from the parked arm.
+	sort.Slice(reqs, func(a, b int) bool { return reqs[a].cylinder < reqs[b].cylinder })
+	arm := 0
+	var clock float64
+	for i := range reqs {
+		r := &reqs[i]
+		d := float64(r.cylinder - arm)
+		if d < 0 {
+			d = -d
+		}
+		clock += cfg.Disk.Seek.Time(d)
+		clock += rng.Float64() * cfg.Disk.RotationTime // rotational latency
+		clock += cfg.Disk.TransferTime(r.size, r.zone)
+		arm = r.cylinder
+		if lateFor != nil {
+			lateFor[r.stream] = clock > cfg.RoundLength
+		}
+	}
+	return clock
+}
+
+// Estimate is a Monte-Carlo probability estimate with a 95% Wilson score
+// confidence interval.
+type Estimate struct {
+	// P is the point estimate k/n.
+	P float64
+	// Lo, Hi delimit the 95% Wilson interval.
+	Lo, Hi float64
+	// Hits is the number of positive outcomes.
+	Hits int64
+	// Trials is the number of observations.
+	Trials int64
+}
+
+func newEstimate(hits, trials int64) Estimate {
+	e := Estimate{Hits: hits, Trials: trials}
+	if trials > 0 {
+		e.P = float64(hits) / float64(trials)
+	}
+	e.Lo, e.Hi = dist.WilsonInterval(hits, trials, 1.96)
+	return e
+}
+
+// workers resolves the worker count.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// EstimatePLate estimates p_late(N, t): the probability that one round's
+// total service time exceeds the round length (the simulated curve of
+// Figure 1). trials rounds are split across parallel workers; seed makes
+// the result reproducible for a given worker count.
+func EstimatePLate(cfg Config, trials int, seed uint64) (Estimate, error) {
+	if err := cfg.validate(); err != nil {
+		return Estimate{}, err
+	}
+	if trials < 1 {
+		return Estimate{}, ErrConfig
+	}
+	nw := cfg.workers()
+	var wg sync.WaitGroup
+	hits := make([]int64, nw)
+	for w := 0; w < nw; w++ {
+		share := trials / nw
+		if w < trials%nw {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			rng := dist.NewRand(seed, uint64(w)*0x9e3779b97f4a7c15+1)
+			var sc roundScratch
+			var h int64
+			for i := 0; i < share; i++ {
+				if simulateRound(cfg, rng, &sc, nil) > cfg.RoundLength {
+					h++
+				}
+			}
+			hits[w] = h
+		}(w, share)
+	}
+	wg.Wait()
+	var total int64
+	for _, h := range hits {
+		total += h
+	}
+	return newEstimate(total, int64(trials)), nil
+}
+
+// EstimatePError estimates p_error(N, t, M, g): the probability that one
+// stream suffers at least g glitches over M rounds (the simulated column
+// of Table 2). Each of runs independent histories simulates M rounds of N
+// streams with fresh placements; every stream in every run is one
+// observation, so the estimate is over runs·N stream histories.
+func EstimatePError(cfg Config, rounds, glitches, runs int, seed uint64) (Estimate, error) {
+	if err := cfg.validate(); err != nil {
+		return Estimate{}, err
+	}
+	if rounds < 1 || glitches < 0 || glitches > rounds || runs < 1 {
+		return Estimate{}, ErrConfig
+	}
+	nw := cfg.workers()
+	var wg sync.WaitGroup
+	hits := make([]int64, nw)
+	for w := 0; w < nw; w++ {
+		share := runs / nw
+		if w < runs%nw {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			rng := dist.NewRand(seed^0xabcdef, uint64(w)*0x9e3779b97f4a7c15+1)
+			var sc roundScratch
+			late := make([]bool, cfg.N)
+			counts := make([]int, cfg.N)
+			var h int64
+			for run := 0; run < share; run++ {
+				for i := range counts {
+					counts[i] = 0
+				}
+				for r := 0; r < rounds; r++ {
+					simulateRound(cfg, rng, &sc, late)
+					for s, isLate := range late {
+						if isLate {
+							counts[s]++
+						}
+					}
+				}
+				for _, c := range counts {
+					if c >= glitches {
+						h++
+					}
+				}
+			}
+			hits[w] = h
+		}(w, share)
+	}
+	wg.Wait()
+	var total int64
+	for _, h := range hits {
+		total += h
+	}
+	return newEstimate(total, int64(runs)*int64(cfg.N)), nil
+}
+
+// RoundStats summarizes simulated round service times.
+type RoundStats struct {
+	// Mean and Std are the sample moments of the total round time.
+	Mean, Std float64
+	// PLate is the fraction of rounds exceeding the round length.
+	PLate float64
+	// Trials is the number of simulated rounds.
+	Trials int64
+}
+
+// MeasureRounds simulates rounds and returns summary statistics, used to
+// cross-validate the analytic round moments.
+func MeasureRounds(cfg Config, trials int, seed uint64) (RoundStats, error) {
+	if err := cfg.validate(); err != nil {
+		return RoundStats{}, err
+	}
+	if trials < 1 {
+		return RoundStats{}, ErrConfig
+	}
+	nw := cfg.workers()
+	var wg sync.WaitGroup
+	accs := make([]dist.Welford, nw)
+	lates := make([]int64, nw)
+	for w := 0; w < nw; w++ {
+		share := trials / nw
+		if w < trials%nw {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			rng := dist.NewRand(seed^0x5eed, uint64(w)*0x9e3779b97f4a7c15+1)
+			var sc roundScratch
+			for i := 0; i < share; i++ {
+				total := simulateRound(cfg, rng, &sc, nil)
+				accs[w].Add(total)
+				if total > cfg.RoundLength {
+					lates[w]++
+				}
+			}
+		}(w, share)
+	}
+	wg.Wait()
+	var acc dist.Welford
+	var late int64
+	for w := 0; w < nw; w++ {
+		acc.Merge(accs[w])
+		late += lates[w]
+	}
+	return RoundStats{
+		Mean:   acc.Mean(),
+		Std:    acc.Std(),
+		PLate:  float64(late) / float64(acc.N()),
+		Trials: acc.N(),
+	}, nil
+}
+
+// PositionBias estimates the per-request glitch probability by SCAN
+// position: requests served late in the sweep are far more likely to miss
+// the deadline. This is exactly why §3.3 requires fragments to occupy
+// "uncorrelated positions of the sweeps" across rounds — random placement
+// turns this positional unfairness into a fair lottery over streams. The
+// returned slice has one estimate per sweep position (0 = first served).
+func PositionBias(cfg Config, trials int, seed uint64) ([]Estimate, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if trials < 1 {
+		return nil, ErrConfig
+	}
+	nw := cfg.workers()
+	var wg sync.WaitGroup
+	hits := make([][]int64, nw)
+	for w := 0; w < nw; w++ {
+		share := trials / nw
+		if w < trials%nw {
+			share++
+		}
+		hits[w] = make([]int64, cfg.N)
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			rng := dist.NewRand(seed^0xb1a5, uint64(w)*0x9e3779b97f4a7c15+1)
+			var sc roundScratch
+			if cap(sc.reqs) < cfg.N {
+				sc.reqs = make([]request, cfg.N)
+			}
+			for i := 0; i < share; i++ {
+				reqs := sc.reqs[:cfg.N]
+				for j := range reqs {
+					loc := cfg.sampleLocation(rng)
+					reqs[j] = request{cylinder: loc.Cylinder, zone: loc.Zone, size: cfg.Sizes.Sample(rng)}
+				}
+				sort.Slice(reqs, func(a, b int) bool { return reqs[a].cylinder < reqs[b].cylinder })
+				arm := 0
+				var clock float64
+				for pos := range reqs {
+					r := &reqs[pos]
+					d := float64(r.cylinder - arm)
+					if d < 0 {
+						d = -d
+					}
+					clock += cfg.Disk.Seek.Time(d)
+					clock += rng.Float64() * cfg.Disk.RotationTime
+					clock += cfg.Disk.TransferTime(r.size, r.zone)
+					arm = r.cylinder
+					if clock > cfg.RoundLength {
+						hits[w][pos]++
+					}
+				}
+			}
+		}(w, share)
+	}
+	wg.Wait()
+	out := make([]Estimate, cfg.N)
+	for pos := 0; pos < cfg.N; pos++ {
+		var total int64
+		for w := 0; w < nw; w++ {
+			total += hits[w][pos]
+		}
+		out[pos] = newEstimate(total, int64(trials))
+	}
+	return out, nil
+}
+
+// PLateSweep estimates p_late across a range of multiprogramming levels
+// (the simulated series of Figure 1). The returned slice has one Estimate
+// per N in [nLo, nHi].
+func PLateSweep(cfg Config, nLo, nHi, trials int, seed uint64) ([]Estimate, error) {
+	if nLo < 1 || nHi < nLo {
+		return nil, ErrConfig
+	}
+	out := make([]Estimate, 0, nHi-nLo+1)
+	for n := nLo; n <= nHi; n++ {
+		c := cfg
+		c.N = n
+		e, err := EstimatePLate(c, trials, seed+uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

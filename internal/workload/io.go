@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// traceHeader identifies the on-disk trace format.
+const traceHeader = "# mzqos-trace v1"
+
+// SaveTrace writes per-frame (or per-fragment) sizes in the library's
+// plain-text trace format: a header line followed by one byte count per
+// line. The format is deliberately trivial so traces interchange with
+// awk/gnuplot tooling.
+func SaveTrace(w io.Writer, sizes []float64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, traceHeader); err != nil {
+		return err
+	}
+	for _, s := range sizes {
+		if _, err := fmt.Fprintf(bw, "%g\n", s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadTrace reads a trace written by SaveTrace. Blank lines and lines
+// starting with '#' (after the header) are ignored.
+func LoadTrace(r io.Reader) ([]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: empty trace", ErrParam)
+	}
+	if strings.TrimSpace(sc.Text()) != traceHeader {
+		return nil, fmt.Errorf("%w: missing %q header", ErrParam, traceHeader)
+	}
+	var out []float64
+	line := 1
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(txt, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrParam, line, err)
+		}
+		if !(v > 0) {
+			return nil, fmt.Errorf("%w: line %d: non-positive size %g", ErrParam, line, v)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: trace has no samples", ErrParam)
+	}
+	return out, nil
+}
+
+// SaveTraceFile writes a trace to path.
+func SaveTraceFile(path string, sizes []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveTrace(f, sizes); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTraceFile reads a trace from path.
+func LoadTraceFile(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadTrace(f)
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mzqos/internal/dist"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	rng := dist.NewRand(4, 5)
+	frames, err := GenerateTrace(DefaultTraceConfig(), 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, frames); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(frames) {
+		t.Fatalf("len = %d, want %d", len(back), len(frames))
+	}
+	for i := range frames {
+		rel := (back[i] - frames[i]) / frames[i]
+		if rel > 1e-12 || rel < -1e-12 {
+			t.Fatalf("frame %d: %v != %v", i, back[i], frames[i])
+		}
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clip.trace")
+	sizes := []float64{100, 200.5, 3e5}
+	if err := SaveTraceFile(path, sizes); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[1] != 200.5 {
+		t.Errorf("back = %v", back)
+	}
+	if _, err := LoadTraceFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestLoadTraceComments(t *testing.T) {
+	in := "# mzqos-trace v1\n# a comment\n100\n\n200\n"
+	out, err := LoadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != 100 || out[1] != 200 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestLoadTraceErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "not a trace\n100\n"},
+		{"garbage value", "# mzqos-trace v1\nabc\n"},
+		{"negative", "# mzqos-trace v1\n-5\n"},
+		{"zero", "# mzqos-trace v1\n0\n"},
+		{"no samples", "# mzqos-trace v1\n# nothing\n"},
+	}
+	for _, c := range cases {
+		if _, err := LoadTrace(strings.NewReader(c.in)); !errors.Is(err, ErrParam) {
+			t.Errorf("%s: err = %v, want ErrParam", c.name, err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"mzqos/internal/dist"
+)
+
+// FrameType is an MPEG frame type.
+type FrameType byte
+
+// MPEG frame types: intra-coded, predicted, bidirectional.
+const (
+	FrameI FrameType = 'I'
+	FrameP FrameType = 'P'
+	FrameB FrameType = 'B'
+)
+
+// TraceConfig parameterizes the synthetic MPEG-style VBR generator. It
+// captures the statistical structure reported for MPEG traffic in
+// [Ros95, KH95]: strong per-GOP periodicity (I frames several times larger
+// than B frames), marginal heavy-tailedness (lognormal per-frame sizes),
+// and scene-level long-range correlation (a multiplicative activity factor
+// that persists for a geometrically distributed number of GOPs).
+type TraceConfig struct {
+	// FrameRate is the display rate in frames per second (e.g. 25).
+	FrameRate float64
+	// GOP is the group-of-pictures pattern, e.g. "IBBPBBPBBPBB".
+	GOP string
+	// MeanRate is the long-run average bandwidth in bytes per second.
+	MeanRate float64
+	// SizeRatio gives the relative mean sizes of I, P, and B frames
+	// (e.g. 5:3:1). Values must be positive.
+	SizeRatio [3]float64
+	// FrameCV is the coefficient of variation of individual frame sizes
+	// around their type/scene mean (lognormal).
+	FrameCV float64
+	// SceneCV is the coefficient of variation of the per-scene activity
+	// factor (lognormal with mean 1). Zero disables scene modulation.
+	SceneCV float64
+	// MeanSceneGOPs is the mean scene length in GOPs (geometric). Values
+	// below 1 are treated as 1.
+	MeanSceneGOPs float64
+}
+
+// DefaultTraceConfig returns a configuration producing a ~1.6 Mbit/s
+// MPEG-2-like trace (200 KB/s, the paper's mean fragment size at a 1 s
+// round) at 25 fps with a 12-frame GOP.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{
+		FrameRate:     25,
+		GOP:           "IBBPBBPBBPBB",
+		MeanRate:      200 * KB,
+		SizeRatio:     [3]float64{5, 3, 1},
+		FrameCV:       0.3,
+		SceneCV:       0.4,
+		MeanSceneGOPs: 8,
+	}
+}
+
+func (c TraceConfig) validate() error {
+	if !(c.FrameRate > 0) || !(c.MeanRate > 0) || len(c.GOP) == 0 {
+		return ErrParam
+	}
+	for _, ch := range c.GOP {
+		if ch != rune(FrameI) && ch != rune(FrameP) && ch != rune(FrameB) {
+			return fmt.Errorf("%w: GOP pattern may contain only I/P/B, got %q", ErrParam, ch)
+		}
+	}
+	for _, r := range c.SizeRatio {
+		if !(r > 0) {
+			return fmt.Errorf("%w: size ratios must be positive", ErrParam)
+		}
+	}
+	if c.FrameCV < 0 || c.SceneCV < 0 {
+		return fmt.Errorf("%w: negative coefficient of variation", ErrParam)
+	}
+	return nil
+}
+
+// meanFrameSizes returns the mean size of I, P, B frames such that the
+// long-run byte rate equals MeanRate for the configured GOP.
+func (c TraceConfig) meanFrameSizes() [3]float64 {
+	var count [3]float64
+	for _, ch := range c.GOP {
+		switch FrameType(ch) {
+		case FrameI:
+			count[0]++
+		case FrameP:
+			count[1]++
+		case FrameB:
+			count[2]++
+		}
+	}
+	gopFrames := count[0] + count[1] + count[2]
+	// Solve base so that Σ count_i·ratio_i·base = gopFrames·MeanRate/FrameRate.
+	weighted := count[0]*c.SizeRatio[0] + count[1]*c.SizeRatio[1] + count[2]*c.SizeRatio[2]
+	base := gopFrames * c.MeanRate / c.FrameRate / weighted
+	return [3]float64{base * c.SizeRatio[0], base * c.SizeRatio[1], base * c.SizeRatio[2]}
+}
+
+// GenerateTrace produces per-frame sizes (bytes) for a clip of the given
+// duration in seconds. The trace is reproducible for a given rng state.
+func GenerateTrace(c TraceConfig, duration float64, rng *rand.Rand) ([]float64, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if !(duration > 0) {
+		return nil, ErrParam
+	}
+	nFrames := int(duration * c.FrameRate)
+	if nFrames < 1 {
+		nFrames = 1
+	}
+	means := c.meanFrameSizes()
+
+	var frameNoise dist.Distribution = dist.Deterministic{Value: 1}
+	if c.FrameCV > 0 {
+		ln, err := dist.LognormalFromMeanVar(1, c.FrameCV*c.FrameCV)
+		if err != nil {
+			return nil, err
+		}
+		frameNoise = ln
+	}
+	var sceneNoise dist.Distribution = dist.Deterministic{Value: 1}
+	if c.SceneCV > 0 {
+		ln, err := dist.LognormalFromMeanVar(1, c.SceneCV*c.SceneCV)
+		if err != nil {
+			return nil, err
+		}
+		sceneNoise = ln
+	}
+	meanScene := c.MeanSceneGOPs
+	if meanScene < 1 {
+		meanScene = 1
+	}
+
+	frames := make([]float64, 0, nFrames)
+	gopLen := len(c.GOP)
+	activity := sceneNoise.Sample(rng)
+	gopsLeft := geometricGOPs(meanScene, rng)
+	for len(frames) < nFrames {
+		if gopsLeft <= 0 {
+			activity = sceneNoise.Sample(rng)
+			gopsLeft = geometricGOPs(meanScene, rng)
+		}
+		for i := 0; i < gopLen && len(frames) < nFrames; i++ {
+			var mean float64
+			switch FrameType(c.GOP[i]) {
+			case FrameI:
+				mean = means[0]
+			case FrameP:
+				mean = means[1]
+			default:
+				mean = means[2]
+			}
+			frames = append(frames, mean*activity*frameNoise.Sample(rng))
+		}
+		gopsLeft--
+	}
+	return frames, nil
+}
+
+// geometricGOPs draws a geometric scene length with the given mean, >= 1.
+func geometricGOPs(mean float64, rng *rand.Rand) int {
+	p := 1 / mean
+	n := 1
+	for rng.Float64() > p && n < 1<<20 {
+		n++
+	}
+	return n
+}
+
+// Fragment groups per-frame sizes into fragments of constant display time
+// (§2.1): each fragment covers displayTime seconds of playback, so a
+// fragment's size is the sum of the frame sizes in its window. A trailing
+// partial window becomes a final (smaller) fragment.
+func Fragment(frames []float64, frameRate, displayTime float64) ([]float64, error) {
+	if len(frames) == 0 || !(frameRate > 0) || !(displayTime > 0) {
+		return nil, ErrParam
+	}
+	perFrag := int(frameRate * displayTime)
+	if perFrag < 1 {
+		perFrag = 1
+	}
+	frags := make([]float64, 0, (len(frames)+perFrag-1)/perFrag)
+	for i := 0; i < len(frames); i += perFrag {
+		end := i + perFrag
+		if end > len(frames) {
+			end = len(frames)
+		}
+		var sum float64
+		for _, f := range frames[i:end] {
+			sum += f
+		}
+		frags = append(frags, sum)
+	}
+	return frags, nil
+}

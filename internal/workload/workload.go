@@ -1,0 +1,132 @@
+// Package workload models the continuous-data workload of the paper:
+// variable-bit-rate (VBR) objects fragmented into pieces of constant
+// display time, so that fragment sizes vary (§2.1).
+//
+// Two levels of fidelity are provided:
+//
+//   - SizeModel: a parametric fragment-size distribution. The paper uses a
+//     Gamma law (after [Ros95, KH95]) with E[S] = 200 KB and sd = 100 KB;
+//     Lognormal and Pareto alternatives are included because §3.1 notes the
+//     derivation carries over to other heavy-tailed laws.
+//
+//   - a synthetic MPEG-style VBR trace generator (GOP structure with I/P/B
+//     frames, per-frame-type size variation, and scene-level correlation).
+//     This substitutes for the proprietary MPEG traces the paper's size
+//     statistics came from; after constant-display-time fragmentation its
+//     fragments feed the same moment pipeline as the parametric models.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"mzqos/internal/dist"
+)
+
+// ErrParam is returned for invalid workload parameters.
+var ErrParam = errors.New("workload: invalid parameter")
+
+// KB is the unit of the paper's size figures. The paper uses decimal
+// kilobytes (10³ bytes): only with KB = 1000 do its worked-example numbers
+// (E[T_trans] = 0.02174 s in §3.1, T_trans^max = 71.7 ms in §4) follow from
+// Table 1's byte-denominated track capacities.
+const KB = 1000.0
+
+// SizeModel is a named fragment-size distribution (sizes in bytes).
+type SizeModel struct {
+	// Name identifies the law, e.g. "gamma(200KB,100KB)".
+	Name string
+	// Dist is the size distribution in bytes.
+	Dist dist.Distribution
+}
+
+// GammaSizes returns the paper's Gamma fragment-size model with the given
+// mean and standard deviation in bytes.
+func GammaSizes(mean, sd float64) (SizeModel, error) {
+	g, err := dist.GammaFromMeanVar(mean, sd*sd)
+	if err != nil {
+		return SizeModel{}, fmt.Errorf("%w: %v", ErrParam, err)
+	}
+	return SizeModel{Name: fmt.Sprintf("gamma(%.0fKB,%.0fKB)", mean/KB, sd/KB), Dist: g}, nil
+}
+
+// LognormalSizes returns a Lognormal fragment-size model with the given
+// mean and standard deviation in bytes.
+func LognormalSizes(mean, sd float64) (SizeModel, error) {
+	l, err := dist.LognormalFromMeanVar(mean, sd*sd)
+	if err != nil {
+		return SizeModel{}, fmt.Errorf("%w: %v", ErrParam, err)
+	}
+	return SizeModel{Name: fmt.Sprintf("lognormal(%.0fKB,%.0fKB)", mean/KB, sd/KB), Dist: l}, nil
+}
+
+// ParetoSizes returns a Pareto fragment-size model with the given mean and
+// standard deviation in bytes.
+func ParetoSizes(mean, sd float64) (SizeModel, error) {
+	p, err := dist.ParetoFromMeanVar(mean, sd*sd)
+	if err != nil {
+		return SizeModel{}, fmt.Errorf("%w: %v", ErrParam, err)
+	}
+	return SizeModel{Name: fmt.Sprintf("pareto(%.0fKB,%.0fKB)", mean/KB, sd/KB), Dist: p}, nil
+}
+
+// FixedSizes returns a degenerate (constant-bit-rate) fragment-size model,
+// the assumption of most prior work that the paper generalizes away from.
+func FixedSizes(size float64) (SizeModel, error) {
+	if !(size > 0) {
+		return SizeModel{}, ErrParam
+	}
+	return SizeModel{Name: fmt.Sprintf("cbr(%.0fKB)", size/KB), Dist: dist.Deterministic{Value: size}}, nil
+}
+
+// PaperSizes returns the Table-1 fragment-size model: Gamma with mean
+// 200 KB and standard deviation 100 KB.
+func PaperSizes() SizeModel {
+	m, err := GammaSizes(200*KB, 100*KB)
+	if err != nil {
+		panic("workload: PaperSizes: " + err.Error())
+	}
+	return m
+}
+
+// Mean returns E[S] in bytes.
+func (m SizeModel) Mean() float64 { return m.Dist.Mean() }
+
+// Var returns Var[S] in bytes².
+func (m SizeModel) Var() float64 { return m.Dist.Var() }
+
+// Sample draws one fragment size.
+func (m SizeModel) Sample(rng *rand.Rand) float64 {
+	for i := 0; i < 64; i++ {
+		if s := m.Dist.Sample(rng); s > 0 {
+			return s
+		}
+	}
+	return math.Max(m.Dist.Mean(), 1)
+}
+
+// Quantile returns the p-quantile of the fragment size, used by the
+// deterministic worst-case baseline (eq. 4.1's 99- and 95-percentiles).
+func (m SizeModel) Quantile(p float64) (float64, error) {
+	return m.Dist.Quantile(p)
+}
+
+// FromSample fits a SizeModel to measured fragment sizes by Gamma moment
+// matching — the path by which "workload statistics ... are fed into the
+// admission control" (§2.3).
+func FromSample(name string, sizes []float64) (SizeModel, error) {
+	e, err := dist.NewEmpirical(sizes)
+	if err != nil {
+		return SizeModel{}, fmt.Errorf("%w: %v", ErrParam, err)
+	}
+	if !(e.Var() > 0) {
+		return FixedSizes(e.Mean())
+	}
+	g, err := dist.GammaFromMeanVar(e.Mean(), e.Var())
+	if err != nil {
+		return SizeModel{}, fmt.Errorf("%w: %v", ErrParam, err)
+	}
+	return SizeModel{Name: name, Dist: g}, nil
+}

@@ -1,0 +1,296 @@
+package mzqos_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mzqos"
+)
+
+// TestPublicAPIEndToEnd exercises the documented facade the way the README
+// quickstart does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	m, err := mzqos.NewModel(mzqos.ModelConfig{
+		Disk:        mzqos.QuantumViking21(),
+		Sizes:       mzqos.MustGammaSizes(200*mzqos.KB, 100*mzqos.KB),
+		RoundLength: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmax, err := m.NMaxFor(mzqos.Guarantee{Threshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmax != 26 {
+		t.Errorf("N_max = %d, want 26", nmax)
+	}
+	nstream, err := m.NMaxFor(mzqos.Guarantee{Rounds: 1200, Glitches: 12, Threshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nstream != 28 {
+		t.Errorf("per-stream N_max = %d, want 28", nstream)
+	}
+}
+
+func TestFacadeTable(t *testing.T) {
+	m, err := mzqos.NewModel(mzqos.ModelConfig{
+		Disk:        mzqos.QuantumViking21(),
+		Sizes:       mzqos.PaperSizes(),
+		RoundLength: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := mzqos.BuildTable(m, []mzqos.Guarantee{{Threshold: 0.01}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := tbl.Lookup(mzqos.Guarantee{Threshold: 0.01}); !ok || n != 26 {
+		t.Errorf("table lookup = %d, %v", n, ok)
+	}
+}
+
+func TestFacadeGeometryConstructors(t *testing.T) {
+	seek := mzqos.SeekCurve{A1: 1.867e-3, B1: 1.315e-4, A2: 3.8635e-3, B2: 2.1e-6, Threshold: 1344}
+	g, err := mzqos.SingleZoneGeometry("test", 6720, 0.00834, 77056, seek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ZoneCount() != 1 {
+		t.Error("single zone wrong")
+	}
+	mz, err := mzqos.NewGeometry("twozone", 0.00834, []mzqos.Zone{
+		{Tracks: 100, TrackCapacity: 50000},
+		{Tracks: 100, TrackCapacity: 90000},
+	}, seek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mz.ZoneCount() != 2 {
+		t.Error("two zones wrong")
+	}
+}
+
+func TestFacadeSizeModels(t *testing.T) {
+	for _, mk := range []func(mean, sd float64) (mzqos.SizeModel, error){
+		mzqos.GammaSizes, mzqos.LognormalSizes, mzqos.ParetoSizes,
+	} {
+		m, err := mk(200*mzqos.KB, 100*mzqos.KB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.Mean()-200*mzqos.KB) > 1 {
+			t.Errorf("mean = %v", m.Mean())
+		}
+	}
+	fit, err := mzqos.SizesFromSample("s", []float64{1e5, 2e5, 3e5})
+	if err != nil || math.Abs(fit.Mean()-2e5) > 1e-6 {
+		t.Errorf("fitted = %v, %v", fit.Mean(), err)
+	}
+}
+
+func TestFacadeTraceRoundTrip(t *testing.T) {
+	rng := mzqos.NewRand(1, 2)
+	frames, err := mzqos.GenerateTrace(mzqos.DefaultTraceConfig(), 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, err := mzqos.FragmentTrace(frames, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 10 {
+		t.Errorf("fragments = %d, want 10", len(frags))
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	est, err := mzqos.SimulatePLate(mzqos.SimConfig{
+		Disk:        mzqos.QuantumViking21(),
+		Sizes:       mzqos.PaperSizes(),
+		RoundLength: 1,
+		N:           26,
+	}, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.P > 0.01 {
+		t.Errorf("simulated p_late(26) = %v", est.P)
+	}
+	pe, err := mzqos.SimulatePError(mzqos.SimConfig{
+		Disk:        mzqos.QuantumViking21(),
+		Sizes:       mzqos.PaperSizes(),
+		RoundLength: 1,
+		N:           26,
+	}, 50, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.Trials != 2*26 {
+		t.Errorf("perror trials = %d", pe.Trials)
+	}
+}
+
+func TestFacadeServerRejection(t *testing.T) {
+	srv, err := mzqos.NewServer(mzqos.ServerConfig{
+		Disk:        mzqos.QuantumViking21(),
+		NumDisks:    1,
+		RoundLength: 1,
+		Sizes:       mzqos.PaperSizes(),
+		Guarantee:   mzqos.Guarantee{Threshold: 0.01},
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddSyntheticObject("v", 10); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < srv.Capacity(); i++ {
+		if _, _, err := srv.Open("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := srv.Open("v"); !errors.Is(err, mzqos.ErrRejected) {
+		t.Errorf("err = %v, want ErrRejected", err)
+	}
+}
+
+func TestFacadeMixed(t *testing.T) {
+	discrete, err := mzqos.GammaSizes(40*mzqos.KB, 30*mzqos.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mzqos.MixedConfig{
+		Disk:            mzqos.QuantumViking21(),
+		RoundLength:     1,
+		Reserve:         0.2,
+		ContinuousSizes: mzqos.PaperSizes(),
+		DiscreteSizes:   discrete,
+		DiscreteRate:    5,
+	}
+	mm, err := mzqos.NewMixedModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := mm.ContinuousNMax(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n >= 26 {
+		t.Errorf("reserved N_max = %d, should be below the unreserved 26", n)
+	}
+	pts, err := mzqos.MixedTradeOff(cfg, []float64{0.1, 0.3}, 0.01)
+	if err != nil || len(pts) != 2 {
+		t.Fatalf("tradeoff = %v, %v", pts, err)
+	}
+	res, err := mzqos.SimulateMixed(cfg, n, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiscreteServed == 0 {
+		t.Error("no discrete requests served")
+	}
+}
+
+func TestFacadeBuffering(t *testing.T) {
+	m, err := mzqos.NewModel(mzqos.ModelConfig{
+		Disk:        mzqos.QuantumViking21(),
+		Sizes:       mzqos.PaperSizes(),
+		RoundLength: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, err := mzqos.VisibleGlitchBound(m, 28, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := mzqos.VisibleGlitchBound(m, 28, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(b1 < b0) {
+		t.Errorf("slack bound not smaller: %v vs %v", b1, b0)
+	}
+	n, err := mzqos.NMaxBuffered(m, 1, 0.01)
+	if err != nil || n < 26 {
+		t.Errorf("buffered N_max = %d, %v", n, err)
+	}
+	res, err := mzqos.SimulateBuffered(mzqos.BufferSimConfig{
+		Sim: mzqos.SimConfig{
+			Disk:        mzqos.QuantumViking21(),
+			Sizes:       mzqos.PaperSizes(),
+			RoundLength: 1,
+			N:           28,
+		},
+		SlackRounds: 1,
+	}, 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VisibleGlitchRate > 0.001 {
+		t.Errorf("visible rate = %v", res.VisibleGlitchRate)
+	}
+	if mzqos.ClientBufferBytes(200, 1) != 600 {
+		t.Error("buffer bytes wrong")
+	}
+}
+
+func TestFacadePlacement(t *testing.T) {
+	g := mzqos.QuantumViking21()
+	for _, p := range []mzqos.AccessProfile{
+		mzqos.UniformAccess(g),
+		mzqos.SkewedAccess(g, 2),
+		mzqos.OrganPipeAccess(g, 0.75, 8),
+	} {
+		m, err := mzqos.NewModel(mzqos.ModelConfig{
+			Disk:        g,
+			Sizes:       mzqos.PaperSizes(),
+			RoundLength: 1,
+			Access:      p,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.LateBound(26); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFacadeExactMode(t *testing.T) {
+	m, err := mzqos.NewModel(mzqos.ModelConfig{
+		Disk:        mzqos.QuantumViking21(),
+		Sizes:       mzqos.PaperSizes(),
+		RoundLength: 1,
+		Mode:        mzqos.TransferExactMixture,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.NMaxLate(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 25 || n > 27 {
+		t.Errorf("exact-mode N_max = %d", n)
+	}
+}
+
+func TestFacadeOverloadError(t *testing.T) {
+	m, err := mzqos.NewModel(mzqos.ModelConfig{
+		Disk:        mzqos.QuantumViking21(),
+		Sizes:       mzqos.PaperSizes(),
+		RoundLength: 0.001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.NMaxLate(0.01); !errors.Is(err, mzqos.ErrOverload) {
+		t.Errorf("err = %v, want ErrOverload", err)
+	}
+}
