@@ -1,0 +1,31 @@
+# Tier-1 verification plus the race and benchmark passes, one target each.
+# `make check` is what CI should run; `make bench` updates the
+# BENCH_admission.json performance trajectory.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Runs the admission benchmark suite and appends the measurements
+# (op, ns/op, allocs/op, git rev, date) to BENCH_admission.json.
+bench:
+	$(GO) run ./cmd/mzbench -v -out BENCH_admission.json
+
+check: build vet test test-race
+
+clean:
+	$(GO) clean ./...

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"mzqos"
+	"mzqos/internal/benchcases"
 	"mzqos/internal/experiments"
 	"mzqos/internal/model"
 	"mzqos/internal/sim"
@@ -142,6 +143,19 @@ func BenchmarkExtGSS(b *testing.B) { runExperiment(b, "ext-gss") }
 
 // BenchmarkDiagPositionBias regenerates the SCAN position-bias diagnostic.
 func BenchmarkDiagPositionBias(b *testing.B) { runExperiment(b, "diag-positionbias") }
+
+// --- The admission-path suite (shared with cmd/mzbench) ---
+
+// BenchmarkAdmission runs the suite cmd/mzbench records into
+// BENCH_admission.json: optimized admission paths (warm-started solves,
+// prefix glitch sums, bisection searches, parallel table builds) raced
+// against the retained seed implementation in the same binary. Run
+// `go run ./cmd/mzbench` (or `make bench`) to persist the results.
+func BenchmarkAdmission(b *testing.B) {
+	for _, c := range benchcases.Suite() {
+		b.Run(c.Name, c.Bench)
+	}
+}
 
 // --- Micro-benchmarks of the hot paths ---
 

@@ -1,0 +1,143 @@
+// Command mzbench runs the admission-path benchmark suite and appends the
+// results to a machine-readable trajectory file (BENCH_admission.json by
+// default), so successive PRs can prove the hot paths did not regress.
+// Every entry records the op name, ns/op, B/op, allocs/op, the git
+// revision, and the date; the summary block reports the speedup of the
+// optimized admission path over the retained seed implementation, both
+// measured in the same run on the same machine.
+//
+// Usage:
+//
+//	go run ./cmd/mzbench [-out BENCH_admission.json] [-v]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mzqos/internal/benchcases"
+)
+
+// opResult is one benchmark measurement in the trajectory file.
+type opResult struct {
+	Op          string  `json:"op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// run is one mzbench invocation; the trajectory file holds a list of them.
+type run struct {
+	Schema     string             `json:"schema"`
+	Date       string             `json:"date"`
+	GitRev     string             `json:"git_rev"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Benchmarks []opResult         `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups"`
+}
+
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// speedupPairs names the seed-vs-fast ratios the summary reports: each
+// value is ns/op(baseline) divided by ns/op(optimized).
+var speedupPairs = []struct{ name, baseline, optimized string }{
+	{"nmax_error_warm_vs_seed_cold", "NMaxError/paperM/seed-cold", "NMaxError/paperM/fast-warm"},
+	{"nmax_error_cold_vs_seed_cold", "NMaxError/paperM/seed-cold", "NMaxError/paperM/fast-cold"},
+	{"build_table_warm_vs_seed_cold", "BuildTable/grid/seed-cold", "BuildTable/grid/fast-warm"},
+	{"build_table_cold_vs_seed_cold", "BuildTable/grid/seed-cold", "BuildTable/grid/fast-cold"},
+	{"chernoff_solve_warm_vs_cold", "ChernoffSolve/n26/cold", "ChernoffSolve/n26/warm"},
+}
+
+func main() {
+	out := flag.String("out", "BENCH_admission.json", "trajectory file to append this run to")
+	verbose := flag.Bool("v", false, "print each result as it is measured")
+	flag.Parse()
+
+	r := run{
+		Schema:     "mzbench/v1",
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GitRev:     gitRev(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Speedups:   make(map[string]float64),
+	}
+	nsByOp := make(map[string]float64)
+	for _, c := range benchcases.Suite() {
+		res := testing.Benchmark(c.Bench)
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		nsByOp[c.Name] = ns
+		r.Benchmarks = append(r.Benchmarks, opResult{
+			Op:          c.Name,
+			NsPerOp:     ns,
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			Iterations:  res.N,
+		})
+		if *verbose {
+			fmt.Printf("%-34s %12.1f ns/op %8d B/op %6d allocs/op\n",
+				c.Name, ns, res.AllocedBytesPerOp(), res.AllocsPerOp())
+		}
+	}
+	for _, p := range speedupPairs {
+		base, opt := nsByOp[p.baseline], nsByOp[p.optimized]
+		if base > 0 && opt > 0 {
+			r.Speedups[p.name] = base / opt
+		}
+	}
+
+	runs, err := readTrajectory(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mzbench: %v\n", err)
+		os.Exit(1)
+	}
+	runs = append(runs, r)
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mzbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mzbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("mzbench @ %s (%s, GOMAXPROCS=%d): %d ops -> %s\n",
+		r.GitRev, r.GoVersion, r.GOMAXPROCS, len(r.Benchmarks), *out)
+	for _, p := range speedupPairs {
+		if v, ok := r.Speedups[p.name]; ok {
+			fmt.Printf("  %-32s %8.1fx\n", p.name, v)
+		}
+	}
+}
+
+// readTrajectory loads the existing run list, tolerating a missing file so
+// the first run bootstraps the trajectory.
+func readTrajectory(path string) ([]run, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var runs []run
+	if err := json.Unmarshal(data, &runs); err != nil {
+		return nil, fmt.Errorf("%s is not a mzbench trajectory: %w", path, err)
+	}
+	return runs, nil
+}

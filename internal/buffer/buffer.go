@@ -19,9 +19,10 @@
 package buffer
 
 import (
+	"cmp"
 	"errors"
 	"math"
-	"sort"
+	"slices"
 
 	"mzqos/internal/dist"
 	"mzqos/internal/model"
@@ -144,7 +145,7 @@ func Simulate(cfg SimConfig, rounds int, seed uint64) (SimResult, error) {
 			loc := cfg.Sim.Disk.SampleLocation(rng)
 			reqs[i] = req{cyl: loc.Cylinder, zone: loc.Zone, size: cfg.Sim.Sizes.Sample(rng)}
 		}
-		sort.Slice(reqs, func(a, b int) bool { return reqs[a].cyl < reqs[b].cyl })
+		slices.SortFunc(reqs, func(a, b req) int { return cmp.Compare(a.cyl, b.cyl) })
 		arm := 0
 		deadlineRaw := roundStart + t
 		deadlineVisible := roundStart + t*float64(1+cfg.SlackRounds)

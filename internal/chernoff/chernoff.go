@@ -40,7 +40,20 @@ type Result struct {
 // The exponent is convex in θ, so a bracketed scalar minimization finds the
 // infimum; the result is clamped to at most 1 (θ→0 always yields 1).
 func Bound(tr lst.Transform, t float64) (Result, error) {
-	if tr == nil || math.IsNaN(t) {
+	return BoundWarm(tr, t, 0)
+}
+
+// BoundWarm is Bound with a warm start: thetaHint, when positive, should be
+// the optimizing θ of a neighbouring problem (e.g. the same round transform
+// at n±1 requests, or a slightly different deadline). The exponent's
+// minimizer moves smoothly under such perturbations, so the search can be
+// bracketed tightly around the hint instead of scanning (0, MaxTheta),
+// which cuts the minimization cost several-fold on the admission hot path.
+// A hint ≤ 0 (or one that fails to bracket the minimum after widening)
+// falls back to the cold full-interval search, so the result is always the
+// same minimization as Bound — only the bracketing work changes.
+func BoundWarm(tr lst.Transform, t, thetaHint float64) (Result, error) {
+	if tr == nil || math.IsNaN(t) || math.IsNaN(thetaHint) {
 		return Result{}, ErrParam
 	}
 	// If t does not exceed the mean, the bound is trivial.
@@ -54,7 +67,20 @@ func Bound(tr lst.Transform, t float64) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	theta, ge, err := numeric.BrentMin(g, 0, hi, 1e-12)
+	lo, tol := 0.0, 1e-12
+	if thetaHint > 0 && thetaHint < hi {
+		if wlo, whi, ok := warmBracket(g, thetaHint, hi); ok {
+			lo, hi = wlo, whi
+			// Near the minimum the exponent is flat (g' = 0), so a θ error
+			// of ~1e-6·θ perturbs the exponent by O(g''·θ²·1e-12) — far
+			// below the bound's useful precision. The cold path keeps the
+			// historical 1e-12 so uncached solves are bit-stable across
+			// releases; the warm path trades that spurious precision for
+			// roughly half the Brent iterations.
+			tol = 1e-6 * thetaHint
+		}
+	}
+	theta, ge, err := numeric.BrentMin(g, lo, hi, tol)
 	if err != nil {
 		// BrentMin reports ErrMaxIter with its best iterate; the exponent
 		// value is still a valid (if slightly loose) Chernoff bound.
@@ -68,6 +94,36 @@ func Bound(tr lst.Transform, t float64) (Result, error) {
 		return Result{Bound: 1, Theta: 0, Exponent: 0}, nil
 	}
 	return Result{Bound: math.Exp(ge), Theta: theta, Exponent: ge}, nil
+}
+
+// warmBracket widens [hint/2, 2·hint] geometrically until it brackets the
+// minimum of the convex exponent g (interior point below both ends), giving
+// up after a few rounds so a useless hint degrades to the cold search.
+func warmBracket(g func(float64) float64, hint, capTheta float64) (lo, hi float64, ok bool) {
+	lo, hi = hint/2, math.Min(2*hint, capTheta)
+	glo, ghi := g(lo), g(hi)
+	gm := g(hint)
+	for i := 0; i < 6; i++ {
+		if gm <= glo && gm <= ghi {
+			return lo, hi, true
+		}
+		if gm > glo { // minimum lies left of lo
+			hi, ghi = hint, gm
+			hint, gm = lo, glo
+			lo = lo / 4
+			glo = g(lo)
+			continue
+		}
+		// Minimum lies right of hi.
+		lo, glo = hint, gm
+		hint, gm = hi, ghi
+		if hint >= capTheta*(1-1e-9) {
+			return 0, 0, false
+		}
+		hi = math.Min(hi*4, capTheta)
+		ghi = g(hi)
+	}
+	return 0, 0, false
 }
 
 // upperSearchLimit picks the right end of the θ search interval: just

@@ -299,3 +299,68 @@ func abs(x int) int {
 	}
 	return x
 }
+
+// BoundWarm must compute the same minimization as Bound no matter how good
+// or bad the hint is: a hint only changes the bracketing work, never the
+// answer beyond minimizer-locating precision.
+func TestBoundWarmMatchesCold(t *testing.T) {
+	g, _ := lst.NewGamma(3, 2) // mean 1.5, MaxTheta = 2
+	for _, tt := range []float64{2, 3, 5, 9} {
+		cold, err := Bound(g, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, hint := range []float64{0, 1e-9, cold.Theta / 100, cold.Theta / 2, cold.Theta,
+			cold.Theta * 1.01, cold.Theta * 2, 1.999, 5, math.Inf(1)} {
+			warm, err := BoundWarm(g, tt, hint)
+			if err != nil {
+				t.Fatalf("t=%v hint=%v: %v", tt, hint, err)
+			}
+			if math.Abs(warm.Bound-cold.Bound) > 1e-9*cold.Bound+1e-300 {
+				t.Errorf("t=%v hint=%v: warm bound %v, cold %v", tt, hint, warm.Bound, cold.Bound)
+			}
+			if math.Abs(warm.Theta-cold.Theta) > 1e-5*(1+cold.Theta) {
+				t.Errorf("t=%v hint=%v: warm theta %v, cold %v", tt, hint, warm.Theta, cold.Theta)
+			}
+		}
+	}
+}
+
+// A warm start below the mean must still short-circuit to the trivial bound.
+func TestBoundWarmTrivialBelowMean(t *testing.T) {
+	g, _ := lst.NewGamma(4, 2) // mean 2
+	res, err := BoundWarm(g, 1.5, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound != 1 || res.Theta != 0 {
+		t.Errorf("below-mean warm bound = %+v, want trivial", res)
+	}
+}
+
+// Property: for random Gamma transforms, thresholds, and hints, the warm
+// and cold bounds agree.
+func TestBoundWarmAgreementProperty(t *testing.T) {
+	prop := func(shapeRaw, rateRaw, tRaw, hintRaw float64) bool {
+		shape := 0.5 + math.Abs(math.Mod(shapeRaw, 8))
+		rate := 0.2 + math.Abs(math.Mod(rateRaw, 5))
+		g, err := lst.NewGamma(shape, rate)
+		if err != nil {
+			return false
+		}
+		tt := g.Mean() * (1.05 + math.Abs(math.Mod(tRaw, 6)))
+		hint := math.Abs(math.Mod(hintRaw, 2*rate))
+		cold, err := Bound(g, tt)
+		if err != nil {
+			return false
+		}
+		warm, err := BoundWarm(g, tt, hint)
+		if err != nil {
+			return false
+		}
+		return math.Abs(warm.Bound-cold.Bound) <= 1e-8*cold.Bound+1e-300
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

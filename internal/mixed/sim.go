@@ -1,9 +1,10 @@
 package mixed
 
 import (
+	"cmp"
 	"math"
 	"math/rand/v2"
-	"sort"
+	"slices"
 
 	"mzqos/internal/dist"
 )
@@ -79,7 +80,7 @@ func Simulate(cfg Config, n, rounds int, seed uint64) (SimResult, error) {
 			loc := cfg.Disk.SampleLocation(rng)
 			reqs[i] = contReq{cyl: loc.Cylinder, zone: loc.Zone, size: cfg.ContinuousSizes.Sample(rng)}
 		}
-		sort.Slice(reqs, func(a, b int) bool { return reqs[a].cyl < reqs[b].cyl })
+		slices.SortFunc(reqs, func(a, b contReq) int { return cmp.Compare(a.cyl, b.cyl) })
 		arm := 0
 		for _, q := range reqs {
 			d := float64(q.cyl - arm)
@@ -109,7 +110,7 @@ func Simulate(cfg Config, n, rounds int, seed uint64) (SimResult, error) {
 					size:    cfg.DiscreteSizes.Sample(rng),
 				})
 			}
-			sort.Slice(queue, func(a, b int) bool { return queue[a].arrival < queue[b].arrival })
+			slices.SortFunc(queue, func(a, b discreteJob) int { return cmp.Compare(a.arrival, b.arrival) })
 		}
 		if len(queue) > maxQueue {
 			maxQueue = len(queue)
@@ -156,7 +157,7 @@ func Simulate(cfg Config, n, rounds int, seed uint64) (SimResult, error) {
 			sum += v
 		}
 		res.DiscreteMeanResponse = sum / float64(len(responses))
-		sort.Float64s(responses)
+		slices.Sort(responses)
 		idx := int(0.95 * float64(len(responses)-1))
 		res.DiscreteP95Response = responses[idx]
 	}

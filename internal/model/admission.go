@@ -1,8 +1,12 @@
 package model
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 )
 
 // Guarantee is a stochastic service-quality target.
@@ -64,32 +68,85 @@ type Table struct {
 }
 
 // BuildTable evaluates the model once per guarantee and returns the table.
-// Guarantees that are unattainable even at N=1 get NMax = 0.
+// Guarantees that are unattainable even at N=1 get NMax = 0. The specs are
+// fanned out over GOMAXPROCS workers: the bound chain they share is
+// extended once (single-flight) and every search after that is a lock-free
+// read, so the build scales with cores and the result is identical to a
+// serial build.
 func BuildTable(m *Model, specs []Guarantee) (*Table, error) {
-	t := &Table{index: make(map[Guarantee]int, len(specs))}
-	for _, g := range specs {
+	entries := make([]TableEntry, len(specs))
+	errs := make([]error, len(specs))
+	parallelEach(len(specs), func(i int) {
+		g := specs[i]
 		n, err := m.NMaxFor(g)
 		if err != nil {
 			if err == ErrOverload {
 				n = 0
 			} else {
-				return nil, err
+				errs[i] = err
+				return
 			}
 		}
-		t.index[g] = n
-		t.entries = append(t.entries, TableEntry{Guarantee: g, NMax: n})
-	}
-	sort.SliceStable(t.entries, func(i, j int) bool {
-		a, b := t.entries[i].Guarantee, t.entries[j].Guarantee
-		if a.Rounds != b.Rounds {
-			return a.Rounds < b.Rounds
-		}
-		if a.Glitches != b.Glitches {
-			return a.Glitches < b.Glitches
-		}
-		return a.Threshold < b.Threshold
+		entries[i] = TableEntry{Guarantee: g, NMax: n}
 	})
-	return t, nil
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return newTable(entries), nil
+}
+
+// newTable indexes and sorts the given rows into a Table.
+func newTable(entries []TableEntry) *Table {
+	t := &Table{
+		entries: entries,
+		index:   make(map[Guarantee]int, len(entries)),
+	}
+	for _, e := range t.entries {
+		t.index[e.Guarantee] = e.NMax
+	}
+	slices.SortStableFunc(t.entries, func(x, y TableEntry) int {
+		a, b := x.Guarantee, y.Guarantee
+		if c := cmp.Compare(a.Rounds, b.Rounds); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.Glitches, b.Glitches); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Threshold, b.Threshold)
+	})
+	return t
+}
+
+// parallelEach runs fn(i) for i in [0, n) on up to GOMAXPROCS goroutines.
+func parallelEach(n int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Lookup returns the precomputed N_max for g.

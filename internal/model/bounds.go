@@ -7,9 +7,58 @@ import (
 	"mzqos/internal/lst"
 )
 
+// boundMonoSlack absorbs last-ulp noise from the Brent minimization when
+// checking that b_late is non-decreasing in n: a genuinely non-monotone
+// model steps down by far more than this.
+const boundMonoSlack = 1e-12
+
+// ensureChain returns a chain snapshot covering indices 1..n, extending the
+// published chain first if needed. Extension is serialized by m.mu; each
+// new index is solved warm-started from its predecessor's θ, so chain
+// values are a pure function of the model (independent of which caller or
+// interleaving triggered the extension).
+func (m *Model) ensureChain(n int) (*lateChain, error) {
+	c := m.chain.Load()
+	if len(c.res) > n {
+		return c, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c = m.chain.Load()
+	if len(c.res) > n {
+		return c, nil
+	}
+	next := &lateChain{
+		res:      append(make([]chernoff.Result, 0, n+1), c.res...),
+		prefix:   append(make([]float64, 0, n+1), c.prefix...),
+		monotone: c.monotone,
+	}
+	for k := len(next.res); k <= n; k++ {
+		tr, err := m.RoundTransform(k)
+		if err != nil {
+			return nil, err
+		}
+		r, err := chernoff.BoundWarm(tr, m.cfg.RoundLength, next.res[k-1].Theta)
+		if err != nil {
+			return nil, err
+		}
+		if r.Bound < next.res[k-1].Bound-boundMonoSlack {
+			next.monotone = false
+		}
+		next.res = append(next.res, r)
+		next.prefix = append(next.prefix, next.prefix[k-1]+r.Bound)
+	}
+	m.chain.Store(next)
+	return next, nil
+}
+
 // LateBound returns b_late(n, t): the Chernoff upper bound on the
 // probability that the n requests of one round are not all served within
-// the round (eq. 3.1.6 / 3.2.12). Results are memoized per n.
+// the round (eq. 3.1.6 / 3.2.12). Results for all k <= n are memoized in
+// one pass (warm-starting each solve from its neighbour), so the first
+// call costs O(n) cheap solves and subsequent calls are lock-free reads;
+// n beyond the admission search cap is answered by a one-off cold solve
+// instead of growing the memo chain.
 func (m *Model) LateBound(n int) (float64, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("%w: negative stream count", ErrConfig)
@@ -17,25 +66,32 @@ func (m *Model) LateBound(n int) (float64, error) {
 	if n == 0 {
 		return 0, nil
 	}
-	m.mu.Lock()
-	if v, ok := m.lateCache[n]; ok {
-		m.mu.Unlock()
-		return v, nil
+	if c := m.chain.Load(); len(c.res) > n {
+		return c.res[n].Bound, nil
 	}
-	m.mu.Unlock()
+	if n > m.maxSearchN() {
+		res, err := m.lateResultAt(n, m.cfg.RoundLength, 0)
+		if err != nil {
+			return 0, err
+		}
+		return res.Bound, nil
+	}
+	c, err := m.ensureChain(n)
+	if err != nil {
+		return 0, err
+	}
+	return c.res[n].Bound, nil
+}
 
+// lateResultAt computes the Chernoff result for P[T_n >= deadline],
+// optionally warm-started from thetaHint (pass 0 for a cold solve). Not
+// memoized; sequential scans thread the returned Theta into the next call.
+func (m *Model) lateResultAt(n int, deadline, thetaHint float64) (chernoff.Result, error) {
 	tr, err := m.RoundTransform(n)
 	if err != nil {
-		return 0, err
+		return chernoff.Result{}, err
 	}
-	res, err := chernoff.Bound(tr, m.cfg.RoundLength)
-	if err != nil {
-		return 0, err
-	}
-	m.mu.Lock()
-	m.lateCache[n] = res.Bound
-	m.mu.Unlock()
-	return res.Bound, nil
+	return chernoff.BoundWarm(tr, deadline, thetaHint)
 }
 
 // LateBoundAt returns the Chernoff bound on P[T_n >= deadline] for an
@@ -50,11 +106,7 @@ func (m *Model) LateBoundAt(n int, deadline float64) (float64, error) {
 	if n == 0 {
 		return 0, nil
 	}
-	tr, err := m.RoundTransform(n)
-	if err != nil {
-		return 0, err
-	}
-	res, err := chernoff.Bound(tr, deadline)
+	res, err := m.lateResultAt(n, deadline, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -91,20 +143,19 @@ func (m *Model) LateProbInversion(n, nodes int) (float64, error) {
 //	b_glitch(n, t) = (1/n) Σ_{k=1..n} b_late(k, t)
 //
 // Each term uses its own SEEK(k), matching the derivation in eq. 3.3.2
-// where T_k is the service time of the first k requests of the sweep.
+// where T_k is the service time of the first k requests of the sweep. The
+// sum is read from the chain's prefix sums, so after the O(n) first-touch
+// cost every call is O(1) — the admission search over n no longer pays a
+// quadratic re-summation.
 func (m *Model) GlitchBound(n int) (float64, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("%w: stream count must be positive", ErrConfig)
 	}
-	var sum float64
-	for k := 1; k <= n; k++ {
-		b, err := m.LateBound(k)
-		if err != nil {
-			return 0, err
-		}
-		sum += b
+	c, err := m.ensureChain(n)
+	if err != nil {
+		return 0, err
 	}
-	v := sum / float64(n)
+	v := c.prefix[n] / float64(n)
 	if v > 1 {
 		v = 1
 	}
@@ -144,50 +195,131 @@ func (m *Model) StreamErrorExact(n, rounds, glitches int) (float64, error) {
 // maxSearchN caps admission searches; a round can never hold more requests
 // than t/E[T_trans] plus slack, so the cap is generous.
 func (m *Model) maxSearchN() int {
-	cap := int(4*m.cfg.RoundLength/m.transMean) + 64
-	return cap
+	limit := int(4*m.cfg.RoundLength/m.transMean) + 64
+	return limit
+}
+
+// searchMax returns max{n in [1, limit] : !exceeds(n)} assuming exceeds is
+// monotone in n (false up to the answer, true after): an exponential probe
+// locates a bracket in O(log n) evaluations and binary search finishes
+// inside it. It returns ErrOverload when even n=1 exceeds, and limit when
+// nothing in range does.
+func searchMax(limit int, exceeds func(int) (bool, error)) (int, error) {
+	over, err := exceeds(1)
+	if err != nil {
+		return 0, err
+	}
+	if over {
+		return 0, ErrOverload
+	}
+	lo := 1 // highest n known not to exceed
+	hi := 2 // candidate upper end of the bracket
+	for hi <= limit {
+		over, err = exceeds(hi)
+		if err != nil {
+			return 0, err
+		}
+		if over {
+			break
+		}
+		lo = hi
+		hi *= 2
+	}
+	if hi > limit {
+		if lo == limit {
+			return limit, nil
+		}
+		over, err = exceeds(limit)
+		if err != nil {
+			return 0, err
+		}
+		if !over {
+			return limit, nil
+		}
+		hi = limit
+	}
+	// Invariant: !exceeds(lo), exceeds(hi); narrow to adjacent.
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		over, err = exceeds(mid)
+		if err != nil {
+			return 0, err
+		}
+		if over {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, nil
+}
+
+// linearMax is the pre-bisection scan retained as the fallback for models
+// whose bound chain ever violated monotonicity, and as the oracle the
+// bisection agreement tests compare against.
+func linearMax(limit int, exceeds func(int) (bool, error)) (int, error) {
+	for n := 1; n <= limit; n++ {
+		over, err := exceeds(n)
+		if err != nil {
+			return 0, err
+		}
+		if over {
+			if n == 1 {
+				return 0, ErrOverload
+			}
+			return n - 1, nil
+		}
+	}
+	return limit, nil
+}
+
+// nMaxSearch runs searchMax and re-validates it against the chain's
+// monotonicity record: if any decreasing b_late step has been observed on
+// this model (never the case for the paper's transforms, but the guard is
+// cheap), the binary-search bracketing is unsound and the linear scan is
+// authoritative.
+func (m *Model) nMaxSearch(limit int, exceeds func(int) (bool, error)) (int, error) {
+	n, err := searchMax(limit, exceeds)
+	if err != nil {
+		return n, err
+	}
+	if !m.chain.Load().monotone {
+		return linearMax(limit, exceeds)
+	}
+	return n, nil
 }
 
 // NMaxLate returns N_max^plate = max{N : b_late(N, t) <= delta}
-// (eq. 3.1.7). It returns ErrOverload if even N=1 violates delta.
+// (eq. 3.1.7). It returns ErrOverload if even N=1 violates delta. The
+// search is an exponential probe plus bisection over the memoized bound
+// chain (b_late is non-decreasing in N), with a linear-scan fallback if
+// the chain ever records a non-monotone step.
 func (m *Model) NMaxLate(delta float64) (int, error) {
 	if !(delta > 0 && delta < 1) {
 		return 0, fmt.Errorf("%w: delta must be in (0,1)", ErrConfig)
 	}
-	limit := m.maxSearchN()
-	for n := 1; n <= limit; n++ {
+	return m.nMaxSearch(m.maxSearchN(), func(n int) (bool, error) {
 		b, err := m.LateBound(n)
 		if err != nil {
-			return 0, err
+			return false, err
 		}
-		if b > delta {
-			if n == 1 {
-				return 0, ErrOverload
-			}
-			return n - 1, nil
-		}
-	}
-	return limit, nil
+		return b > delta, nil
+	})
 }
 
 // NMaxError returns N_max^perror = max{N : p_error(N, t, M, g) <= eps}
-// (eq. 3.3.6).
+// (eq. 3.3.6), by the same probe-plus-bisection search as NMaxLate
+// (p_error inherits monotonicity in N from b_late through the glitch
+// prefix averages and the binomial tail).
 func (m *Model) NMaxError(rounds, glitches int, eps float64) (int, error) {
 	if !(eps > 0 && eps < 1) {
 		return 0, fmt.Errorf("%w: eps must be in (0,1)", ErrConfig)
 	}
-	limit := m.maxSearchN()
-	for n := 1; n <= limit; n++ {
+	return m.nMaxSearch(m.maxSearchN(), func(n int) (bool, error) {
 		p, err := m.StreamErrorBound(n, rounds, glitches)
 		if err != nil {
-			return 0, err
+			return false, err
 		}
-		if p > eps {
-			if n == 1 {
-				return 0, ErrOverload
-			}
-			return n - 1, nil
-		}
-	}
-	return limit, nil
+		return p > eps, nil
+	})
 }

@@ -1,6 +1,8 @@
 package model
 
 import (
+	"fmt"
+	"slices"
 	"sync"
 	"testing"
 )
@@ -34,6 +36,122 @@ func TestConcurrentBounds(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentAdmissionStress hammers the full admission surface —
+// LateBound, GlitchBound, NMaxFor, BuildTable, GSSSweep — from many
+// goroutines on one shared Model and requires every result to be
+// bit-identical to a serial run on a fresh Model. This works because chain
+// values are a pure function of the model (each warm start is seeded by
+// the predecessor's θ, regardless of which caller extends the chain).
+// Run with -race to validate the copy-on-write publication.
+func TestConcurrentAdmissionStress(t *testing.T) {
+	grid := admissionTestGrid()
+	gssGroups := []int{1, 2, 3, 4, 6}
+
+	serial := paperMultiZoneModel(t)
+	wantLate := make([]float64, 41)
+	wantGlitch := make([]float64, 41)
+	for n := 1; n <= 40; n++ {
+		var err error
+		if wantLate[n], err = serial.LateBound(n); err != nil {
+			t.Fatal(err)
+		}
+		if wantGlitch[n], err = serial.GlitchBound(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantNMax := make([]int, len(grid))
+	for i, g := range grid {
+		n, err := serial.NMaxFor(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNMax[i] = n
+	}
+	wantTable, err := BuildTable(serial, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSweep, err := serial.GSSSweep(gssGroups, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := paperMultiZoneModel(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+	fail := func(format string, args ...any) {
+		errs <- fmt.Errorf(format, args...)
+	}
+	for w := 0; w < 24; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			switch w % 4 {
+			case 0: // bound readers, descending to fight the chain growth
+				for n := 40; n >= 1; n-- {
+					v, err := shared.LateBound(n)
+					if err != nil {
+						fail("LateBound(%d): %v", n, err)
+						return
+					}
+					if v != wantLate[n] {
+						fail("LateBound(%d): concurrent %v != serial %v", n, v, wantLate[n])
+						return
+					}
+				}
+			case 1: // glitch readers
+				for n := 1 + w%3; n <= 40; n += 3 {
+					v, err := shared.GlitchBound(n)
+					if err != nil {
+						fail("GlitchBound(%d): %v", n, err)
+						return
+					}
+					if v != wantGlitch[n] {
+						fail("GlitchBound(%d): concurrent %v != serial %v", n, v, wantGlitch[n])
+						return
+					}
+				}
+			case 2: // admission searches
+				for i, g := range grid {
+					n, err := shared.NMaxFor(g)
+					if err != nil {
+						fail("NMaxFor(%v): %v", g, err)
+						return
+					}
+					if n != wantNMax[i] {
+						fail("NMaxFor(%v): concurrent %d != serial %d", g, n, wantNMax[i])
+						return
+					}
+				}
+			case 3: // whole-table builds and GSS sweeps
+				tbl, err := BuildTable(shared, grid)
+				if err != nil {
+					fail("BuildTable: %v", err)
+					return
+				}
+				if got, want := tbl.Entries(), wantTable.Entries(); !slices.Equal(got, want) {
+					fail("BuildTable: concurrent %v != serial %v", got, want)
+					return
+				}
+				sweep, err := shared.GSSSweep(gssGroups, 0.01)
+				if err != nil {
+					fail("GSSSweep: %v", err)
+					return
+				}
+				if !slices.Equal(sweep, wantSweep) {
+					fail("GSSSweep: concurrent %v != serial %v", sweep, wantSweep)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

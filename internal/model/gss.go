@@ -59,6 +59,10 @@ func (m *Model) GSS(n, groups int) (GSSResult, error) {
 
 // GSSNMax returns the largest stream count admissible with G groups at a
 // subperiod-lateness threshold delta: the GSS analogue of eq. (3.1.7).
+// The subperiod bound is non-decreasing in n (the per-sweep request count
+// ⌈n/G⌉ only grows), so the scan is the same probe-plus-bisection search
+// as NMaxLate, with solves memoized per group size and warm-started from
+// the previous solve's θ.
 func (m *Model) GSSNMax(groups int, delta float64) (int, error) {
 	if groups < 1 {
 		return 0, fmt.Errorf("%w: groups must be positive", ErrConfig)
@@ -67,46 +71,70 @@ func (m *Model) GSSNMax(groups int, delta float64) (int, error) {
 		return 0, fmt.Errorf("%w: delta must be in (0,1)", ErrConfig)
 	}
 	limit := m.maxSearchN()
-	best := 0
-	for n := groups; n <= limit; n++ {
-		r, err := m.GSS(n, groups)
-		if err != nil {
-			return 0, err
-		}
-		if r.LateBound > delta {
-			break
-		}
-		best = n
-	}
-	if best == 0 {
+	if limit < groups {
 		return 0, ErrOverload
 	}
-	return best, nil
+	sub := m.cfg.RoundLength / float64(groups)
+	cache := make(map[int]float64) // group size k -> subperiod bound
+	var hint float64
+	exceeds := func(i int) (bool, error) {
+		n := groups + i - 1 // candidate stream counts start at n = G
+		k := (n + groups - 1) / groups
+		b, ok := cache[k]
+		if !ok {
+			res, err := m.lateResultAt(k, sub, hint)
+			if err != nil {
+				return false, err
+			}
+			b = res.Bound
+			cache[k] = b
+			if res.Theta > 0 {
+				hint = res.Theta
+			}
+		}
+		return b > delta, nil
+	}
+	best, err := searchMax(limit-groups+1, exceeds)
+	if err != nil {
+		return 0, err
+	}
+	return groups + best - 1, nil
 }
 
 // GSSSweep evaluates a set of group counts at a fixed lateness threshold,
 // returning for each the admission limit and the buffer requirement — the
-// classic GSS throughput-vs-memory trade-off curve.
+// classic GSS throughput-vs-memory trade-off curve. Each group count is an
+// independent admission search (its own subperiod deadline, so no shared
+// chain), so the sweep fans the groups out over GOMAXPROCS workers.
 func (m *Model) GSSSweep(groups []int, delta float64) ([]GSSResult, error) {
-	out := make([]GSSResult, 0, len(groups))
-	for _, g := range groups {
+	out := make([]GSSResult, len(groups))
+	errs := make([]error, len(groups))
+	parallelEach(len(groups), func(i int) {
+		g := groups[i]
 		n, err := m.GSSNMax(g, delta)
 		if err != nil {
 			if err == ErrOverload {
-				out = append(out, GSSResult{Groups: g})
-				continue
+				out[i] = GSSResult{Groups: g}
+			} else {
+				errs[i] = err
 			}
-			return nil, err
+			return
 		}
 		r, err := m.GSS(n, g)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		// Report the admitted N, not the per-group size alone.
 		r.GroupSize = (n + g - 1) / g
 		r.LateBound = math.Min(r.LateBound, 1)
 		r.AdmittedN = n
-		out = append(out, r)
+		out[i] = r
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
+	"mzqos/internal/chernoff"
 	"mzqos/internal/disk"
 	"mzqos/internal/dist"
 	"mzqos/internal/lst"
@@ -96,8 +98,16 @@ type Config struct {
 	TransferVar  float64
 }
 
-// Model computes the paper's service-quality bounds for one disk. It is
-// safe for concurrent use; per-N bound results are memoized.
+// Model computes the paper's service-quality bounds for one disk.
+//
+// Concurrency: a Model is safe for any number of concurrent callers.
+// Per-N lateness results (Chernoff bound plus its optimizing θ) and their
+// glitch prefix sums live in an immutable chain snapshot published through
+// an atomic pointer, so the read path — every memoized bound, glitch sum,
+// and admission search — is lock-free. Extending the chain to a new N is
+// serialized by a mutex (single-flight), and each extension is computed
+// warm-started from its predecessor's θ, so a given Model returns
+// bit-identical values no matter how calls interleave.
 type Model struct {
 	cfg       Config
 	transGam  lst.Gamma     // moment-matched transfer-time transform (3.2.10)
@@ -106,8 +116,21 @@ type Model struct {
 	transVar  float64
 	hasSizes  bool
 
-	mu        sync.Mutex
-	lateCache map[int]float64
+	mu    sync.Mutex // serializes chain extension; readers never take it
+	chain atomic.Pointer[lateChain]
+}
+
+// lateChain is an immutable snapshot of the memoized per-round lateness
+// results: res[n] holds the Chernoff result for b_late(n, t) (index 0 is a
+// zero placeholder) and prefix[n] = Σ_{k=1..n} b_late(k, t), the numerator
+// of the glitch bound (3.3.3). Snapshots are extended copy-on-write and
+// published atomically; monotone records whether any decreasing step
+// b_late(k) < b_late(k-1) has ever been observed, which the bisection
+// admission searches consult before trusting binary search.
+type lateChain struct {
+	res      []chernoff.Result
+	prefix   []float64
+	monotone bool
 }
 
 // New validates cfg and precomputes the transfer-time Gamma matching.
@@ -118,7 +141,12 @@ func New(cfg Config) (*Model, error) {
 	if !(cfg.RoundLength > 0) {
 		return nil, fmt.Errorf("%w: round length must be positive", ErrConfig)
 	}
-	m := &Model{cfg: cfg, lateCache: make(map[int]float64)}
+	m := &Model{cfg: cfg}
+	m.chain.Store(&lateChain{
+		res:      make([]chernoff.Result, 1),
+		prefix:   make([]float64, 1),
+		monotone: true,
+	})
 	switch {
 	case cfg.TransferMean > 0 && cfg.TransferVar > 0:
 		m.transMean, m.transVar = cfg.TransferMean, cfg.TransferVar

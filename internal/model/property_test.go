@@ -129,6 +129,102 @@ func TestStreamErrorMonotonicity(t *testing.T) {
 	}
 }
 
+// Property: b_late, b_glitch, and p_error are non-decreasing in n over the
+// full admissible search range. This is the invariant the exponential-probe
+// plus bisection N_max searches rely on; the chain extension also checks it
+// online and flips the model to linear scans if it ever fails.
+func TestBoundsNonDecreasingInN(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(testing.TB) *Model
+	}{
+		{"multizone", paperMultiZoneModel},
+		{"singlezone", paperSingleZoneModel},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.mk(t)
+			limit := m.maxSearchN()
+			var prevLate, prevGlitch, prevErr float64
+			for n := 1; n <= limit; n++ {
+				late, err := m.LateBound(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				glitch, err := m.GlitchBound(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				perr, err := m.StreamErrorBound(n, 1200, 12)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if late < prevLate-1e-12 {
+					t.Fatalf("n=%d: b_late %v below predecessor %v", n, late, prevLate)
+				}
+				if glitch < prevGlitch-1e-12 {
+					t.Fatalf("n=%d: b_glitch %v below predecessor %v", n, glitch, prevGlitch)
+				}
+				if perr < prevErr-1e-12 {
+					t.Fatalf("n=%d: p_error %v below predecessor %v", n, perr, prevErr)
+				}
+				prevLate, prevGlitch, prevErr = late, glitch, perr
+			}
+			if !m.chain.Load().monotone {
+				t.Fatal("chain recorded a non-monotone step")
+			}
+		})
+	}
+}
+
+// admissionTestGrid is the guarantee grid the bisection/linear agreement
+// and concurrency tests share: per-round thresholds plus paper-scale
+// per-stream guarantees (M=1200) at several tolerated glitch counts.
+func admissionTestGrid() []Guarantee {
+	return []Guarantee{
+		{Threshold: 1e-4},
+		{Threshold: 1e-3},
+		{Threshold: 0.01},
+		{Threshold: 0.05},
+		{Threshold: 0.2},
+		{Rounds: 1200, Glitches: 6, Threshold: 0.001},
+		{Rounds: 1200, Glitches: 6, Threshold: 0.05},
+		{Rounds: 1200, Glitches: 12, Threshold: 1e-4},
+		{Rounds: 1200, Glitches: 12, Threshold: 0.01},
+		{Rounds: 1200, Glitches: 24, Threshold: 0.01},
+		{Rounds: 1200, Glitches: 24, Threshold: 0.1},
+	}
+}
+
+// Property: the bisection search agrees with the retained linear scan (the
+// seed algorithm, cold solves and all) on every guarantee of the grid, on
+// both disk profiles.
+func TestBisectionAgreesWithLinearScan(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		geom *disk.Geometry
+	}{
+		{"viking", disk.QuantumViking21()},
+		{"synthetic2000", disk.Synthetic2000()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := New(Config{Disk: tc.geom, Sizes: workload.PaperSizes(), RoundLength: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range admissionTestGrid() {
+				fast, errFast := m.NMaxFor(g)
+				slow, errSlow := m.SeedNMaxFor(g)
+				if (errFast == nil) != (errSlow == nil) || (errFast != nil && errFast != errSlow) {
+					t.Fatalf("%v: bisection err %v, linear err %v", g, errFast, errSlow)
+				}
+				if fast != slow {
+					t.Errorf("%v: bisection N_max %d, linear scan %d", g, fast, slow)
+				}
+			}
+		})
+	}
+}
+
 // Property: a CBR workload (zero variance) admits more streams than a VBR
 // workload with the same mean — variability costs capacity.
 func TestVariabilityCostsAdmission(t *testing.T) {

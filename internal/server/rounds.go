@@ -1,6 +1,9 @@
 package server
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // DiskRoundReport is the outcome of one disk's sweep in one round.
 type DiskRoundReport struct {
@@ -54,8 +57,8 @@ func (s *Server) Step() RoundReport {
 			continue
 		}
 		// SCAN: sort by cylinder, sweep from the parked arm at cylinder 0.
-		sort.Slice(reqs, func(a, b int) bool {
-			return reqs[a].frag.loc.Cylinder < reqs[b].frag.loc.Cylinder
+		slices.SortFunc(reqs, func(a, b diskRequest) int {
+			return cmp.Compare(a.frag.loc.Cylinder, b.frag.loc.Cylinder)
 		})
 		arm := 0
 		var clock float64

@@ -13,10 +13,11 @@
 package sim
 
 import (
+	"cmp"
 	"errors"
 	"math/rand/v2"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"mzqos/internal/disk"
@@ -95,7 +96,7 @@ func simulateRound(cfg Config, rng *rand.Rand, sc *roundScratch, lateFor []bool)
 		}
 	}
 	// SCAN: one sweep in ascending cylinder order from the parked arm.
-	sort.Slice(reqs, func(a, b int) bool { return reqs[a].cylinder < reqs[b].cylinder })
+	slices.SortFunc(reqs, func(a, b request) int { return cmp.Compare(a.cylinder, b.cylinder) })
 	arm := 0
 	var clock float64
 	for i := range reqs {
@@ -336,7 +337,7 @@ func PositionBias(cfg Config, trials int, seed uint64) ([]Estimate, error) {
 					loc := cfg.sampleLocation(rng)
 					reqs[j] = request{cylinder: loc.Cylinder, zone: loc.Zone, size: cfg.Sizes.Sample(rng)}
 				}
-				sort.Slice(reqs, func(a, b int) bool { return reqs[a].cylinder < reqs[b].cylinder })
+				slices.SortFunc(reqs, func(a, b request) int { return cmp.Compare(a.cylinder, b.cylinder) })
 				arm := 0
 				var clock float64
 				for pos := range reqs {
