@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench check clean
+.PHONY: all build vet test test-race bench smoke check clean
 
 all: build
 
@@ -21,9 +21,14 @@ test-race:
 	$(GO) test -race ./...
 
 # Runs the admission benchmark suite and appends the measurements
-# (op, ns/op, allocs/op, git rev, date) to BENCH_admission.json.
+# (op, ns/op, allocs/op, git rev, date, solver telemetry) to
+# BENCH_admission.json; the schema is documented in BENCH_SCHEMA.md.
 bench:
 	$(GO) run ./cmd/mzbench -v -out BENCH_admission.json
+
+# Runs mzserver with -listen and curls the live telemetry endpoints.
+smoke:
+	sh scripts/smoke.sh
 
 check: build vet test test-race
 

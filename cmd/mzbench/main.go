@@ -4,7 +4,10 @@
 // Every entry records the op name, ns/op, B/op, allocs/op, the git
 // revision, and the date; the summary block reports the speedup of the
 // optimized admission path over the retained seed implementation, both
-// measured in the same run on the same machine.
+// measured in the same run on the same machine, plus the model package's
+// solver telemetry (chain cache hit ratio, warm/cold Chernoff solve
+// counts) captured over the whole suite. The file format is documented in
+// BENCH_SCHEMA.md.
 //
 // Usage:
 //
@@ -23,6 +26,7 @@ import (
 	"time"
 
 	"mzqos/internal/benchcases"
+	"mzqos/internal/model"
 )
 
 // opResult is one benchmark measurement in the trajectory file.
@@ -34,7 +38,21 @@ type opResult struct {
 	Iterations  int     `json:"iterations"`
 }
 
+// solverTelemetry is the model package's solver-counter block, captured
+// over the whole measured suite. It explains a run's speedups: a hot chain
+// (high cache_hit_ratio, mostly warm solves) is what the fast path buys.
+type solverTelemetry struct {
+	ChainHits       int64   `json:"chain_hits"`
+	ChainExtensions int64   `json:"chain_extensions"`
+	WarmSolves      int64   `json:"warm_solves"`
+	ColdSolves      int64   `json:"cold_solves"`
+	SearchProbes    int64   `json:"search_probes"`
+	LinearFallbacks int64   `json:"linear_fallbacks"`
+	CacheHitRatio   float64 `json:"cache_hit_ratio"`
+}
+
 // run is one mzbench invocation; the trajectory file holds a list of them.
+// The format is documented in BENCH_SCHEMA.md.
 type run struct {
 	Schema     string             `json:"schema"`
 	Date       string             `json:"date"`
@@ -43,6 +61,7 @@ type run struct {
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	Benchmarks []opResult         `json:"benchmarks"`
 	Speedups   map[string]float64 `json:"speedups"`
+	Telemetry  *solverTelemetry   `json:"telemetry,omitempty"`
 }
 
 func gitRev() string {
@@ -68,8 +87,9 @@ func main() {
 	verbose := flag.Bool("v", false, "print each result as it is measured")
 	flag.Parse()
 
+	model.ResetTelemetry()
 	r := run{
-		Schema:     "mzbench/v1",
+		Schema:     "mzbench/v2",
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GitRev:     gitRev(),
 		GoVersion:  runtime.Version(),
@@ -99,6 +119,16 @@ func main() {
 			r.Speedups[p.name] = base / opt
 		}
 	}
+	mt := model.Telemetry()
+	r.Telemetry = &solverTelemetry{
+		ChainHits:       mt.ChainHits,
+		ChainExtensions: mt.ChainExtensions,
+		WarmSolves:      mt.WarmSolves,
+		ColdSolves:      mt.ColdSolves,
+		SearchProbes:    mt.SearchProbes,
+		LinearFallbacks: mt.LinearFallbacks,
+		CacheHitRatio:   mt.CacheHitRatio(),
+	}
 
 	runs, err := readTrajectory(*out)
 	if err != nil {
@@ -123,6 +153,9 @@ func main() {
 			fmt.Printf("  %-32s %8.1fx\n", p.name, v)
 		}
 	}
+	fmt.Printf("  solver: %.1f%% chain hit ratio, %d warm / %d cold solves, %d search probes\n",
+		100*r.Telemetry.CacheHitRatio, r.Telemetry.WarmSolves, r.Telemetry.ColdSolves,
+		r.Telemetry.SearchProbes)
 }
 
 // readTrajectory loads the existing run list, tolerating a missing file so

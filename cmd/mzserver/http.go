@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"mzqos/internal/model"
+	"mzqos/internal/server"
+)
+
+// publishOnce guards the process-global expvar namespace: expvar panics on
+// duplicate names, and tests build more than one mux per process.
+var publishOnce sync.Once
+
+// newTelemetryMux wires the observability endpoints for a running server:
+//
+//	/metrics     Prometheus text exposition (server + model series)
+//	/debug/vars  expvar JSON (the same snapshot under the "mzqos" key,
+//	             plus the stdlib memstats/cmdline vars)
+//	/report      the live bound-tightness report as JSON
+//	/sweeps      recent per-sweep phase breakdowns as JSON
+//	/healthz     liveness probe
+//	/debug/pprof runtime profiling, only when withPprof is set
+//
+// Everything served here reads atomic metrics or takes the model's
+// lock-free snapshot path, so scraping is safe while the round loop runs.
+func newTelemetryMux(srv *server.Server, withPprof bool) *http.ServeMux {
+	reg := srv.Telemetry().Registry()
+	model.RegisterTelemetry(reg)
+	publishOnce.Do(func() { expvar.Publish("mzqos", reg.ExpvarFunc()) })
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.MetricsHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/report", func(w http.ResponseWriter, _ *http.Request) {
+		rep, err := srv.BoundTightness()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, rep)
+	})
+	mux.HandleFunc("/sweeps", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, srv.Telemetry().RecentSweeps())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/model"
+	"mzqos/internal/server"
+	"mzqos/internal/workload"
+)
+
+func testServer(t *testing.T) *server.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Disk:        disk.QuantumViking21(),
+		NumDisks:    2,
+		RoundLength: 1,
+		Sizes:       workload.PaperSizes(),
+		Guarantee:   model.Guarantee{Threshold: 0.01},
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddSyntheticObject("v", 100); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, _, err := srv.Open("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 20; r++ {
+		srv.Step()
+	}
+	return srv
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	mux := newTelemetryMux(testServer(t), false)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q is not Prometheus text exposition", ct)
+	}
+	body := rec.Body.String()
+	// The documented metric surface: server series, per-disk series, and
+	// the adopted model solver series must all appear.
+	for _, name := range []string{
+		"mzqos_server_rounds_total 20",
+		"mzqos_server_fragments_total",
+		"mzqos_server_glitches_total",
+		"mzqos_server_streams_admitted_total 8",
+		"mzqos_server_streams_active 8",
+		"mzqos_server_nmax 26",
+		"mzqos_server_bound_late",
+		"mzqos_server_bound_glitch",
+		`mzqos_server_round_time_seconds_bucket{disk="0",le="1"}`,
+		`mzqos_server_round_time_seconds_bucket{disk="1",le="+Inf"}`,
+		`mzqos_server_peak_round_load{disk="0"}`,
+		`mzqos_server_phase_seconds_total{disk="0",phase="seek"}`,
+		`mzqos_server_phase_seconds_total{disk="1",phase="transfer"}`,
+		"mzqos_model_chain_hits_total",
+		`mzqos_model_chernoff_solves_total{mode="cold"}`,
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics missing %q", name)
+		}
+	}
+}
+
+func TestExpvarEndpoint(t *testing.T) {
+	mux := newTelemetryMux(testServer(t), false)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/vars status %d", rec.Code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	raw, ok := vars["mzqos"]
+	if !ok {
+		t.Fatalf("/debug/vars lacks the mzqos key (have %d keys)", len(vars))
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("mzqos var is not a snapshot: %v", err)
+	}
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "mzqos_server_rounds_total" && c.Value == 20 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("mzqos snapshot lacks mzqos_server_rounds_total = 20")
+	}
+}
+
+func TestReportAndSweepsEndpoints(t *testing.T) {
+	mux := newTelemetryMux(testServer(t), false)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/report", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/report status %d", rec.Code)
+	}
+	var rep server.TightnessReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("/report is not a tightness report: %v", err)
+	}
+	if len(rep.Disks) != 2 || rep.PerDiskLimit != 26 {
+		t.Errorf("report: %d disks, limit %d", len(rep.Disks), rep.PerDiskLimit)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/sweeps", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/sweeps status %d", rec.Code)
+	}
+	var sweeps []struct {
+		Requests int     `json:"requests"`
+		Total    float64 `json:"total_s"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &sweeps); err != nil {
+		t.Fatalf("/sweeps is not an event list: %v", err)
+	}
+	if len(sweeps) == 0 {
+		t.Fatal("/sweeps is empty after 20 rounds")
+	}
+	for _, ev := range sweeps {
+		if ev.Requests <= 0 || ev.Total <= 0 {
+			t.Fatalf("degenerate sweep event: %+v", ev)
+		}
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	bare := newTelemetryMux(testServer(t), false)
+	rec := httptest.NewRecorder()
+	bare.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code == 200 {
+		t.Errorf("/debug/pprof served without the flag (status %d)", rec.Code)
+	}
+
+	profiled := newTelemetryMux(testServer(t), true)
+	rec = httptest.NewRecorder()
+	profiled.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Errorf("/debug/pprof status %d with the flag", rec.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	mux := newTelemetryMux(testServer(t), false)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("/healthz: status %d body %q", rec.Code, rec.Body.String())
+	}
+}

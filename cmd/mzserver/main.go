@@ -9,13 +9,23 @@
 //	mzserver -disks 4 -rounds 600 -arrivals 0.5
 //	mzserver -disks 8 -rounds 1200 -arrivals 1.2 -cliplen 300 -recalibrate 200
 //	mzserver -mean 300 -sd 150                  # heavier clips than declared
+//	mzserver -listen :9090 -linger 1m           # scrape /metrics, /report
+//
+// With -listen the process serves live telemetry while the rounds run:
+// Prometheus text on /metrics, expvar JSON on /debug/vars, the
+// bound-vs-measured tightness report on /report, recent per-sweep phase
+// breakdowns on /sweeps, and (with -pprof) the runtime profiler under
+// /debug/pprof. -linger keeps the endpoint up after the last round so
+// scrapers and smoke tests can read the final state.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
+	"time"
 
 	"mzqos/internal/disk"
 	"mzqos/internal/dist"
@@ -40,6 +50,9 @@ func main() {
 		zipfS       = flag.Float64("zipf", 0.8, "Zipf popularity exponent for clip selection (0 = uniform)")
 		seed        = flag.Uint64("seed", 42, "random seed")
 		report      = flag.Int("report", 100, "progress report interval in rounds")
+		listen      = flag.String("listen", "", "serve telemetry over HTTP on this address (empty = disabled)")
+		withPprof   = flag.Bool("pprof", false, "also expose /debug/pprof on the telemetry endpoint")
+		linger      = flag.Duration("linger", 0, "keep the telemetry endpoint up this long after the last round")
 	)
 	flag.Parse()
 
@@ -61,6 +74,17 @@ func main() {
 	rng := dist.NewRand(*seed, *seed^0xfeed)
 	fmt.Printf("server: %d disks, admission limit %d/disk (%d total), declared %s, actual %s\n",
 		*disks, srv.PerDiskLimit(), srv.Capacity(), declared.Name, actual.Name)
+
+	if *listen != "" {
+		mux := newTelemetryMux(srv, *withPprof)
+		go func() {
+			if err := http.ListenAndServe(*listen, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "mzserver: telemetry endpoint: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("telemetry: http://%s/metrics (prometheus), /debug/vars (expvar), /report (bound tightness)\n", *listen)
+	}
 
 	// Build the catalog with the *actual* workload.
 	for i := 0; i < *catalog; i++ {
@@ -123,6 +147,32 @@ func main() {
 	if n > 0 {
 		fmt.Printf("observed workload: mean %.0f KB, sd %.0f KB over %d fragments (drift %.0f%%)\n",
 			mean/workload.KB, sd/workload.KB, n, 100*srv.SizeDrift())
+	}
+
+	// The paper's guarantee, checked live: measured tails beside the
+	// analytic Chernoff bounds they were admitted under.
+	if rep, err := srv.BoundTightness(); err == nil {
+		fmt.Println()
+		fmt.Println("bound tightness (measured vs analytic, per disk):")
+		fmt.Printf("  %-4s %-8s %8s %6s %14s %14s %14s %14s\n",
+			"disk", "sweeps", "peak N", "ok", "P^[T>t]", "b_late", "glitch rate", "b_glitch")
+		for _, d := range rep.Disks {
+			ok := "yes"
+			if !d.WithinBounds() {
+				ok = "NO"
+			}
+			fmt.Printf("  %-4d %-8d %8d %6s %14.3e %14.3e %14.3e %14.3e\n",
+				d.Disk, d.Sweeps, d.PeakLoad, ok,
+				d.EmpiricalPLate, d.BoundPLate, d.EmpiricalGlitchRate, d.BoundGlitch)
+		}
+	}
+	mt := model.Telemetry()
+	fmt.Printf("model cache: %.1f%% chain hit ratio (%d hits, %d extensions), %d warm / %d cold solves, %d search probes\n",
+		100*mt.CacheHitRatio(), mt.ChainHits, mt.ChainExtensions, mt.WarmSolves, mt.ColdSolves, mt.SearchProbes)
+
+	if *listen != "" && *linger > 0 {
+		fmt.Printf("lingering %s for scrapers on %s ...\n", *linger, *listen)
+		time.Sleep(*linger)
 	}
 }
 

@@ -96,6 +96,9 @@ func Simulate(cfg Config, n, rounds int, seed uint64) (SimResult, error) {
 				glitches++
 			}
 		}
+		if cfg.RoundTimes != nil {
+			cfg.RoundTimes.Observe(clock - roundStart)
+		}
 		if clock > roundStart+budget {
 			overruns++
 		}

@@ -20,14 +20,17 @@ const boundMonoSlack = 1e-12
 func (m *Model) ensureChain(n int) (*lateChain, error) {
 	c := m.chain.Load()
 	if len(c.res) > n {
+		tel.chainHits.Inc()
 		return c, nil
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	c = m.chain.Load()
 	if len(c.res) > n {
+		tel.chainHits.Inc()
 		return c, nil
 	}
+	tel.chainExtensions.Inc()
 	next := &lateChain{
 		res:      append(make([]chernoff.Result, 0, n+1), c.res...),
 		prefix:   append(make([]float64, 0, n+1), c.prefix...),
@@ -37,6 +40,11 @@ func (m *Model) ensureChain(n int) (*lateChain, error) {
 		tr, err := m.RoundTransform(k)
 		if err != nil {
 			return nil, err
+		}
+		if next.res[k-1].Theta > 0 {
+			tel.warmSolves.Inc()
+		} else {
+			tel.coldSolves.Inc()
 		}
 		r, err := chernoff.BoundWarm(tr, m.cfg.RoundLength, next.res[k-1].Theta)
 		if err != nil {
@@ -67,6 +75,7 @@ func (m *Model) LateBound(n int) (float64, error) {
 		return 0, nil
 	}
 	if c := m.chain.Load(); len(c.res) > n {
+		tel.chainHits.Inc()
 		return c.res[n].Bound, nil
 	}
 	if n > m.maxSearchN() {
@@ -90,6 +99,11 @@ func (m *Model) lateResultAt(n int, deadline, thetaHint float64) (chernoff.Resul
 	tr, err := m.RoundTransform(n)
 	if err != nil {
 		return chernoff.Result{}, err
+	}
+	if thetaHint > 0 {
+		tel.warmSolves.Inc()
+	} else {
+		tel.coldSolves.Inc()
 	}
 	return chernoff.BoundWarm(tr, deadline, thetaHint)
 }
@@ -279,12 +293,17 @@ func linearMax(limit int, exceeds func(int) (bool, error)) (int, error) {
 // cheap), the binary-search bracketing is unsound and the linear scan is
 // authoritative.
 func (m *Model) nMaxSearch(limit int, exceeds func(int) (bool, error)) (int, error) {
-	n, err := searchMax(limit, exceeds)
+	probed := func(n int) (bool, error) {
+		tel.searchProbes.Inc()
+		return exceeds(n)
+	}
+	n, err := searchMax(limit, probed)
 	if err != nil {
 		return n, err
 	}
 	if !m.chain.Load().monotone {
-		return linearMax(limit, exceeds)
+		tel.linearFallbacks.Inc()
+		return linearMax(limit, probed)
 	}
 	return n, nil
 }

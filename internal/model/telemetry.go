@@ -1,0 +1,87 @@
+package model
+
+import "mzqos/internal/telemetry"
+
+// Package-wide solver telemetry. The counters are process-global (summed
+// over every Model instance) because what they answer — how often the
+// admission path hits the memoized bound chain, how many Chernoff solves
+// ran warm-started versus cold, how many probes the bisection searches
+// spent — is a property of the running process, mirroring the PR-1
+// speedups that cmd/mzbench tracks. Counting is a single atomic add per
+// event, negligible next to the solves themselves.
+var tel struct {
+	chainHits       telemetry.Counter // bound reads served by the published chain
+	chainExtensions telemetry.Counter // reads that had to extend the chain
+	warmSolves      telemetry.Counter // Chernoff solves warm-started from a θ hint
+	coldSolves      telemetry.Counter // Chernoff solves from a full-interval search
+	searchProbes    telemetry.Counter // exceeds() evaluations in N_max searches
+	linearFallbacks telemetry.Counter // searches re-run by the linear-scan fallback
+}
+
+// TelemetrySnapshot reports the process-wide solver counters.
+type TelemetrySnapshot struct {
+	// ChainHits counts bound reads answered lock-free from the published
+	// chain; ChainExtensions counts reads that had to grow it.
+	ChainHits, ChainExtensions int64
+	// WarmSolves and ColdSolves split the Chernoff minimizations by
+	// whether they were warm-started from a neighbouring θ.
+	WarmSolves, ColdSolves int64
+	// SearchProbes counts bound evaluations spent inside N_max searches
+	// (exponential probe + bisection, or the linear fallback).
+	SearchProbes int64
+	// LinearFallbacks counts searches that re-ran as a linear scan after
+	// a non-monotone bound step was recorded.
+	LinearFallbacks int64
+}
+
+// CacheHitRatio returns ChainHits/(ChainHits+ChainExtensions), the
+// fraction of bound reads that never took the extension lock (0 when no
+// reads have happened).
+func (t TelemetrySnapshot) CacheHitRatio() float64 {
+	total := t.ChainHits + t.ChainExtensions
+	if total == 0 {
+		return 0
+	}
+	return float64(t.ChainHits) / float64(total)
+}
+
+// Telemetry returns the current solver counters.
+func Telemetry() TelemetrySnapshot {
+	return TelemetrySnapshot{
+		ChainHits:       tel.chainHits.Value(),
+		ChainExtensions: tel.chainExtensions.Value(),
+		WarmSolves:      tel.warmSolves.Value(),
+		ColdSolves:      tel.coldSolves.Value(),
+		SearchProbes:    tel.searchProbes.Value(),
+		LinearFallbacks: tel.linearFallbacks.Value(),
+	}
+}
+
+// ResetTelemetry zeroes the solver counters (per-run harnesses such as
+// cmd/mzbench call it before a measured suite).
+func ResetTelemetry() {
+	tel.chainHits.Reset()
+	tel.chainExtensions.Reset()
+	tel.warmSolves.Reset()
+	tel.coldSolves.Reset()
+	tel.searchProbes.Reset()
+	tel.linearFallbacks.Reset()
+}
+
+// RegisterTelemetry adopts the solver counters into a registry under the
+// documented mzqos_model_* names, so an exposition endpoint serves them
+// alongside server metrics. Safe to call more than once per registry.
+func RegisterTelemetry(reg *telemetry.Registry) {
+	reg.AdoptCounter("mzqos_model_chain_hits_total",
+		"Bound reads served lock-free from the memoized b_late chain.", &tel.chainHits)
+	reg.AdoptCounter("mzqos_model_chain_extensions_total",
+		"Bound reads that extended the memoized b_late chain.", &tel.chainExtensions)
+	reg.AdoptCounter("mzqos_model_chernoff_solves_total",
+		"Chernoff minimizations by start mode.", &tel.warmSolves, telemetry.L("mode", "warm"))
+	reg.AdoptCounter("mzqos_model_chernoff_solves_total",
+		"Chernoff minimizations by start mode.", &tel.coldSolves, telemetry.L("mode", "cold"))
+	reg.AdoptCounter("mzqos_model_search_probes_total",
+		"Bound evaluations spent inside N_max admission searches.", &tel.searchProbes)
+	reg.AdoptCounter("mzqos_model_search_linear_fallbacks_total",
+		"N_max searches re-run by the linear-scan fallback.", &tel.linearFallbacks)
+}

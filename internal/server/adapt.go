@@ -6,7 +6,6 @@ import (
 	"math"
 
 	"mzqos/internal/dist"
-	"mzqos/internal/model"
 	"mzqos/internal/workload"
 )
 
@@ -45,33 +44,17 @@ func (s *Server) Recalibrate(minSamples int64) (oldLimit, newLimit int, err erro
 		return s.nmax, s.nmax, err
 	}
 	// Refit per distinct disk; the binding constraint is the minimum.
-	nmax := -1
-	var binding *model.Model
-	for _, g := range s.geoms {
-		mdl, err := model.New(model.Config{
-			Disk:        g,
-			Sizes:       sizes,
-			RoundLength: s.cfg.RoundLength,
-		})
-		if err != nil {
-			return s.nmax, s.nmax, err
-		}
-		n, err := mdl.NMaxFor(s.cfg.Guarantee)
-		if err != nil {
-			if errors.Is(err, model.ErrOverload) {
-				n = 0
-			} else {
-				return s.nmax, s.nmax, err
-			}
-		}
-		if nmax < 0 || n < nmax {
-			nmax = n
-			binding = mdl
-		}
+	binding, mdls, nmax, err := evaluateDisks(s.geoms, sizes, s.cfg.RoundLength, s.cfg.Guarantee)
+	if err != nil {
+		return s.nmax, s.nmax, err
 	}
 	oldLimit = s.nmax
+	s.limitMu.Lock()
 	s.mdl = binding
+	s.mdls = mdls
 	s.nmax = nmax
+	s.limitMu.Unlock()
+	s.publishLimits()
 	return oldLimit, nmax, nil
 }
 

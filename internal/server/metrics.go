@@ -1,0 +1,256 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"mzqos/internal/telemetry"
+)
+
+// Telemetry is the server's live metrics surface: counters, gauges, and
+// per-disk round-time histograms registered under the documented
+// mzqos_server_* names, plus a bounded recorder of recent per-sweep phase
+// breakdowns. All of it is safe to read concurrently with the round loop
+// (every metric is atomic; the recorder takes its own short mutex), which
+// is what lets an HTTP exposition endpoint scrape a running server.
+type Telemetry struct {
+	reg      *telemetry.Registry
+	recorder *telemetry.RoundRecorder
+
+	rounds      *telemetry.Counter
+	fragments   *telemetry.Counter
+	glitches    *telemetry.Counter
+	admitted    *telemetry.Counter
+	rejected    *telemetry.Counter
+	completed   *telemetry.Counter
+	retired     *telemetry.Counter
+	active      *telemetry.Gauge
+	paused      *telemetry.Gauge
+	nmax        *telemetry.Gauge
+	boundLate   *telemetry.Gauge
+	boundGlitch *telemetry.Gauge
+
+	disks []diskTelemetry
+}
+
+// diskTelemetry holds one disk's series, captured once at setup so the
+// sweep loop does no registry lookups.
+type diskTelemetry struct {
+	roundTime  *telemetry.Histogram
+	lateRounds *telemetry.Counter
+	fragments  *telemetry.Counter
+	glitches   *telemetry.Counter
+	peakLoad   *telemetry.Gauge
+	seek       *telemetry.Gauge
+	rotation   *telemetry.Gauge
+	transfer   *telemetry.Gauge
+}
+
+// recorderCapacity bounds the recent-sweep ring: enough to reconstruct a
+// few hundred rounds of phase breakdown without unbounded growth.
+const recorderCapacity = 4096
+
+// newTelemetry registers the server metric set for `disks` drives and a
+// round length of t seconds.
+func newTelemetry(disks int, t float64) (*Telemetry, error) {
+	reg := telemetry.NewRegistry()
+	tl := &Telemetry{
+		reg:      reg,
+		recorder: telemetry.NewRoundRecorder(recorderCapacity),
+		rounds: reg.Counter("mzqos_server_rounds_total",
+			"Scheduling rounds executed."),
+		fragments: reg.Counter("mzqos_server_fragments_total",
+			"Fragments served across all disks."),
+		glitches: reg.Counter("mzqos_server_glitches_total",
+			"Fragments that finished after their round deadline."),
+		admitted: reg.Counter("mzqos_server_streams_admitted_total",
+			"Streams accepted by admission control."),
+		rejected: reg.Counter("mzqos_server_streams_rejected_total",
+			"Streams turned away by admission control."),
+		completed: reg.Counter("mzqos_server_streams_completed_total",
+			"Streams that consumed their final fragment."),
+		retired: reg.Counter("mzqos_server_streams_retired_total",
+			"Streams closed or completed (retired from the active set)."),
+		active: reg.Gauge("mzqos_server_streams_active",
+			"Streams currently open."),
+		paused: reg.Gauge("mzqos_server_streams_paused",
+			"Streams currently paused."),
+		nmax: reg.Gauge("mzqos_server_nmax",
+			"Admission limit N_max per disk (binding disk)."),
+		boundLate: reg.Gauge("mzqos_server_bound_late",
+			"Analytic b_late(N_max, t): Chernoff bound on a full round being late."),
+		boundGlitch: reg.Gauge("mzqos_server_bound_glitch",
+			"Analytic b_glitch(N_max, t): bound on a stream glitching in one round."),
+	}
+	for d := 0; d < disks; d++ {
+		lbl := telemetry.L("disk", fmt.Sprintf("%d", d))
+		bounds, err := telemetry.RoundTimeBuckets(t)
+		if err != nil {
+			return nil, err
+		}
+		hist, err := reg.Histogram("mzqos_server_round_time_seconds",
+			"Total SCAN sweep service time T_N per loaded round, log-bucketed around the round length.",
+			bounds, lbl)
+		if err != nil {
+			return nil, err
+		}
+		tl.disks = append(tl.disks, diskTelemetry{
+			roundTime: hist,
+			lateRounds: reg.Counter("mzqos_server_late_rounds_total",
+				"Loaded rounds whose sweep exceeded the round length (the event bounded by b_late).", lbl),
+			fragments: reg.Counter("mzqos_server_disk_fragments_total",
+				"Fragments served by this disk.", lbl),
+			glitches: reg.Counter("mzqos_server_disk_glitches_total",
+				"Late fragments on this disk.", lbl),
+			peakLoad: reg.Gauge("mzqos_server_peak_round_load",
+				"Largest per-round request count this disk has served.", lbl),
+			seek: reg.Gauge("mzqos_server_phase_seconds_total",
+				"Accumulated sweep service seconds by phase.", lbl, telemetry.L("phase", "seek")),
+			rotation: reg.Gauge("mzqos_server_phase_seconds_total",
+				"Accumulated sweep service seconds by phase.", lbl, telemetry.L("phase", "rotation")),
+			transfer: reg.Gauge("mzqos_server_phase_seconds_total",
+				"Accumulated sweep service seconds by phase.", lbl, telemetry.L("phase", "transfer")),
+		})
+	}
+	return tl, nil
+}
+
+// Registry exposes the underlying registry (for the exposition endpoint
+// and for adopting further series, e.g. the model's solver counters).
+func (t *Telemetry) Registry() *telemetry.Registry { return t.reg }
+
+// Snapshot returns a typed copy of every server metric.
+func (t *Telemetry) Snapshot() telemetry.Snapshot { return t.reg.Snapshot() }
+
+// RecentSweeps returns the retained per-sweep phase breakdowns, oldest
+// first.
+func (t *Telemetry) RecentSweeps() []telemetry.RoundEvent { return t.recorder.Recent() }
+
+// PhaseTotals returns the accumulated seek/rotation/transfer seconds over
+// all recorded sweeps.
+func (t *Telemetry) PhaseTotals() telemetry.PhaseTotals { return t.recorder.Totals() }
+
+// Telemetry returns the server's metrics surface. Safe to call and use
+// concurrently with the round loop.
+func (s *Server) Telemetry() *Telemetry { return s.tel }
+
+// observeSweep records one disk's finished sweep into the metric set and
+// the phase recorder. Called once per loaded disk per round from Step.
+func (s *Server) observeSweep(d int, dr *DiskRoundReport) {
+	dt := &s.tel.disks[d]
+	dt.roundTime.Observe(dr.Busy)
+	dt.fragments.Add(int64(dr.Requests))
+	dt.glitches.Add(int64(dr.Late))
+	dt.peakLoad.SetMax(float64(dr.Requests))
+	dt.seek.Add(dr.Seek)
+	dt.rotation.Add(dr.Rotation)
+	dt.transfer.Add(dr.Transfer)
+	if dr.Busy > s.cfg.RoundLength {
+		dt.lateRounds.Inc()
+	}
+	s.tel.fragments.Add(int64(dr.Requests))
+	s.tel.recorder.Record(telemetry.RoundEvent{
+		Round:    s.round,
+		Disk:     d,
+		Requests: dr.Requests,
+		Late:     dr.Late,
+		Seek:     dr.Seek,
+		Rotation: dr.Rotation,
+		Transfer: dr.Transfer,
+		Total:    dr.Busy,
+	})
+}
+
+// DiskTightness compares one disk's measured service quality against the
+// analytic bounds it was admitted under: the paper's guarantee, checked
+// live. Bounds are evaluated at the disk's peak observed per-round load,
+// which dominates every lighter round because b_late and b_glitch are
+// non-decreasing in N.
+type DiskTightness struct {
+	// Disk indexes the drive; Geometry names its profile.
+	Disk     int    `json:"disk"`
+	Geometry string `json:"geometry"`
+	// Sweeps is the number of loaded rounds measured (the histogram
+	// population); Requests and Glitches are fragment totals.
+	Sweeps   int64 `json:"sweeps"`
+	Requests int64 `json:"requests"`
+	Glitches int64 `json:"glitches"`
+	// PeakLoad is the largest per-round request count observed.
+	PeakLoad int `json:"peak_load"`
+	// EmpiricalPLate is the measured P̂[T_N > t] over loaded rounds;
+	// BoundPLate is the analytic b_late(PeakLoad, t) it must stay under.
+	EmpiricalPLate float64 `json:"empirical_p_late"`
+	BoundPLate     float64 `json:"bound_p_late"`
+	// EmpiricalGlitchRate is glitches/requests; BoundGlitch is the
+	// analytic b_glitch(PeakLoad, t) (eq. 3.3.3).
+	EmpiricalGlitchRate float64 `json:"empirical_glitch_rate"`
+	BoundGlitch         float64 `json:"bound_glitch"`
+}
+
+// WithinBounds reports whether both measured rates respect their bounds.
+func (d DiskTightness) WithinBounds() bool {
+	return d.EmpiricalPLate <= d.BoundPLate && d.EmpiricalGlitchRate <= d.BoundGlitch
+}
+
+// TightnessReport is the server-wide bound-vs-measured comparison.
+type TightnessReport struct {
+	// RoundLength is the deadline t the tail is measured against.
+	RoundLength float64 `json:"round_length_s"`
+	// PerDiskLimit is the admission limit N_max in force.
+	PerDiskLimit int `json:"per_disk_limit"`
+	// Disks holds one comparison per drive.
+	Disks []DiskTightness `json:"disks"`
+}
+
+// WithinBounds reports whether every disk respects its bounds.
+func (r TightnessReport) WithinBounds() bool {
+	for _, d := range r.Disks {
+		if !d.WithinBounds() {
+			return false
+		}
+	}
+	return true
+}
+
+// BoundTightness builds the live bound-vs-measured report: for each disk
+// the empirical late-round tail and glitch rate beside the analytic
+// b_late/b_glitch evaluated at the disk's peak observed load. Safe to
+// call concurrently with the round loop (metrics are atomic; the model
+// set is read under the recalibration lock).
+func (s *Server) BoundTightness() (TightnessReport, error) {
+	s.limitMu.RLock()
+	mdls := s.mdls
+	nmax := s.nmax
+	s.limitMu.RUnlock()
+
+	rep := TightnessReport{RoundLength: s.cfg.RoundLength, PerDiskLimit: nmax}
+	for d, dt := range s.tel.disks {
+		hv := dt.roundTime.SnapshotValues()
+		row := DiskTightness{
+			Disk:     d,
+			Geometry: s.geoms[d].Name,
+			Sweeps:   hv.Count,
+			Requests: dt.fragments.Value(),
+			Glitches: dt.glitches.Value(),
+			PeakLoad: int(dt.peakLoad.Value()),
+		}
+		row.EmpiricalPLate = hv.TailAbove(s.cfg.RoundLength)
+		if row.Requests > 0 {
+			row.EmpiricalGlitchRate = float64(row.Glitches) / float64(row.Requests)
+		}
+		if row.PeakLoad > 0 {
+			bl, err := mdls[d].LateBound(row.PeakLoad)
+			if err != nil {
+				return TightnessReport{}, err
+			}
+			bg, err := mdls[d].GlitchBound(row.PeakLoad)
+			if err != nil {
+				return TightnessReport{}, err
+			}
+			row.BoundPLate, row.BoundGlitch = bl, bg
+		}
+		rep.Disks = append(rep.Disks, row)
+	}
+	sort.SliceStable(rep.Disks, func(i, j int) bool { return rep.Disks[i].Disk < rep.Disks[j].Disk })
+	return rep, nil
+}

@@ -1,0 +1,346 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/model"
+	"mzqos/internal/workload"
+)
+
+// TestBoundTightnessWithinBounds is the bound-tightness integration test:
+// run each disk profile at its full admitted load and check that the
+// measured tail P̂[T_N ≥ t] and glitch rate never exceed the analytic
+// b_late / b_glitch they were admitted under (the paper's guarantee).
+func TestBoundTightnessWithinBounds(t *testing.T) {
+	profiles := []struct {
+		name string
+		geom *disk.Geometry
+	}{
+		{"QuantumViking21", disk.QuantumViking21()},
+		{"Synthetic2000", disk.Synthetic2000()},
+	}
+	for _, p := range profiles {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			s, err := New(Config{
+				Disk:        p.geom,
+				NumDisks:    2,
+				RoundLength: 1,
+				Sizes:       workload.PaperSizes(),
+				Guarantee:   model.Guarantee{Threshold: 0.01},
+				Seed:        7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.PerDiskLimit() < 1 {
+				t.Fatalf("profile admits nothing: N_max = %d", s.PerDiskLimit())
+			}
+			// Fill the server to capacity so every round runs at the
+			// admitted load the bounds were computed for. Each stream
+			// plays its own object: the Chernoff machinery assumes
+			// independent fragment sizes, and streams sharing one object
+			// in lockstep would correlate every transfer in a sweep.
+			for i := 0; i < s.Capacity(); i++ {
+				name := fmt.Sprintf("clip-%03d", i)
+				if err := s.AddSyntheticObject(name, 10_000); err != nil {
+					t.Fatal(err)
+				}
+				if _, _, err := s.Open(name); err != nil {
+					t.Fatalf("open %d/%d: %v", i, s.Capacity(), err)
+				}
+			}
+
+			const rounds = 300
+			sum := s.Run(rounds)
+
+			rep, err := s.BoundTightness()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.PerDiskLimit != s.PerDiskLimit() {
+				t.Errorf("report limit %d != server limit %d", rep.PerDiskLimit, s.PerDiskLimit())
+			}
+			if len(rep.Disks) != s.NumDisks() {
+				t.Fatalf("report covers %d disks, want %d", len(rep.Disks), s.NumDisks())
+			}
+			for _, d := range rep.Disks {
+				// Staggered stream starts can leave a disk idle for the
+				// first round or two.
+				if d.Sweeps < rounds-2 || d.Sweeps > rounds {
+					t.Errorf("disk %d: %d sweeps, want ~%d", d.Disk, d.Sweeps, rounds)
+				}
+				if d.PeakLoad != s.PerDiskLimit() {
+					t.Errorf("disk %d: peak load %d, want N_max %d", d.Disk, d.PeakLoad, s.PerDiskLimit())
+				}
+				if d.BoundPLate <= 0 || d.BoundGlitch <= 0 {
+					t.Errorf("disk %d: degenerate bounds %g / %g", d.Disk, d.BoundPLate, d.BoundGlitch)
+				}
+				// The guarantee itself: measurement must respect the bound.
+				if d.EmpiricalPLate > d.BoundPLate {
+					t.Errorf("disk %d: empirical P[T_N>t] %g exceeds b_late %g",
+						d.Disk, d.EmpiricalPLate, d.BoundPLate)
+				}
+				if d.EmpiricalGlitchRate > d.BoundGlitch {
+					t.Errorf("disk %d: glitch rate %g exceeds b_glitch %g",
+						d.Disk, d.EmpiricalGlitchRate, d.BoundGlitch)
+				}
+			}
+			if !rep.WithinBounds() {
+				t.Error("WithinBounds() = false at admitted load")
+			}
+
+			// The per-disk histogram tail must agree with the aggregate
+			// glitch accounting in the run summary.
+			var glitches int64
+			for _, d := range rep.Disks {
+				glitches += d.Glitches
+			}
+			if glitches != int64(sum.Glitches) {
+				t.Errorf("telemetry glitches %d != run summary %d", glitches, sum.Glitches)
+			}
+		})
+	}
+}
+
+// TestTelemetryCountersMatchReports cross-checks the metric surface
+// against the per-round reports the Step API already returns.
+func TestTelemetryCountersMatchReports(t *testing.T) {
+	s := paperServer(t, 2)
+	if err := s.AddSyntheticObject("v", 50); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := s.Open("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var fragments, glitches int
+	const rounds = 40
+	for r := 0; r < rounds; r++ {
+		rep := s.Step()
+		glitches += rep.Glitches
+		for _, d := range rep.Disks {
+			fragments += d.Requests
+		}
+	}
+	snap := s.Telemetry().Snapshot()
+	checks := []struct {
+		name string
+		want int64
+	}{
+		{"mzqos_server_rounds_total", rounds},
+		{"mzqos_server_fragments_total", int64(fragments)},
+		{"mzqos_server_glitches_total", int64(glitches)},
+		{"mzqos_server_streams_admitted_total", 10},
+	}
+	for _, c := range checks {
+		if got, ok := snap.Counter(c.name); !ok || got != c.want {
+			t.Errorf("%s = %d (ok=%v), want %d", c.name, got, ok, c.want)
+		}
+	}
+	if v, ok := snap.Gauge("mzqos_server_nmax"); !ok || int(v) != s.PerDiskLimit() {
+		t.Errorf("nmax gauge = %v (ok=%v), want %d", v, ok, s.PerDiskLimit())
+	}
+	if v, ok := snap.Gauge("mzqos_server_streams_active"); !ok || int(v) != s.Active() {
+		t.Errorf("active gauge = %v (ok=%v), want %d", v, ok, s.Active())
+	}
+}
+
+// TestSweepPhaseBreakdown checks that the per-phase decomposition of the
+// SCAN sweep (seek + rotation + transfer) accounts for the whole sweep.
+func TestSweepPhaseBreakdown(t *testing.T) {
+	s := paperServer(t, 1)
+	if err := s.AddSyntheticObject("v", 100); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, _, err := s.Open("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 20; r++ {
+		rep := s.Step()
+		for _, d := range rep.Disks {
+			if d.Requests == 0 {
+				continue
+			}
+			phases := d.Seek + d.Rotation + d.Transfer
+			if math.Abs(phases-d.Busy) > 1e-9*math.Max(1, d.Busy) {
+				t.Fatalf("phases %g != busy %g", phases, d.Busy)
+			}
+			if d.Seek <= 0 || d.Rotation < 0 || d.Transfer <= 0 {
+				t.Fatalf("degenerate phase split: %+v", d)
+			}
+		}
+	}
+	events := s.Telemetry().RecentSweeps()
+	if len(events) != 20 {
+		t.Fatalf("recorder holds %d sweeps, want 20", len(events))
+	}
+	tot := s.Telemetry().PhaseTotals()
+	if tot.Sweeps != 20 || tot.Requests != 20*8 {
+		t.Fatalf("phase totals: %+v", tot)
+	}
+	if math.Abs(tot.Seek+tot.Rotation+tot.Transfer-tot.Total) > 1e-6 {
+		t.Fatalf("phase totals don't sum to total: %+v", tot)
+	}
+}
+
+// TestRetiredStreamStats checks that closed streams stay queryable through
+// the bounded retired-history ring and that the oldest entries are evicted
+// once it overflows.
+func TestRetiredStreamStats(t *testing.T) {
+	s, err := New(Config{
+		Disk:           disk.QuantumViking21(),
+		NumDisks:       1,
+		RoundLength:    1,
+		Sizes:          workload.PaperSizes(),
+		Guarantee:      model.Guarantee{Threshold: 0.01},
+		Seed:           3,
+		RetiredHistory: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSyntheticObject("v", 100); err != nil {
+		t.Fatal(err)
+	}
+
+	var ids []StreamID
+	for i := 0; i < 7; i++ {
+		id, _, err := s.Open("v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Step() // serve at least one fragment so stats are non-trivial
+		if err := s.Close(id); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	if got := s.RetainedFinished(); got != 4 {
+		t.Fatalf("RetainedFinished = %d, want 4", got)
+	}
+	// Newest 4 still queryable, oldest 3 evicted.
+	for _, id := range ids[3:] {
+		st, err := s.Stats(id)
+		if err != nil {
+			t.Fatalf("stats for retained stream %d: %v", id, err)
+		}
+		if st.Served < 1 {
+			t.Errorf("stream %d: served %d fragments, want >= 1", id, st.Served)
+		}
+	}
+	for _, id := range ids[:3] {
+		if _, err := s.Stats(id); !errors.Is(err, ErrUnknownStream) {
+			t.Errorf("evicted stream %d: err = %v, want ErrUnknownStream", id, err)
+		}
+	}
+
+	snap := s.Telemetry().Snapshot()
+	if got, _ := snap.Counter("mzqos_server_streams_retired_total"); got != 7 {
+		t.Errorf("retired counter = %d, want 7", got)
+	}
+}
+
+// TestRetiredDefaultCapacity checks the default retention bound kicks in
+// when the config leaves RetiredHistory zero.
+func TestRetiredDefaultCapacity(t *testing.T) {
+	s := paperServer(t, 1)
+	if s.retiredCap != DefaultRetiredHistory {
+		t.Fatalf("default retired cap = %d, want %d", s.retiredCap, DefaultRetiredHistory)
+	}
+}
+
+// TestRecalibrateUpdatesPublishedLimits checks that a recalibration swaps
+// the gauges the tightness report and exposition endpoint read.
+func TestRecalibrateUpdatesPublishedLimits(t *testing.T) {
+	s, err := New(Config{
+		Disk:        disk.QuantumViking21(),
+		NumDisks:    1,
+		RoundLength: 1,
+		Sizes:       workload.PaperSizes(),
+		Guarantee:   model.Guarantee{Threshold: 0.01},
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Catalog fragments twice as heavy as declared (with spread, so the
+	// observed moments are non-degenerate): recalibration against the
+	// observed workload must shrink the admission limit.
+	heavy := make([]float64, 1000)
+	for i := range heavy {
+		heavy[i] = 400 * workload.KB
+		if i%2 == 0 {
+			heavy[i] -= 100 * workload.KB
+		} else {
+			heavy[i] += 100 * workload.KB
+		}
+	}
+	if err := s.AddObject("v", heavy); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := s.Open("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 60; r++ {
+		s.Step()
+	}
+	old, now, err := s.Recalibrate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now >= old {
+		t.Fatalf("heavier workload should shrink the limit: %d -> %d", old, now)
+	}
+	snap := s.Telemetry().Snapshot()
+	if v, _ := snap.Gauge("mzqos_server_nmax"); int(v) != now {
+		t.Errorf("nmax gauge %v not updated to %d", v, now)
+	}
+	rep, err := s.BoundTightness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerDiskLimit != now {
+		t.Errorf("report limit %d, want recalibrated %d", rep.PerDiskLimit, now)
+	}
+}
+
+// TestBoundTightnessConcurrentWithRounds exercises the report while the
+// round loop mutates state, for the race detector.
+func TestBoundTightnessConcurrentWithRounds(t *testing.T) {
+	s := paperServer(t, 2)
+	if err := s.AddSyntheticObject("v", 1000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Capacity(); i++ {
+		if _, _, err := s.Open("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if _, err := s.BoundTightness(); err != nil {
+				t.Errorf("BoundTightness: %v", err)
+				return
+			}
+			s.Telemetry().Snapshot()
+			s.Telemetry().RecentSweeps()
+		}
+	}()
+	for r := 0; r < 50; r++ {
+		s.Step()
+	}
+	<-done
+}

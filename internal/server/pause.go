@@ -15,6 +15,8 @@ func (s *Server) Pause(id StreamID) error {
 	delete(s.active, st.id)
 	s.classes[st.offset]--
 	s.paused[st.id] = st
+	s.tel.active.Set(float64(len(s.active)))
+	s.tel.paused.Set(float64(len(s.paused)))
 	return nil
 }
 
@@ -55,6 +57,8 @@ func (s *Server) Resume(id StreamID) (startupDelay int, err error) {
 	st.delay += bestDelay
 	s.active[st.id] = st
 	s.classes[class]++
+	s.tel.active.Set(float64(len(s.active)))
+	s.tel.paused.Set(float64(len(s.paused)))
 	return bestDelay, nil
 }
 

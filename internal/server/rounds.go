@@ -9,8 +9,11 @@ import (
 type DiskRoundReport struct {
 	// Requests is the number of fragments the disk served.
 	Requests int
-	// Busy is the total service time of the sweep in seconds.
+	// Busy is the total service time of the sweep in seconds; it equals
+	// Seek + Rotation + Transfer, the three phases of eq. 3.1.1.
 	Busy float64
+	// Seek, Rotation, and Transfer break Busy down by service phase.
+	Seek, Rotation, Transfer float64
 	// Late is the number of requests that finished after the round end.
 	Late int
 }
@@ -70,9 +73,13 @@ func (s *Server) Step() RoundReport {
 				dd = -dd
 			}
 			g := s.geoms[d]
-			clock += g.Seek.Time(dd)
-			clock += s.rng.Float64() * g.RotationTime
-			clock += g.TransferTime(r.frag.size, r.frag.loc.Zone)
+			seek := g.Seek.Time(dd)
+			rot := s.rng.Float64() * g.RotationTime
+			trans := g.TransferTime(r.frag.size, r.frag.loc.Zone)
+			clock += seek + rot + trans
+			dr.Seek += seek
+			dr.Rotation += rot
+			dr.Transfer += trans
 			arm = r.frag.loc.Cylinder
 
 			st := r.st
@@ -89,7 +96,10 @@ func (s *Server) Step() RoundReport {
 			}
 		}
 		dr.Busy = clock
+		s.observeSweep(d, dr)
 	}
+	s.tel.rounds.Inc()
+	s.tel.glitches.Add(int64(rep.Glitches))
 
 	for _, st := range done {
 		rep.Completed = append(rep.Completed, st.id)

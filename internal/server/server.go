@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"sync"
 
 	"mzqos/internal/disk"
 	"mzqos/internal/dist"
@@ -60,7 +61,17 @@ type Config struct {
 	Guarantee model.Guarantee
 	// Seed makes fragment placement and service simulation reproducible.
 	Seed uint64
+	// RetiredHistory bounds how many recently retired streams keep their
+	// StreamStats queryable through Stats after Close or completion
+	// (0 selects DefaultRetiredHistory). Older entries are evicted, but
+	// their glitch and service counts survive in the aggregate telemetry
+	// counters.
+	RetiredHistory int
 }
+
+// DefaultRetiredHistory is the retired-stream stats retention used when
+// Config.RetiredHistory is zero.
+const DefaultRetiredHistory = 1024
 
 // StreamID identifies an open stream.
 type StreamID int64
@@ -104,12 +115,18 @@ type StreamStats struct {
 	Done         bool
 }
 
-// Server is a striped continuous-media server. It is not safe for
-// concurrent use; drive it from one goroutine (the round loop).
+// Server is a striped continuous-media server. Mutating operations (Open,
+// Close, Step, Pause, Resume, Recalibrate, ...) are not safe for
+// concurrent use; drive them from one goroutine (the round loop). The
+// observability surface — Telemetry() and BoundTightness() — is safe to
+// read concurrently with that loop, which is what the HTTP exposition
+// endpoint does.
 type Server struct {
 	cfg      Config
 	geoms    []*disk.Geometry // one per disk (repeated for homogeneous arrays)
+	limitMu  sync.RWMutex     // guards mdl, mdls, nmax against concurrent report readers
 	mdl      *model.Model     // model of the binding (slowest) disk
+	mdls     []*model.Model   // one model per disk, index-aligned with geoms
 	nmax     int
 	rng      *rand.Rand
 	round    int
@@ -119,7 +136,15 @@ type Server struct {
 	active   map[StreamID]*stream
 	paused   map[StreamID]*stream
 	classes  []int // active streams per offset class
-	finished map[StreamID]StreamStats
+	tel      *Telemetry
+
+	// Retired-stream stats: a bounded FIFO ring so glitch counts stay
+	// queryable after Close without the finished set growing forever.
+	finished   map[StreamID]StreamStats
+	finishedQ  []StreamID
+	finishedAt int
+	retiredCap int
+
 	observed dist.Welford // served fragment sizes, for recalibration
 }
 
@@ -148,23 +173,64 @@ func New(cfg Config) (*Server, error) {
 		return nil, ErrConfig
 	}
 
-	nmax := -1
-	var binding *model.Model
-	for _, g := range geoms {
-		mdl, err := model.New(model.Config{
-			Disk:        g,
-			Sizes:       cfg.Sizes,
-			RoundLength: cfg.RoundLength,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("server: building admission model: %w", err)
+	binding, mdls, nmax, err := evaluateDisks(geoms, cfg.Sizes, cfg.RoundLength, cfg.Guarantee)
+	if err != nil {
+		return nil, err
+	}
+	retiredCap := cfg.RetiredHistory
+	if retiredCap <= 0 {
+		retiredCap = DefaultRetiredHistory
+	}
+	tel, err := newTelemetry(len(geoms), cfg.RoundLength)
+	if err != nil {
+		return nil, fmt.Errorf("server: building telemetry: %w", err)
+	}
+	s := &Server{
+		cfg:        cfg,
+		geoms:      geoms,
+		mdl:        binding,
+		mdls:       mdls,
+		nmax:       nmax,
+		rng:        dist.NewRand(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15),
+		catalog:    make(map[string]*object),
+		active:     make(map[StreamID]*stream),
+		paused:     make(map[StreamID]*stream),
+		classes:    make([]int, len(geoms)),
+		tel:        tel,
+		finished:   make(map[StreamID]StreamStats),
+		retiredCap: retiredCap,
+	}
+	s.publishLimits()
+	return s, nil
+}
+
+// evaluateDisks builds one admission model per disk (sharing instances
+// across repeated geometries so homogeneous arrays evaluate once) and
+// returns the binding model and the minimum N_max.
+func evaluateDisks(geoms []*disk.Geometry, sizes workload.SizeModel, roundLength float64, g model.Guarantee) (binding *model.Model, mdls []*model.Model, nmax int, err error) {
+	nmax = -1
+	cache := make(map[*disk.Geometry]*model.Model)
+	mdls = make([]*model.Model, 0, len(geoms))
+	for _, geom := range geoms {
+		mdl, ok := cache[geom]
+		if !ok {
+			mdl, err = model.New(model.Config{
+				Disk:        geom,
+				Sizes:       sizes,
+				RoundLength: roundLength,
+			})
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("server: building admission model: %w", err)
+			}
+			cache[geom] = mdl
 		}
-		n, err := mdl.NMaxFor(cfg.Guarantee)
+		mdls = append(mdls, mdl)
+		n, err := mdl.NMaxFor(g)
 		if err != nil {
 			if errors.Is(err, model.ErrOverload) {
 				n = 0
 			} else {
-				return nil, fmt.Errorf("server: evaluating guarantee: %w", err)
+				return nil, nil, 0, fmt.Errorf("server: evaluating guarantee: %w", err)
 			}
 		}
 		if nmax < 0 || n < nmax {
@@ -172,18 +238,24 @@ func New(cfg Config) (*Server, error) {
 			binding = mdl
 		}
 	}
-	return &Server{
-		cfg:      cfg,
-		geoms:    geoms,
-		mdl:      binding,
-		nmax:     nmax,
-		rng:      dist.NewRand(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15),
-		catalog:  make(map[string]*object),
-		active:   make(map[StreamID]*stream),
-		paused:   make(map[StreamID]*stream),
-		classes:  make([]int, len(geoms)),
-		finished: make(map[StreamID]StreamStats),
-	}, nil
+	return binding, mdls, nmax, nil
+}
+
+// publishLimits refreshes the admission-limit gauges and the analytic
+// bounds at N_max from the binding model.
+func (s *Server) publishLimits() {
+	s.tel.nmax.Set(float64(s.nmax))
+	if s.nmax <= 0 {
+		s.tel.boundLate.Set(0)
+		s.tel.boundGlitch.Set(0)
+		return
+	}
+	if bl, err := s.mdl.LateBound(s.nmax); err == nil {
+		s.tel.boundLate.Set(bl)
+	}
+	if bg, err := s.mdl.GlitchBound(s.nmax); err == nil {
+		s.tel.boundGlitch.Set(bg)
+	}
 }
 
 // NumDisks returns the array width D.
@@ -263,6 +335,7 @@ func (s *Server) Open(name string) (id StreamID, startupDelay int, err error) {
 		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownObject, name)
 	}
 	if s.nmax == 0 {
+		s.tel.rejected.Inc()
 		return 0, 0, ErrRejected
 	}
 	// Starting in round s.round+delay puts the stream in offset class
@@ -280,6 +353,7 @@ func (s *Server) Open(name string) (id StreamID, startupDelay int, err error) {
 		}
 	}
 	if bestDelay < 0 {
+		s.tel.rejected.Inc()
 		return 0, 0, ErrRejected
 	}
 	class := mod(obj.base-(s.round+bestDelay), d)
@@ -293,6 +367,8 @@ func (s *Server) Open(name string) (id StreamID, startupDelay int, err error) {
 	}
 	s.active[st.id] = st
 	s.classes[class]++
+	s.tel.admitted.Inc()
+	s.tel.active.Set(float64(len(s.active)))
 	return st.id, bestDelay, nil
 }
 
@@ -306,12 +382,13 @@ func (s *Server) Close(id StreamID) error {
 	if st, ok := s.paused[id]; ok {
 		// The slot was already released at Pause time.
 		delete(s.paused, id)
-		s.finished[st.id] = StreamStats{
+		s.tel.paused.Set(float64(len(s.paused)))
+		s.rememberFinished(st.id, StreamStats{
 			Object:       st.obj.name,
 			Served:       st.served,
 			Glitches:     st.glitches,
 			StartupDelay: st.delay,
-		}
+		})
 		return nil
 	}
 	return ErrUnknownStream
@@ -320,14 +397,40 @@ func (s *Server) Close(id StreamID) error {
 func (s *Server) retire(st *stream, done bool) {
 	delete(s.active, st.id)
 	s.classes[st.offset]--
-	s.finished[st.id] = StreamStats{
+	s.tel.active.Set(float64(len(s.active)))
+	s.rememberFinished(st.id, StreamStats{
 		Object:       st.obj.name,
 		Served:       st.served,
 		Glitches:     st.glitches,
 		StartupDelay: st.delay,
 		Done:         done,
+	})
+}
+
+// rememberFinished stores a retired stream's stats in the bounded FIFO
+// ring, evicting the oldest entry once the ring is full. Aggregate counts
+// survive eviction in the telemetry counters.
+func (s *Server) rememberFinished(id StreamID, fs StreamStats) {
+	if len(s.finishedQ) == s.retiredCap {
+		delete(s.finished, s.finishedQ[s.finishedAt])
+		s.finishedQ[s.finishedAt] = id
+		s.finishedAt++
+		if s.finishedAt == s.retiredCap {
+			s.finishedAt = 0
+		}
+	} else {
+		s.finishedQ = append(s.finishedQ, id)
+	}
+	s.finished[id] = fs
+	s.tel.retired.Inc()
+	if fs.Done {
+		s.tel.completed.Inc()
 	}
 }
+
+// RetainedFinished returns how many retired streams currently keep
+// queryable stats (at most Config.RetiredHistory).
+func (s *Server) RetainedFinished() int { return len(s.finished) }
 
 // Stats returns the stats of an active, paused, or finished stream.
 func (s *Server) Stats(id StreamID) (StreamStats, error) {

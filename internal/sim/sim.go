@@ -22,6 +22,7 @@ import (
 
 	"mzqos/internal/disk"
 	"mzqos/internal/dist"
+	"mzqos/internal/telemetry"
 	"mzqos/internal/workload"
 )
 
@@ -44,6 +45,14 @@ type Config struct {
 	// Access optionally replaces uniform-over-sectors placement with a
 	// zone-aware access profile (must match the geometry when set).
 	Access disk.AccessProfile
+	// RoundTimes optionally receives every simulated round's total
+	// service time T_N (EstimatePLate, EstimatePError, MeasureRounds, and
+	// the sweeps built on them). The histogram is concurrency-safe, so
+	// all parallel workers share it; build it with
+	// telemetry.NewRoundTimeHistogram(RoundLength) to make the round
+	// deadline an exact bucket boundary, which yields series directly
+	// comparable with the server's mzqos_server_round_time_seconds.
+	RoundTimes *telemetry.Histogram
 }
 
 func (c Config) validate() error {
@@ -112,6 +121,9 @@ func simulateRound(cfg Config, rng *rand.Rand, sc *roundScratch, lateFor []bool)
 		if lateFor != nil {
 			lateFor[r.stream] = clock > cfg.RoundLength
 		}
+	}
+	if cfg.RoundTimes != nil {
+		cfg.RoundTimes.Observe(clock)
 	}
 	return clock
 }

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("mz_requests_total", "Requests served.")
+	g := reg.Gauge("mz_temp", "", L("disk", "0"))
+	h, err := reg.Histogram("mz_lat", "Latency.", []float64{0.5, 1}, L("disk", "0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(42)
+	g.Set(1.5)
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP mz_requests_total Requests served.
+# TYPE mz_requests_total counter
+mz_requests_total 42
+# TYPE mz_temp gauge
+mz_temp{disk="0"} 1.5
+# HELP mz_lat Latency.
+# TYPE mz_lat histogram
+mz_lat_bucket{disk="0",le="0.5"} 1
+mz_lat_bucket{disk="0",le="1"} 2
+mz_lat_bucket{disk="0",le="+Inf"} 3
+mz_lat_sum{disk="0"} 3
+mz_lat_count{disk="0"} 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusHeaderOncePerName(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("multi_total", "Split by disk.", L("disk", "0")).Inc()
+	reg.Counter("multi_total", "Split by disk.", L("disk", "1")).Add(2)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, "# TYPE multi_total counter"); n != 1 {
+		t.Fatalf("TYPE header appears %d times, want 1:\n%s", n, out)
+	}
+	for _, line := range []string{`multi_total{disk="0"} 1`, `multi_total{disk="1"} 2`} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("probe_total", "").Inc()
+	rec := httptest.NewRecorder()
+	reg.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q lacks exposition version", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "probe_total 1") {
+		t.Fatalf("body missing series:\n%s", rec.Body.String())
+	}
+}
+
+func TestExpvarFuncMarshals(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "").Add(7)
+	f := reg.ExpvarFunc()
+	raw, err := json.Marshal(f())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Counter("c_total"); !ok || v != 7 {
+		t.Fatalf("round-tripped snapshot wrong: %+v", snap)
+	}
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import "sync"
+
+// RoundEvent is the outcome of one disk's SCAN sweep in one round, broken
+// down into the three service phases of the paper's model (eq. 3.1.1):
+// total seek time (the model bounds it by SEEK(N)), total rotational
+// latency (modeled Uniform(0, ROT) per request), and total transfer time
+// (modeled Gamma per request). Total is their sum — the realized T_N.
+type RoundEvent struct {
+	Round    int     `json:"round"`
+	Disk     int     `json:"disk"`
+	Requests int     `json:"requests"`
+	Late     int     `json:"late"`
+	Seek     float64 `json:"seek_s"`
+	Rotation float64 `json:"rotation_s"`
+	Transfer float64 `json:"transfer_s"`
+	Total    float64 `json:"total_s"`
+}
+
+// PhaseTotals accumulates per-phase service seconds and sweep counts
+// across all recorded rounds.
+type PhaseTotals struct {
+	Sweeps   int64   `json:"sweeps"`
+	Requests int64   `json:"requests"`
+	Late     int64   `json:"late"`
+	Seek     float64 `json:"seek_s"`
+	Rotation float64 `json:"rotation_s"`
+	Transfer float64 `json:"transfer_s"`
+	Total    float64 `json:"total_s"`
+}
+
+// RoundRecorder keeps a bounded ring of recent RoundEvents plus running
+// phase totals. Recording is one mutex-guarded struct copy into a
+// preallocated ring — no allocation after construction — and happens once
+// per disk per round, far off any per-request hot path.
+type RoundRecorder struct {
+	mu     sync.Mutex
+	ring   []RoundEvent
+	next   int
+	filled bool
+	totals PhaseTotals
+}
+
+// NewRoundRecorder returns a recorder retaining the last `capacity`
+// events (minimum 1).
+func NewRoundRecorder(capacity int) *RoundRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RoundRecorder{ring: make([]RoundEvent, capacity)}
+}
+
+// Record stores one sweep outcome.
+func (r *RoundRecorder) Record(ev RoundEvent) {
+	r.mu.Lock()
+	r.ring[r.next] = ev
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.filled = true
+	}
+	r.totals.Sweeps++
+	r.totals.Requests += int64(ev.Requests)
+	r.totals.Late += int64(ev.Late)
+	r.totals.Seek += ev.Seek
+	r.totals.Rotation += ev.Rotation
+	r.totals.Transfer += ev.Transfer
+	r.totals.Total += ev.Total
+	r.mu.Unlock()
+}
+
+// Recent returns a copy of the retained events, oldest first.
+func (r *RoundRecorder) Recent() []RoundEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.filled {
+		return append([]RoundEvent(nil), r.ring[:r.next]...)
+	}
+	out := make([]RoundEvent, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Totals returns the running phase totals.
+func (r *RoundRecorder) Totals() PhaseTotals {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.totals
+}

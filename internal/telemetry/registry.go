@@ -1,0 +1,272 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one metric dimension, e.g. {Key: "disk", Value: "0"}. Labels
+// are ordered: the same pairs in a different order name a different
+// series, so instrument sites should use a fixed order.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind discriminates the metric types a Registry holds.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing integer.
+	KindCounter Kind = iota
+	// KindGauge is a float that can go up and down (also used for
+	// accumulated float totals such as per-phase service seconds).
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution.
+	KindHistogram
+)
+
+// entry is one registered metric series.
+type entry struct {
+	name   string
+	help   string
+	labels []Label
+	kind   Kind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry names metrics and exposes them as snapshots and Prometheus
+// text. Registration takes a lock; the returned metric pointers are then
+// used lock-free, so hot paths should capture them once at setup.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry
+	byID    map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]int)}
+}
+
+// seriesID is the unique key of a (name, labels) pair.
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('{')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// validName reports whether name is a legal Prometheus metric name.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register adds (or re-finds) a series; it panics on a malformed name or
+// on re-registering the same series as a different kind — both programmer
+// errors at setup time, never data-dependent.
+func (r *Registry) register(e entry) entry {
+	if !validName(e.name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", e.name))
+	}
+	for _, l := range e.labels {
+		if l.Key == "" || l.Key == "le" {
+			panic(fmt.Sprintf("telemetry: invalid label key %q on %q", l.Key, e.name))
+		}
+	}
+	id := seriesID(e.name, e.labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byID[id]; ok {
+		if r.entries[i].kind != e.kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as a different kind", id))
+		}
+		return r.entries[i]
+	}
+	r.byID[id] = len(r.entries)
+	r.entries = append(r.entries, e)
+	return e
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	e := r.register(entry{name: name, help: help, labels: labels, kind: KindCounter, c: new(Counter)})
+	return e.c
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	e := r.register(entry{name: name, help: help, labels: labels, kind: KindGauge, g: new(Gauge)})
+	return e.g
+}
+
+// Histogram registers (or returns the existing) histogram series over the
+// given bucket bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) (*Histogram, error) {
+	h, err := NewHistogram(bounds)
+	if err != nil {
+		return nil, err
+	}
+	e := r.register(entry{name: name, help: help, labels: labels, kind: KindHistogram, h: h})
+	return e.h, nil
+}
+
+// AdoptCounter registers an externally owned counter (e.g. the model
+// package's process-wide solver counters) under this registry. Adopting
+// the same series twice is a no-op returning the first adoption.
+func (r *Registry) AdoptCounter(name, help string, c *Counter, labels ...Label) {
+	r.register(entry{name: name, help: help, labels: labels, kind: KindCounter, c: c})
+}
+
+// AdoptGauge registers an externally owned gauge.
+func (r *Registry) AdoptGauge(name, help string, g *Gauge, labels ...Label) {
+	r.register(entry{name: name, help: help, labels: labels, kind: KindGauge, g: g})
+}
+
+// AdoptHistogram registers an externally owned histogram.
+func (r *Registry) AdoptHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.register(entry{name: name, help: help, labels: labels, kind: KindHistogram, h: h})
+}
+
+// CounterPoint is one counter series in a snapshot.
+type CounterPoint struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
+}
+
+// GaugePoint is one gauge series in a snapshot.
+type GaugePoint struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// HistogramPoint is one histogram series in a snapshot.
+type HistogramPoint struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	HistogramValues
+}
+
+// Snapshot is an immutable copy of every registered series, in
+// registration order. It is safe to retain, marshal, and compare; nothing
+// in it aliases live metric state.
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters,omitempty"`
+	Gauges     []GaugePoint     `json:"gauges,omitempty"`
+	Histograms []HistogramPoint `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every registered series.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	entries := append([]entry(nil), r.entries...)
+	r.mu.Unlock()
+	var s Snapshot
+	for _, e := range entries {
+		labels := append([]Label(nil), e.labels...)
+		switch e.kind {
+		case KindCounter:
+			s.Counters = append(s.Counters, CounterPoint{Name: e.name, Labels: labels, Value: e.c.Value()})
+		case KindGauge:
+			s.Gauges = append(s.Gauges, GaugePoint{Name: e.name, Labels: labels, Value: e.g.Value()})
+		case KindHistogram:
+			s.Histograms = append(s.Histograms, HistogramPoint{Name: e.name, Labels: labels, HistogramValues: e.h.SnapshotValues()})
+		}
+	}
+	return s
+}
+
+// matchLabels reports whether want is exactly the label set got.
+func matchLabels(got, want []Label) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the value of the named counter series.
+func (s Snapshot) Counter(name string, labels ...Label) (int64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name && matchLabels(c.Labels, labels) {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the value of the named gauge series.
+func (s Snapshot) Gauge(name string, labels ...Label) (float64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name && matchLabels(g.Labels, labels) {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the named histogram series.
+func (s Snapshot) Histogram(name string, labels ...Label) (HistogramPoint, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name && matchLabels(h.Labels, labels) {
+			return h, true
+		}
+	}
+	return HistogramPoint{}, false
+}
+
+// Names returns the distinct metric names in the snapshot, sorted.
+func (s Snapshot) Names() []string {
+	seen := make(map[string]bool)
+	for _, c := range s.Counters {
+		seen[c.Name] = true
+	}
+	for _, g := range s.Gauges {
+		seen[g.Name] = true
+	}
+	for _, h := range s.Histograms {
+		seen[h.Name] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -38,6 +38,7 @@ import (
 	"mzqos/internal/model"
 	"mzqos/internal/server"
 	"mzqos/internal/sim"
+	"mzqos/internal/telemetry"
 	"mzqos/internal/workload"
 )
 
@@ -104,6 +105,39 @@ type (
 	// RunSummary aggregates a multi-round server execution.
 	RunSummary = server.RunSummary
 )
+
+// Observability types (see README "Observability" and internal/telemetry).
+type (
+	// ServerTelemetry is a running server's live metrics surface.
+	ServerTelemetry = server.Telemetry
+	// TightnessReport compares measured service quality against the
+	// analytic bounds, server-wide; DiskTightness is one disk's row.
+	TightnessReport = server.TightnessReport
+	DiskTightness   = server.DiskTightness
+	// MetricsSnapshot is an immutable copy of a metric registry.
+	MetricsSnapshot = telemetry.Snapshot
+	// RoundHistogram is the fixed-bucket histogram the round-time series
+	// use; hand one to SimConfig.RoundTimes or MixedConfig.RoundTimes to
+	// collect comparable distributions from the simulators.
+	RoundHistogram = telemetry.Histogram
+	// SweepEvent is one recorded SCAN sweep with its per-phase breakdown.
+	SweepEvent = telemetry.RoundEvent
+	// SweepPhaseTotals accumulates phase seconds over recorded sweeps.
+	SweepPhaseTotals = telemetry.PhaseTotals
+	// SolverTelemetry reports the model package's process-wide solver
+	// counters (bound-chain cache hits, warm/cold Chernoff solves).
+	SolverTelemetry = model.TelemetrySnapshot
+)
+
+// NewRoundTimeHistogram builds a histogram whose buckets are log-spaced
+// around the round length t, with t itself an exact boundary so the
+// deadline tail P[T_N > t] is exactly resolvable.
+func NewRoundTimeHistogram(t float64) (*RoundHistogram, error) {
+	return telemetry.NewRoundTimeHistogram(t)
+}
+
+// SolverStats returns the process-wide solver counters.
+func SolverStats() SolverTelemetry { return model.Telemetry() }
 
 // Errors surfaced through the facade.
 var (

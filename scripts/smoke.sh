@@ -1,0 +1,49 @@
+#!/bin/sh
+# Smoke test for the mzserver telemetry endpoint: run a short scenario
+# with -listen, wait for liveness, and assert the documented surfaces
+# respond with the documented content. Exits non-zero on any miss.
+set -eu
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:19097}"
+BIN="${TMPDIR:-/tmp}/mzserver-smoke"
+
+go build -o "$BIN" ./cmd/mzserver
+
+"$BIN" -rounds 120 -report 0 -listen "$ADDR" -linger 120s >/dev/null &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT INT TERM
+
+up=0
+i=0
+while [ "$i" -lt 100 ]; do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ "$up" -ne 1 ]; then
+    echo "smoke: FAIL endpoint on $ADDR never became healthy" >&2
+    exit 1
+fi
+
+fail=0
+expect() { # expect <path> <grep-pattern> <label>
+    if curl -sf "http://$ADDR$1" | grep -q "$2"; then
+        echo "smoke: ok   $1 serves $3"
+    else
+        echo "smoke: FAIL $1 lacks $3 (pattern: $2)" >&2
+        fail=1
+    fi
+}
+
+expect /metrics '^mzqos_server_rounds_total ' "server round counter"
+expect /metrics '^mzqos_server_round_time_seconds_bucket{disk="0",le="1"}' "round-time histogram with t boundary"
+expect /metrics '^mzqos_server_phase_seconds_total{disk="0",phase="seek"}' "phase breakdown"
+expect /metrics '^mzqos_model_chain_hits_total ' "model solver counters"
+expect /debug/vars '"mzqos"' "expvar snapshot key"
+expect /report '"bound_p_late"' "bound-tightness report"
+expect /sweeps '"rotation_s"' "sweep phase events"
+
+exit "$fail"
