@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench smoke check clean
+.PHONY: all build vet test test-race bench smoke faults check clean
 
 all: build
 
@@ -29,6 +29,11 @@ bench:
 # Runs mzserver with -listen and curls the live telemetry endpoints.
 smoke:
 	sh scripts/smoke.sh
+
+# Drives mzserver through a scripted disk slowdown with graceful
+# degradation on and asserts the degrade/shed/restore lifecycle end to end.
+faults:
+	sh scripts/faults.sh
 
 check: build vet test test-race
 

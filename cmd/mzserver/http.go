@@ -7,6 +7,7 @@ import (
 	"net/http/pprof"
 	"sync"
 
+	"mzqos/internal/fault"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
 )
@@ -22,6 +23,7 @@ var publishOnce sync.Once
 //	             plus the stdlib memstats/cmdline vars)
 //	/report      the live bound-tightness report as JSON
 //	/sweeps      recent per-sweep phase breakdowns as JSON
+//	/faults      the fault plan and the latest round's per-disk effects
 //	/healthz     liveness probe
 //	/debug/pprof runtime profiling, only when withPprof is set
 //
@@ -46,6 +48,9 @@ func newTelemetryMux(srv *server.Server, withPprof bool) *http.ServeMux {
 	mux.HandleFunc("/sweeps", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, srv.Telemetry().RecentSweeps())
 	})
+	mux.HandleFunc("/faults", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, faultStatus(srv))
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
@@ -58,6 +63,39 @@ func newTelemetryMux(srv *server.Server, withPprof bool) *http.ServeMux {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// faultStatusReport is the /faults payload: the configured plan, the
+// latest completed round, that round's per-disk effects, and whether
+// degraded admission limits are in force.
+type faultStatusReport struct {
+	Plan     fault.Plan      `json:"plan"`
+	Round    int             `json:"round"`
+	Degraded bool            `json:"degraded"`
+	Limit    int             `json:"per_disk_limit"`
+	Effects  []fault.Effects `json:"effects"`
+}
+
+// faultStatus assembles the /faults payload from sources that are safe to
+// read concurrently with the round loop: the immutable injector and the
+// atomic metric registry (never the loop's own round counter or
+// controller state).
+func faultStatus(srv *server.Server) faultStatusReport {
+	snap := srv.Telemetry().Snapshot()
+	rounds, _ := snap.Counter("mzqos_server_rounds_total")
+	degraded, _ := snap.Gauge("mzqos_server_degraded")
+	limit, _ := snap.Gauge("mzqos_server_nmax")
+	round := int(rounds)
+	if round > 0 {
+		round-- // effects of the last completed round
+	}
+	return faultStatusReport{
+		Plan:     srv.FaultPlan(),
+		Round:    round,
+		Degraded: degraded != 0,
+		Limit:    int(limit),
+		Effects:  srv.FaultEffectsAt(round),
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"mzqos/internal/disk"
+	"mzqos/internal/fault"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
 	"mzqos/internal/workload"
@@ -146,6 +147,48 @@ func TestReportAndSweepsEndpoints(t *testing.T) {
 		if ev.Requests <= 0 || ev.Total <= 0 {
 			t.Fatalf("degenerate sweep event: %+v", ev)
 		}
+	}
+}
+
+func TestFaultsEndpoint(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Disk:        disk.QuantumViking21(),
+		NumDisks:    2,
+		RoundLength: 1,
+		Sizes:       workload.PaperSizes(),
+		Guarantee:   model.Guarantee{Threshold: 0.01},
+		Seed:        42,
+		Faults: &fault.Plan{Faults: []fault.Fault{
+			{Kind: fault.Latency, Disk: 1, From: 0, Factor: 2},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 5; r++ {
+		srv.Step()
+	}
+	mux := newTelemetryMux(srv, false)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/faults", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/faults status %d", rec.Code)
+	}
+	var status faultStatusReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatalf("/faults is not JSON: %v", err)
+	}
+	if len(status.Plan.Faults) != 1 || status.Plan.Faults[0].Factor != 2 {
+		t.Errorf("plan = %+v", status.Plan)
+	}
+	if status.Round != 4 || status.Degraded || status.Limit != 26 {
+		t.Errorf("status = round %d degraded %v limit %d, want 4/false/26", status.Round, status.Degraded, status.Limit)
+	}
+	if len(status.Effects) != 2 {
+		t.Fatalf("effects for %d disks", len(status.Effects))
+	}
+	if status.Effects[0].Active() || !status.Effects[1].Active() || status.Effects[1].LatencyScale != 2 {
+		t.Errorf("effects = %+v", status.Effects)
 	}
 }
 

@@ -10,13 +10,20 @@
 //	mzserver -disks 8 -rounds 1200 -arrivals 1.2 -cliplen 300 -recalibrate 200
 //	mzserver -mean 300 -sd 150                  # heavier clips than declared
 //	mzserver -listen :9090 -linger 1m           # scrape /metrics, /report
+//	mzserver -faults "latency:disk=0,from=100,until=400,factor=2" -degrade
 //
 // With -listen the process serves live telemetry while the rounds run:
 // Prometheus text on /metrics, expvar JSON on /debug/vars, the
 // bound-vs-measured tightness report on /report, recent per-sweep phase
-// breakdowns on /sweeps, and (with -pprof) the runtime profiler under
-// /debug/pprof. -linger keeps the endpoint up after the last round so
-// scrapers and smoke tests can read the final state.
+// breakdowns on /sweeps, the fault plan and current effects on /faults,
+// and (with -pprof) the runtime profiler under /debug/pprof. -linger
+// keeps the endpoint up after the last round so scrapers and smoke tests
+// can read the final state.
+//
+// -faults schedules deterministic service faults against the round
+// timeline (kinds latency, rate, errors, fail; semicolon-separated);
+// -degrade turns on graceful degradation, which re-derives the admission
+// limit against the degraded disks and sheds the newest streams to fit.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 
 	"mzqos/internal/disk"
 	"mzqos/internal/dist"
+	"mzqos/internal/fault"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
 	"mzqos/internal/workload"
@@ -53,6 +61,9 @@ func main() {
 		listen      = flag.String("listen", "", "serve telemetry over HTTP on this address (empty = disabled)")
 		withPprof   = flag.Bool("pprof", false, "also expose /debug/pprof on the telemetry endpoint")
 		linger      = flag.Duration("linger", 0, "keep the telemetry endpoint up this long after the last round")
+		faultSpec   = flag.String("faults", "", `fault schedule, e.g. "latency:disk=0,from=100,until=400,factor=2;errors:disk=all,from=0,prob=0.01,retries=2"`)
+		degrade     = flag.Bool("degrade", false, "react to sustained faults: recompute the admission limit against the degraded disks and shed newest streams to fit")
+		degradeWait = flag.Int("degrade-after", 0, "consecutive faulty (or clean) rounds before degrading (or restoring); 0 = default")
 	)
 	flag.Parse()
 
@@ -61,6 +72,14 @@ func main() {
 	actual, err := workload.GammaSizes(*meanKB*workload.KB, *sdKB*workload.KB)
 	fatal(err)
 
+	var plan *fault.Plan
+	if *faultSpec != "" {
+		p, err := fault.ParsePlan(*faultSpec, *seed)
+		fatal(err)
+		fatal(p.Validate(*disks))
+		plan = &p
+	}
+
 	srv, err := server.New(server.Config{
 		Disk:        disk.QuantumViking21(),
 		NumDisks:    *disks,
@@ -68,12 +87,21 @@ func main() {
 		Sizes:       declared,
 		Guarantee:   model.Guarantee{Threshold: *streamLimit},
 		Seed:        *seed,
+		Faults:      plan,
+		Degrade:     server.DegradeConfig{Enabled: *degrade, After: *degradeWait},
 	})
 	fatal(err)
 
 	rng := dist.NewRand(*seed, *seed^0xfeed)
 	fmt.Printf("server: %d disks, admission limit %d/disk (%d total), declared %s, actual %s\n",
 		*disks, srv.PerDiskLimit(), srv.Capacity(), declared.Name, actual.Name)
+	if plan != nil {
+		mode := "faults only (guarantee may be violated)"
+		if *degrade {
+			mode = "graceful degradation enabled"
+		}
+		fmt.Printf("faults: %d scheduled [%s], %s\n", len(plan.Faults), plan.String(), mode)
+	}
 
 	if *listen != "" {
 		mux := newTelemetryMux(srv, *withPprof)
@@ -101,9 +129,10 @@ func main() {
 	fmt.Printf("popularity: Zipf(s=%g), top 10%% of clips draw %.0f%% of requests\n",
 		*zipfS, 100*pop.TopShare(*catalog/10))
 
-	var admitted, rejected, completedStreams int
-	var glitchTotal, requestTotal int
+	var admitted, rejected, completedStreams, evictedStreams int
+	var glitchTotal, requestTotal, lostTotal int
 	var busy float64
+	wasDegraded := false
 	for r := 0; r < *rounds; r++ {
 		// Poisson arrivals pick catalog entries by popularity.
 		for k := poisson(*arrivals, rng); k > 0; k-- {
@@ -120,6 +149,20 @@ func main() {
 		for _, d := range rep.Disks {
 			requestTotal += d.Requests
 			busy += d.Busy
+			lostTotal += d.Lost
+		}
+		if len(rep.Evicted) > 0 {
+			evictedStreams += len(rep.Evicted)
+			fmt.Printf("round %4d: degraded limit %d/disk, shed %d streams\n",
+				r+1, srv.PerDiskLimit(), len(rep.Evicted))
+		}
+		if degraded := srv.Degraded(); degraded != wasDegraded {
+			wasDegraded = degraded
+			if degraded {
+				fmt.Printf("round %4d: entering degraded mode (admission limit %d/disk)\n", r+1, srv.PerDiskLimit())
+			} else {
+				fmt.Printf("round %4d: faults cleared, healthy limit %d/disk restored\n", r+1, srv.PerDiskLimit())
+			}
 		}
 		if *recalEvery > 0 && (r+1)%*recalEvery == 0 {
 			if old, now, err := srv.Recalibrate(500); err == nil && old != now {
@@ -141,6 +184,10 @@ func main() {
 	if requestTotal > 0 {
 		fmt.Printf("served %d fragments, %d glitches (rate %.5f%%)\n",
 			requestTotal, glitchTotal, 100*float64(glitchTotal)/float64(requestTotal))
+	}
+	if plan != nil {
+		fmt.Printf("faults: %d fragments lost, %d streams shed, degraded at exit: %v\n",
+			lostTotal, evictedStreams, srv.Degraded())
 	}
 	fmt.Printf("disk utilization %.1f%%\n", 100*busy/(float64(*rounds)*float64(*disks)))
 	mean, sd, n := srv.ObservedSizeStats()

@@ -27,6 +27,13 @@ func (s *Server) ObservedSizeStats() (mean, sd float64, n int64) {
 // minSamples observations are required. The limit may shrink below the
 // current occupancy of some offset classes; no streams are evicted — the
 // classes simply admit nothing until they drain below the new limit.
+//
+// The refit size model becomes the server's configured model, so
+// SizeDrift subsequently measures drift against the recalibrated fit
+// rather than the stale original. If degraded fault limits were in force
+// they are discarded (the refit is computed against healthy geometries);
+// the degraded-mode controller re-derives them against the new sizes on
+// the next faulty round.
 func (s *Server) Recalibrate(minSamples int64) (oldLimit, newLimit int, err error) {
 	if minSamples < 2 {
 		minSamples = 2
@@ -54,6 +61,14 @@ func (s *Server) Recalibrate(minSamples int64) (oldLimit, newLimit int, err erro
 	s.mdls = mdls
 	s.nmax = nmax
 	s.limitMu.Unlock()
+	s.cfg.Sizes = sizes
+	if s.deg.active {
+		s.deg.active = false
+		s.deg.appliedSig = ""
+		s.deg.baseMdl, s.deg.baseMdls = nil, nil
+		s.tel.degraded.Set(0)
+		s.tel.degradeTransitions.Inc()
+	}
 	s.publishLimits()
 	return oldLimit, nmax, nil
 }

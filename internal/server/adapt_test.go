@@ -109,6 +109,108 @@ func TestRecalibrateNoEviction(t *testing.T) {
 	}
 }
 
+func TestRecalibrateStoresRefitSizes(t *testing.T) {
+	// Regression: Recalibrate rebuilt the models from the refit size law
+	// but left Config.Sizes untouched, so SizeDrift kept measuring against
+	// the stale declared model and re-triggered recalibration forever.
+	s := heavyServer(t)
+	for i := 0; i < 20; i++ {
+		if _, _, err := s.Open(fmt.Sprintf("h%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(60)
+	if drift := s.SizeDrift(); drift < 0.5 {
+		t.Fatalf("pre-recalibration drift = %v, expected ≈1.0", drift)
+	}
+	if _, _, err := s.Recalibrate(100); err != nil {
+		t.Fatal(err)
+	}
+	// The refit model now IS the declared model, so the same observations
+	// show (almost) no drift against it.
+	if drift := s.SizeDrift(); drift > 0.05 {
+		t.Errorf("post-recalibration drift = %v, want ≈0 (refit sizes stored)", drift)
+	}
+	// Serving more of the same workload keeps drift near zero.
+	s.Run(30)
+	if drift := s.SizeDrift(); drift > 0.05 {
+		t.Errorf("drift after more rounds = %v, want ≈0", drift)
+	}
+}
+
+func TestRecalibrationShrinkUnderLoad(t *testing.T) {
+	// A shrink while over-occupied must not evict, must close admission
+	// (Open and Resume) until the class drains below the new limit, and
+	// must never let occupancy exceed the new limit afterwards.
+	s := heavyServer(t)
+	limit := s.PerDiskLimit()
+	ids := make([]StreamID, 0, limit)
+	for i := 0; i < limit; i++ {
+		id, _, err := s.Open(fmt.Sprintf("h%d", i%30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	s.Run(30)
+	_, now, err := s.Recalibrate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now >= limit {
+		t.Fatalf("limit did not shrink: %d -> %d", limit, now)
+	}
+	if s.Active() != limit {
+		t.Fatalf("shrink evicted streams: active = %d, want %d", s.Active(), limit)
+	}
+
+	// Pause one stream: Resume must be refused while the class is still
+	// over the new limit, exactly like a fresh Open.
+	if err := s.Pause(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resume(ids[0]); !errors.Is(err, ErrRejected) {
+		t.Errorf("resume above new limit err = %v, want ErrRejected", err)
+	}
+	if _, _, err := s.Open("h0"); !errors.Is(err, ErrRejected) {
+		t.Errorf("open above new limit err = %v, want ErrRejected", err)
+	}
+
+	// Drain by closing newest-first until exactly the new limit remains
+	// active (ids[1] stays running for the step below).
+	for i := len(ids) - 1; i >= 2 && s.Active() > now; i-- {
+		if err := s.Close(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Active() != now {
+		t.Fatalf("drained to %d, want %d", s.Active(), now)
+	}
+	// At the limit: still closed...
+	if _, _, err := s.Open("h0"); !errors.Is(err, ErrRejected) {
+		t.Errorf("open at new limit err = %v, want ErrRejected", err)
+	}
+	// ...one below: Resume gets the slot, then the class is full again.
+	if err := s.Close(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resume(ids[0]); err != nil {
+		t.Errorf("resume below new limit err = %v", err)
+	}
+	if s.Active() != now {
+		t.Errorf("active = %d after resume, want %d", s.Active(), now)
+	}
+	if _, _, err := s.Open("h0"); !errors.Is(err, ErrRejected) {
+		t.Errorf("open with class refilled err = %v, want ErrRejected", err)
+	}
+	// The invariant held throughout: occupancy never exceeded the new
+	// limit after the drain.
+	s.Run(10)
+	if s.Active() > now {
+		t.Errorf("active = %d exceeds recalibrated limit %d", s.Active(), now)
+	}
+}
+
 func TestRestartObservation(t *testing.T) {
 	s := heavyServer(t)
 	if _, _, err := s.Open("h0"); err != nil {

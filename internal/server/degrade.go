@@ -1,0 +1,231 @@
+package server
+
+import (
+	"fmt"
+	"slices"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/fault"
+	"mzqos/internal/model"
+)
+
+// DefaultDegradeAfter is the number of consecutive faulty (or healthy)
+// rounds the controller waits before degrading (or restoring) when
+// DegradeConfig.After is zero. Reacting on the first faulty round would
+// churn the admission limit on every transient; three rounds is long
+// enough to call a fault sustained and short enough to bound how many
+// guarantee-violating rounds accumulate.
+const DefaultDegradeAfter = 3
+
+// ShedPolicy selects which streams of an over-occupied offset class to
+// evict when the degraded admission limit drops below the class's current
+// occupancy. ids holds the class's active streams in admission order
+// (ascending StreamID, i.e. oldest first) and excess how many must go for
+// the class to fit the new limit. The returned ids are evicted; returning
+// fewer leaves the class over the limit (it then drains by attrition like
+// a recalibration shrink). Unknown ids are ignored.
+type ShedPolicy func(class int, ids []StreamID, excess int) []StreamID
+
+// ShedNewest is the default policy: evict the most recently admitted
+// streams first, preserving the service promise made to the oldest
+// clients (the multipath-streaming literature's "last in, first shed").
+func ShedNewest(_ int, ids []StreamID, excess int) []StreamID {
+	if excess >= len(ids) {
+		return ids
+	}
+	return ids[len(ids)-excess:]
+}
+
+// ShedNone disables eviction: the degraded limit still closes admission,
+// but running streams ride out the fault (and its glitches) until their
+// classes drain by attrition.
+func ShedNone(int, []StreamID, int) []StreamID { return nil }
+
+// DegradeConfig controls the server's reaction to sustained faults. With
+// Enabled false (the default) faults still perturb service, but the
+// admission limit never moves — the configured guarantee is silently
+// violated, which is what BoundTightness then reports.
+type DegradeConfig struct {
+	// Enabled turns the degraded-mode controller on.
+	Enabled bool
+	// After is the number of consecutive faulty rounds before the server
+	// re-derives its limits against the degraded disks, and of consecutive
+	// healthy rounds before it restores them (0 = DefaultDegradeAfter).
+	After int
+	// Policy selects the streams to shed when the degraded limit drops
+	// below a class's occupancy (nil = ShedNewest).
+	Policy ShedPolicy
+	// EvictOnFailure extends shedding to full disk failures. By default a
+	// failed disk only closes admission (limit 0) while running streams
+	// ride out the outage, since evicting every client for a transient
+	// failure is usually worse than the glitches.
+	EvictOnFailure bool
+}
+
+// degradeState tracks the controller between rounds.
+type degradeState struct {
+	enabled        bool
+	after          int
+	policy         ShedPolicy
+	evictOnFailure bool
+
+	dirty, clean int    // consecutive faulty / healthy rounds seen
+	appliedSig   string // effect signature the current limits model
+	active       bool   // degraded limits are in force
+
+	// Healthy limits saved at the first degradation, restored on recovery.
+	baseMdl  *model.Model
+	baseMdls []*model.Model
+	baseNmax int
+}
+
+// Degraded reports whether degraded admission limits are currently in
+// force.
+func (s *Server) Degraded() bool { return s.deg.active }
+
+// FaultPlan returns a copy of the configured fault schedule (empty when
+// no faults are configured).
+func (s *Server) FaultPlan() fault.Plan { return s.inj.Plan() }
+
+// FaultEffectsAt returns the per-disk fault effects of the given round
+// under the configured plan. Safe for concurrent use (the injector is
+// immutable), which is what the mzserver /faults endpoint relies on.
+func (s *Server) FaultEffectsAt(round int) []fault.Effects {
+	effs := make([]fault.Effects, len(s.geoms))
+	for d := range effs {
+		effs[d] = s.inj.EffectsAt(d, round)
+	}
+	return effs
+}
+
+// adaptToFaults is the per-round degraded-mode controller, run after the
+// sweeps of Step. It debounces the fault timeline (After consecutive
+// rounds), re-derives the admission limits against the degraded hardware
+// description when a sustained fault appears or changes shape, sheds
+// streams to the new limit under the configured policy, and restores the
+// healthy limits once the faults have cleared. Returns the evicted
+// streams, ascending.
+func (s *Server) adaptToFaults(effs []fault.Effects) []StreamID {
+	if !s.deg.enabled || s.inj == nil {
+		return nil
+	}
+	any := false
+	for _, e := range effs {
+		if e.Active() {
+			any = true
+			break
+		}
+	}
+	if any {
+		s.deg.dirty++
+		s.deg.clean = 0
+	} else {
+		s.deg.clean++
+		s.deg.dirty = 0
+	}
+
+	switch {
+	case any && s.deg.dirty >= s.deg.after:
+		sig := fmt.Sprintf("%+v", effs)
+		if sig == s.deg.appliedSig {
+			return nil
+		}
+		return s.applyDegraded(effs, sig)
+	case !any && s.deg.active && s.deg.clean >= s.deg.after:
+		s.restoreHealthy()
+	}
+	return nil
+}
+
+// applyDegraded re-derives the per-disk admission models against the
+// degraded geometries (inflated service-time moments) and sheds to the
+// new limit. On a modeling error the current limits are kept and the
+// controller retries next round.
+func (s *Server) applyDegraded(effs []fault.Effects, sig string) []StreamID {
+	geoms := make([]*disk.Geometry, len(s.geoms))
+	failed := false
+	for i, g := range s.geoms {
+		if effs[i].Failed {
+			// A failed disk has no finite service model; evaluate the rest
+			// of the array and force the limit to zero below.
+			failed = true
+			geoms[i] = g
+			continue
+		}
+		dg, err := fault.DegradeGeometry(g, effs[i])
+		if err != nil {
+			return nil
+		}
+		geoms[i] = dg
+	}
+	binding, mdls, nmax, err := evaluateDisks(geoms, s.cfg.Sizes, s.cfg.RoundLength, s.cfg.Guarantee)
+	if err != nil {
+		return nil
+	}
+	if failed {
+		// Round-robin striping routes every stream over every disk, so a
+		// failed disk leaves no admissible load.
+		nmax = 0
+	}
+	if !s.deg.active {
+		s.deg.baseMdl, s.deg.baseMdls, s.deg.baseNmax = s.mdl, s.mdls, s.nmax
+		s.deg.active = true
+		s.tel.degradeTransitions.Inc()
+		s.tel.degraded.Set(1)
+	}
+	s.deg.appliedSig = sig
+	s.limitMu.Lock()
+	s.mdl, s.mdls, s.nmax = binding, mdls, nmax
+	s.limitMu.Unlock()
+	s.publishLimits()
+
+	if failed && !s.deg.evictOnFailure {
+		return nil
+	}
+	return s.shedToLimit()
+}
+
+// shedToLimit evicts streams from every offset class whose occupancy
+// exceeds the current limit, as chosen by the shed policy. Evicted
+// streams retire un-done (their stats remain queryable like any close).
+func (s *Server) shedToLimit() []StreamID {
+	var evicted []StreamID
+	for class := range s.classes {
+		excess := s.classes[class] - s.nmax
+		if excess <= 0 {
+			continue
+		}
+		ids := make([]StreamID, 0, s.classes[class])
+		for id, st := range s.active {
+			if st.offset == class {
+				ids = append(ids, id)
+			}
+		}
+		slices.Sort(ids)
+		for _, id := range s.deg.policy(class, ids, excess) {
+			st, ok := s.active[id]
+			if !ok || st.offset != class {
+				continue
+			}
+			s.retire(st, false)
+			s.tel.evictions.Inc()
+			evicted = append(evicted, id)
+		}
+	}
+	slices.Sort(evicted)
+	return evicted
+}
+
+// restoreHealthy reinstates the limits saved at the first degradation
+// once the fault timeline has been clean for the debounce window.
+func (s *Server) restoreHealthy() {
+	s.limitMu.Lock()
+	s.mdl, s.mdls, s.nmax = s.deg.baseMdl, s.deg.baseMdls, s.deg.baseNmax
+	s.limitMu.Unlock()
+	s.publishLimits()
+	s.deg.active = false
+	s.deg.appliedSig = ""
+	s.deg.baseMdl, s.deg.baseMdls = nil, nil
+	s.tel.degraded.Set(0)
+	s.tel.degradeTransitions.Inc()
+}

@@ -30,20 +30,29 @@ type Telemetry struct {
 	boundLate   *telemetry.Gauge
 	boundGlitch *telemetry.Gauge
 
+	faultActive        *telemetry.Gauge
+	degraded           *telemetry.Gauge
+	degradeTransitions *telemetry.Counter
+	evictions          *telemetry.Counter
+
 	disks []diskTelemetry
 }
 
 // diskTelemetry holds one disk's series, captured once at setup so the
 // sweep loop does no registry lookups.
 type diskTelemetry struct {
-	roundTime  *telemetry.Histogram
-	lateRounds *telemetry.Counter
-	fragments  *telemetry.Counter
-	glitches   *telemetry.Counter
-	peakLoad   *telemetry.Gauge
-	seek       *telemetry.Gauge
-	rotation   *telemetry.Gauge
-	transfer   *telemetry.Gauge
+	roundTime   *telemetry.Histogram
+	lateRounds  *telemetry.Counter
+	fragments   *telemetry.Counter
+	glitches    *telemetry.Counter
+	peakLoad    *telemetry.Gauge
+	seek        *telemetry.FloatCounter
+	rotation    *telemetry.FloatCounter
+	transfer    *telemetry.FloatCounter
+	faultRounds *telemetry.Counter
+	retries     *telemetry.Counter
+	lost        *telemetry.Counter
+	downRounds  *telemetry.Counter
 }
 
 // recorderCapacity bounds the recent-sweep ring: enough to reconstruct a
@@ -81,6 +90,14 @@ func newTelemetry(disks int, t float64) (*Telemetry, error) {
 			"Analytic b_late(N_max, t): Chernoff bound on a full round being late."),
 		boundGlitch: reg.Gauge("mzqos_server_bound_glitch",
 			"Analytic b_glitch(N_max, t): bound on a stream glitching in one round."),
+		faultActive: reg.Gauge("mzqos_server_fault_active_disks",
+			"Disks with an active fault effect in the latest round."),
+		degraded: reg.Gauge("mzqos_server_degraded",
+			"1 while degraded admission limits are in force, else 0."),
+		degradeTransitions: reg.Counter("mzqos_server_degraded_transitions_total",
+			"Entries into and exits from degraded mode."),
+		evictions: reg.Counter("mzqos_server_fault_evictions_total",
+			"Streams shed by the degraded-mode controller."),
 	}
 	for d := 0; d < disks; d++ {
 		lbl := telemetry.L("disk", fmt.Sprintf("%d", d))
@@ -104,12 +121,20 @@ func newTelemetry(disks int, t float64) (*Telemetry, error) {
 				"Late fragments on this disk.", lbl),
 			peakLoad: reg.Gauge("mzqos_server_peak_round_load",
 				"Largest per-round request count this disk has served.", lbl),
-			seek: reg.Gauge("mzqos_server_phase_seconds_total",
+			seek: reg.FloatCounter("mzqos_server_phase_seconds_total",
 				"Accumulated sweep service seconds by phase.", lbl, telemetry.L("phase", "seek")),
-			rotation: reg.Gauge("mzqos_server_phase_seconds_total",
+			rotation: reg.FloatCounter("mzqos_server_phase_seconds_total",
 				"Accumulated sweep service seconds by phase.", lbl, telemetry.L("phase", "rotation")),
-			transfer: reg.Gauge("mzqos_server_phase_seconds_total",
+			transfer: reg.FloatCounter("mzqos_server_phase_seconds_total",
 				"Accumulated sweep service seconds by phase.", lbl, telemetry.L("phase", "transfer")),
+			faultRounds: reg.Counter("mzqos_server_fault_rounds_total",
+				"Rounds in which a fault effect was active on this disk.", lbl),
+			retries: reg.Counter("mzqos_server_fault_retries_total",
+				"Extra revolutions paid re-reading after transient read errors.", lbl),
+			lost: reg.Counter("mzqos_server_lost_fragments_total",
+				"Fragments never delivered: retries exhausted or the disk was down.", lbl),
+			downRounds: reg.Counter("mzqos_server_down_rounds_total",
+				"Loaded rounds in which this disk was fully failed.", lbl),
 		})
 	}
 	return tl, nil
@@ -134,20 +159,35 @@ func (t *Telemetry) PhaseTotals() telemetry.PhaseTotals { return t.recorder.Tota
 // concurrently with the round loop.
 func (s *Server) Telemetry() *Telemetry { return s.tel }
 
+// downRoundSentinel is the round-time (in round lengths) recorded for a
+// sweep that never happened because the disk was down. It lies beyond the
+// histogram's top finite bucket (8t), so a down round lands in the +Inf
+// bucket and counts against the empirical late tail with a finite sum —
+// the honest reading of "the deadline was missed by the whole round".
+const downRoundSentinel = 16
+
 // observeSweep records one disk's finished sweep into the metric set and
 // the phase recorder. Called once per loaded disk per round from Step.
 func (s *Server) observeSweep(d int, dr *DiskRoundReport) {
 	dt := &s.tel.disks[d]
-	dt.roundTime.Observe(dr.Busy)
+	if dr.Down {
+		dt.roundTime.Observe(downRoundSentinel * s.cfg.RoundLength)
+		dt.lateRounds.Inc()
+		dt.downRounds.Inc()
+	} else {
+		dt.roundTime.Observe(dr.Busy)
+		if dr.Busy > s.cfg.RoundLength {
+			dt.lateRounds.Inc()
+		}
+	}
 	dt.fragments.Add(int64(dr.Requests))
-	dt.glitches.Add(int64(dr.Late))
+	dt.glitches.Add(int64(dr.Late + dr.Lost))
 	dt.peakLoad.SetMax(float64(dr.Requests))
 	dt.seek.Add(dr.Seek)
 	dt.rotation.Add(dr.Rotation)
 	dt.transfer.Add(dr.Transfer)
-	if dr.Busy > s.cfg.RoundLength {
-		dt.lateRounds.Inc()
-	}
+	dt.retries.Add(int64(dr.Retries))
+	dt.lost.Add(int64(dr.Lost))
 	s.tel.fragments.Add(int64(dr.Requests))
 	s.tel.recorder.Record(telemetry.RoundEvent{
 		Round:    s.round,

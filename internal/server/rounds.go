@@ -3,19 +3,33 @@ package server
 import (
 	"cmp"
 	"slices"
+
+	"mzqos/internal/fault"
 )
 
 // DiskRoundReport is the outcome of one disk's sweep in one round.
 type DiskRoundReport struct {
-	// Requests is the number of fragments the disk served.
+	// Requests is the number of fragments due on the disk.
 	Requests int
 	// Busy is the total service time of the sweep in seconds; it equals
-	// Seek + Rotation + Transfer, the three phases of eq. 3.1.1.
+	// Seek + Rotation + Transfer, the three phases of eq. 3.1.1 (zero when
+	// the disk is Down).
 	Busy float64
 	// Seek, Rotation, and Transfer break Busy down by service phase.
+	// Rotation includes any extra revolutions paid for read-error retries.
 	Seek, Rotation, Transfer float64
 	// Late is the number of requests that finished after the round end.
 	Late int
+	// Faulty marks a round in which a fault effect was active on the disk.
+	Faulty bool
+	// Retries is the number of extra revolutions paid re-reading after
+	// transient read errors.
+	Retries int
+	// Lost is the number of fragments not delivered at all: reads that
+	// exhausted their in-round retries, or every request of a Down disk.
+	Lost int
+	// Down marks a round in which the disk was fully failed.
+	Down bool
 }
 
 // RoundReport is the outcome of one server round.
@@ -24,10 +38,15 @@ type RoundReport struct {
 	Round int
 	// Disks holds one report per disk.
 	Disks []DiskRoundReport
-	// Glitches is the total number of late fragments across disks.
+	// Glitches is the total number of late or lost fragments across disks.
 	Glitches int
-	// Completed lists streams that consumed their last fragment.
+	// Completed lists streams that consumed their last fragment, in
+	// ascending StreamID order.
 	Completed []StreamID
+	// Evicted lists streams shed by the degraded-mode controller this
+	// round (ascending StreamID order, empty unless degradation is
+	// enabled and the admission limit shrank below a class's occupancy).
+	Evicted []StreamID
 }
 
 // diskRequest pairs a due stream with its current fragment for the sweep.
@@ -41,12 +60,44 @@ type diskRequest struct {
 // serves its requests in one SCAN sweep (ascending cylinders from a parked
 // arm); requests finishing after the round length are glitches for their
 // streams (§2.3). Streams that consumed their final fragment complete.
+//
+// Faults scheduled by Config.Faults perturb the sweep: latency inflation
+// scales every phase, zone-rate degradation slows transfers, transient
+// read errors cost retry revolutions (and lose the fragment once retries
+// are exhausted), and a failed disk serves nothing. With degradation
+// enabled the server reacts to sustained faults after the sweep — see
+// DegradeConfig.
+//
+// Determinism: requests are gathered in ascending StreamID order and SCAN
+// ties on a cylinder break by StreamID, so a given Config.Seed (plus fault
+// plan) reproduces byte-identical reports run after run.
 func (s *Server) Step() RoundReport {
 	rep := RoundReport{Round: s.round, Disks: make([]DiskRoundReport, len(s.geoms))}
 
-	// Gather the due requests per disk.
+	// Resolve this round's fault effects once per disk.
+	effs := make([]fault.Effects, len(s.geoms))
+	faulty := 0
+	for d := range effs {
+		effs[d] = s.inj.EffectsAt(d, s.round)
+		if effs[d].Active() {
+			rep.Disks[d].Faulty = true
+			faulty++
+			s.tel.disks[d].faultRounds.Inc()
+		}
+	}
+	s.tel.faultActive.Set(float64(faulty))
+
+	// Gather the due requests per disk in ascending StreamID order (map
+	// iteration order is randomized and would break seeded reproducibility
+	// of the rotational-latency draws below).
+	ids := make([]StreamID, 0, len(s.active))
+	for id := range s.active {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
 	perDisk := make([][]diskRequest, len(s.geoms))
-	for _, st := range s.active {
+	for _, id := range ids {
+		st := s.active[id]
 		if s.round < st.start {
 			continue
 		}
@@ -59,35 +110,78 @@ func (s *Server) Step() RoundReport {
 		if len(reqs) == 0 {
 			continue
 		}
-		// SCAN: sort by cylinder, sweep from the parked arm at cylinder 0.
+		eff := effs[d]
+		dr := &rep.Disks[d]
+		dr.Requests = len(reqs)
+		if eff.Failed {
+			// Full disk failure: nothing is served, every due fragment is
+			// lost — a glitch for its stream (playback skips it, §2.3).
+			dr.Down = true
+			dr.Lost = len(reqs)
+			for _, r := range reqs {
+				st := r.st
+				st.served++
+				st.glitches++
+				rep.Glitches++
+				st.next++
+				if st.next >= len(st.obj.frags) {
+					done = append(done, st)
+				}
+			}
+			s.observeSweep(d, dr)
+			continue
+		}
+		// SCAN: sort by cylinder (StreamID tiebreak keeps seeded runs
+		// reproducible), sweep from the parked arm at cylinder 0.
 		slices.SortFunc(reqs, func(a, b diskRequest) int {
-			return cmp.Compare(a.frag.loc.Cylinder, b.frag.loc.Cylinder)
+			if c := cmp.Compare(a.frag.loc.Cylinder, b.frag.loc.Cylinder); c != 0 {
+				return c
+			}
+			return cmp.Compare(a.st.id, b.st.id)
 		})
 		arm := 0
 		var clock float64
-		dr := &rep.Disks[d]
-		dr.Requests = len(reqs)
-		for _, r := range reqs {
+		g := s.geoms[d]
+		for i, r := range reqs {
 			dd := float64(r.frag.loc.Cylinder - arm)
 			if dd < 0 {
 				dd = -dd
 			}
-			g := s.geoms[d]
-			seek := g.Seek.Time(dd)
-			rot := s.rng.Float64() * g.RotationTime
-			trans := g.TransferTime(r.frag.size, r.frag.loc.Zone)
+			seek := g.Seek.Time(dd) * eff.LatencyScale
+			rot := s.rng.Float64() * g.RotationTime * eff.LatencyScale
+			trans := g.TransferTime(r.frag.size, r.frag.loc.Zone) * eff.LatencyScale / eff.RateScale
 			clock += seek + rot + trans
 			dr.Seek += seek
 			dr.Rotation += rot
 			dr.Transfer += trans
 			arm = r.frag.loc.Cylinder
 
+			lost := false
+			if eff.ErrorProb > 0 {
+				for attempt := 0; s.inj.ReadError(d, s.round, i, attempt); attempt++ {
+					if attempt >= eff.Retries {
+						lost = true // retries exhausted: the fragment is lost
+						break
+					}
+					// Each retry re-reads after one full (inflated) revolution.
+					penalty := g.RotationTime * eff.LatencyScale
+					clock += penalty
+					dr.Rotation += penalty
+					dr.Retries++
+				}
+			}
+
 			st := r.st
 			st.served++
 			s.observed.Add(r.frag.size)
-			if clock > s.cfg.RoundLength {
+			switch {
+			case lost:
+				dr.Lost++
 				st.glitches++
+				rep.Glitches++
+			case clock > s.cfg.RoundLength:
 				dr.Late++
+				st.glitches++
 				rep.Glitches++
 			}
 			st.next++
@@ -105,6 +199,8 @@ func (s *Server) Step() RoundReport {
 		rep.Completed = append(rep.Completed, st.id)
 		s.retire(st, true)
 	}
+	slices.Sort(rep.Completed)
+	rep.Evicted = s.adaptToFaults(effs)
 	s.round++
 	return rep
 }
@@ -118,9 +214,11 @@ func (s *Server) Run(n int) RunSummary {
 		sum.Rounds++
 		sum.Glitches += rep.Glitches
 		sum.Completed += len(rep.Completed)
+		sum.Evicted += len(rep.Evicted)
 		for _, dr := range rep.Disks {
 			sum.Requests += dr.Requests
 			sum.BusyTime += dr.Busy
+			sum.Lost += dr.Lost
 			if dr.Requests > sum.PeakDiskLoad {
 				sum.PeakDiskLoad = dr.Requests
 			}
@@ -138,10 +236,16 @@ type RunSummary struct {
 	Rounds int
 	// Requests is the total fragments served.
 	Requests int
-	// Glitches is the total late fragments.
+	// Glitches is the total late or lost fragments.
 	Glitches int
+	// Lost is the subset of Glitches that were never delivered at all
+	// (read errors past their retry budget, or a failed disk).
+	Lost int
 	// Completed is the number of streams that finished playback.
 	Completed int
+	// Evicted is the number of streams shed by the degraded-mode
+	// controller.
+	Evicted int
 	// PeakDiskLoad is the largest per-disk per-round request count seen.
 	PeakDiskLoad int
 	// BusyTime is the summed disk service time; DiskTime the summed

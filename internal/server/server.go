@@ -23,6 +23,7 @@ import (
 
 	"mzqos/internal/disk"
 	"mzqos/internal/dist"
+	"mzqos/internal/fault"
 	"mzqos/internal/model"
 	"mzqos/internal/workload"
 )
@@ -67,6 +68,18 @@ type Config struct {
 	// their glitch and service counts survive in the aggregate telemetry
 	// counters.
 	RetiredHistory int
+	// Faults optionally schedules deterministic service faults (latency
+	// inflation, zone-rate degradation, transient read errors, disk
+	// failure) against the round timeline. Nil means a healthy array. The
+	// same plan handed to a simulator reproduces the identical fault
+	// schedule, which is what makes analytic-vs-simulated comparisons
+	// under faults meaningful.
+	Faults *fault.Plan
+	// Degrade configures the reaction to sustained faults: re-deriving the
+	// admission limits against the degraded disks and shedding streams to
+	// fit. Zero value = never adapt (faults silently violate the
+	// guarantee, which BoundTightness then reports).
+	Degrade DegradeConfig
 }
 
 // DefaultRetiredHistory is the retired-stream stats retention used when
@@ -137,6 +150,8 @@ type Server struct {
 	paused   map[StreamID]*stream
 	classes  []int // active streams per offset class
 	tel      *Telemetry
+	inj      *fault.Injector // nil-safe: a nil injector is a healthy array
+	deg      degradeState
 
 	// Retired-stream stats: a bounded FIFO ring so glitch counts stay
 	// queryable after Close without the finished set growing forever.
@@ -177,6 +192,13 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var inj *fault.Injector
+	if cfg.Faults != nil {
+		inj, err = fault.NewInjector(*cfg.Faults, len(geoms))
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
 	retiredCap := cfg.RetiredHistory
 	if retiredCap <= 0 {
 		retiredCap = DefaultRetiredHistory
@@ -199,6 +221,19 @@ func New(cfg Config) (*Server, error) {
 		tel:        tel,
 		finished:   make(map[StreamID]StreamStats),
 		retiredCap: retiredCap,
+		inj:        inj,
+	}
+	s.deg = degradeState{
+		enabled:        cfg.Degrade.Enabled,
+		after:          cfg.Degrade.After,
+		policy:         cfg.Degrade.Policy,
+		evictOnFailure: cfg.Degrade.EvictOnFailure,
+	}
+	if s.deg.after <= 0 {
+		s.deg.after = DefaultDegradeAfter
+	}
+	if s.deg.policy == nil {
+		s.deg.policy = ShedNewest
 	}
 	s.publishLimits()
 	return s, nil

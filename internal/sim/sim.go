@@ -22,6 +22,7 @@ import (
 
 	"mzqos/internal/disk"
 	"mzqos/internal/dist"
+	"mzqos/internal/fault"
 	"mzqos/internal/telemetry"
 	"mzqos/internal/workload"
 )
@@ -53,6 +54,21 @@ type Config struct {
 	// deadline an exact bucket boundary, which yields series directly
 	// comparable with the server's mzqos_server_round_time_seconds.
 	RoundTimes *telemetry.Histogram
+	// Faults optionally perturbs the simulated service with the same
+	// deterministic plans the server consumes: an identical (Plan, disk,
+	// round) triple resolves to identical effects in both, so server runs
+	// and simulations compare under the same fault schedule. The
+	// stationary estimators (EstimatePLate, EstimatePError, MeasureRounds,
+	// PositionBias) resolve the plan once at FaultRound and hold those
+	// effects for every trial — they estimate the conditional probability
+	// given that round's fault state. ReplayRounds advances the round
+	// index through the plan's full timeline instead.
+	Faults *fault.Plan
+	// FaultDisk is the disk index this simulated drive plays in the plan.
+	FaultDisk int
+	// FaultRound is the round index at which the stationary estimators
+	// resolve the plan's effects.
+	FaultRound int
 }
 
 func (c Config) validate() error {
@@ -62,7 +78,29 @@ func (c Config) validate() error {
 	if c.Access != nil && !c.Access.Valid(c.Disk) {
 		return ErrConfig
 	}
+	if c.Faults != nil && c.FaultDisk < 0 {
+		return ErrConfig
+	}
 	return nil
+}
+
+// injector builds the plan's injector (nil when no plan is configured;
+// the fault package's nil injector resolves to identity effects).
+func (c Config) injector() (*fault.Injector, error) {
+	if c.Faults == nil {
+		return nil, nil
+	}
+	return fault.NewInjector(*c.Faults, 0)
+}
+
+// stationaryEffects resolves the fault effects the stationary estimators
+// simulate under: the plan evaluated at (FaultDisk, FaultRound).
+func (c Config) stationaryEffects() (fault.Effects, error) {
+	inj, err := c.injector()
+	if err != nil {
+		return fault.Effects{}, err
+	}
+	return inj.EffectsAt(c.FaultDisk, c.FaultRound), nil
 }
 
 // sampleLocation draws a request location under the configured placement.
@@ -86,11 +124,34 @@ type roundScratch struct {
 	reqs []request
 }
 
-// simulateRound plays one round: draws the N requests, serves them in SCAN
-// order starting from cylinder 0, and reports the total service time. If
+// downRoundSentinel is the round time (in round lengths) recorded for a
+// round whose disk was fully failed, mirroring the server's down-round
+// accounting: beyond the histogram's top finite bucket, so the round lands
+// in +Inf and counts against the empirical late tail with a finite sum.
+const downRoundSentinel = 16
+
+// simulateRound plays one round under the given fault effects: draws the N
+// requests, serves them in SCAN order starting from cylinder 0, and reports
+// the total service time plus the number of lost (undelivered) requests. If
 // lateFor is non-nil, it is filled with one bool per stream indicating
-// whether that stream's request missed the round deadline.
-func simulateRound(cfg Config, rng *rand.Rand, sc *roundScratch, lateFor []bool) (total float64) {
+// whether that stream's request glitched (finished late or was lost).
+//
+// readErr, when non-nil, decides read-error retries deterministically (the
+// timeline replay wires it to the plan's hash draws so a server run under
+// the same plan sees the identical error schedule); nil draws retries from
+// rng at eff.ErrorProb, which is what the Monte-Carlo estimators want.
+func simulateRound(cfg Config, eff fault.Effects, readErr func(request, attempt int) bool, rng *rand.Rand, sc *roundScratch, lateFor []bool) (total float64, lost int) {
+	if eff.Failed {
+		// A down disk serves nothing: every request is lost outright.
+		for i := range lateFor {
+			lateFor[i] = true
+		}
+		total = downRoundSentinel * cfg.RoundLength
+		if cfg.RoundTimes != nil {
+			cfg.RoundTimes.Observe(total)
+		}
+		return total, cfg.N
+	}
 	if cap(sc.reqs) < cfg.N {
 		sc.reqs = make([]request, cfg.N)
 	}
@@ -114,18 +175,42 @@ func simulateRound(cfg Config, rng *rand.Rand, sc *roundScratch, lateFor []bool)
 		if d < 0 {
 			d = -d
 		}
-		clock += cfg.Disk.Seek.Time(d)
-		clock += rng.Float64() * cfg.Disk.RotationTime // rotational latency
-		clock += cfg.Disk.TransferTime(r.size, r.zone)
+		clock += cfg.Disk.Seek.Time(d) * eff.LatencyScale
+		clock += rng.Float64() * cfg.Disk.RotationTime * eff.LatencyScale // rotational latency
+		clock += cfg.Disk.TransferTime(r.size, r.zone) * eff.LatencyScale / eff.RateScale
 		arm = r.cylinder
+
+		isLost := false
+		if eff.ErrorProb > 0 {
+			for attempt := 0; ; attempt++ {
+				var fails bool
+				if readErr != nil {
+					fails = readErr(i, attempt)
+				} else {
+					fails = rng.Float64() < eff.ErrorProb
+				}
+				if !fails {
+					break
+				}
+				if attempt >= eff.Retries {
+					isLost = true // retries exhausted: the fragment is lost
+					break
+				}
+				// Each retry re-reads after one full (inflated) revolution.
+				clock += cfg.Disk.RotationTime * eff.LatencyScale
+			}
+		}
+		if isLost {
+			lost++
+		}
 		if lateFor != nil {
-			lateFor[r.stream] = clock > cfg.RoundLength
+			lateFor[r.stream] = isLost || clock > cfg.RoundLength
 		}
 	}
 	if cfg.RoundTimes != nil {
 		cfg.RoundTimes.Observe(clock)
 	}
-	return clock
+	return clock, lost
 }
 
 // Estimate is a Monte-Carlo probability estimate with a 95% Wilson score
@@ -169,6 +254,10 @@ func EstimatePLate(cfg Config, trials int, seed uint64) (Estimate, error) {
 	if trials < 1 {
 		return Estimate{}, ErrConfig
 	}
+	eff, err := cfg.stationaryEffects()
+	if err != nil {
+		return Estimate{}, err
+	}
 	nw := cfg.workers()
 	var wg sync.WaitGroup
 	hits := make([]int64, nw)
@@ -184,7 +273,7 @@ func EstimatePLate(cfg Config, trials int, seed uint64) (Estimate, error) {
 			var sc roundScratch
 			var h int64
 			for i := 0; i < share; i++ {
-				if simulateRound(cfg, rng, &sc, nil) > cfg.RoundLength {
+				if total, _ := simulateRound(cfg, eff, nil, rng, &sc, nil); total > cfg.RoundLength {
 					h++
 				}
 			}
@@ -211,6 +300,10 @@ func EstimatePError(cfg Config, rounds, glitches, runs int, seed uint64) (Estima
 	if rounds < 1 || glitches < 0 || glitches > rounds || runs < 1 {
 		return Estimate{}, ErrConfig
 	}
+	eff, err := cfg.stationaryEffects()
+	if err != nil {
+		return Estimate{}, err
+	}
 	nw := cfg.workers()
 	var wg sync.WaitGroup
 	hits := make([]int64, nw)
@@ -232,7 +325,7 @@ func EstimatePError(cfg Config, rounds, glitches, runs int, seed uint64) (Estima
 					counts[i] = 0
 				}
 				for r := 0; r < rounds; r++ {
-					simulateRound(cfg, rng, &sc, late)
+					simulateRound(cfg, eff, nil, rng, &sc, late)
 					for s, isLate := range late {
 						if isLate {
 							counts[s]++
@@ -275,6 +368,10 @@ func MeasureRounds(cfg Config, trials int, seed uint64) (RoundStats, error) {
 	if trials < 1 {
 		return RoundStats{}, ErrConfig
 	}
+	eff, err := cfg.stationaryEffects()
+	if err != nil {
+		return RoundStats{}, err
+	}
 	nw := cfg.workers()
 	var wg sync.WaitGroup
 	accs := make([]dist.Welford, nw)
@@ -290,7 +387,7 @@ func MeasureRounds(cfg Config, trials int, seed uint64) (RoundStats, error) {
 			rng := dist.NewRand(seed^0x5eed, uint64(w)*0x9e3779b97f4a7c15+1)
 			var sc roundScratch
 			for i := 0; i < share; i++ {
-				total := simulateRound(cfg, rng, &sc, nil)
+				total, _ := simulateRound(cfg, eff, nil, rng, &sc, nil)
 				accs[w].Add(total)
 				if total > cfg.RoundLength {
 					lates[w]++
@@ -326,6 +423,18 @@ func PositionBias(cfg Config, trials int, seed uint64) ([]Estimate, error) {
 	if trials < 1 {
 		return nil, ErrConfig
 	}
+	eff, err := cfg.stationaryEffects()
+	if err != nil {
+		return nil, err
+	}
+	if eff.Failed {
+		// Every position misses on a down disk; the sweep below never runs.
+		out := make([]Estimate, cfg.N)
+		for pos := range out {
+			out[pos] = newEstimate(int64(trials), int64(trials))
+		}
+		return out, nil
+	}
 	nw := cfg.workers()
 	var wg sync.WaitGroup
 	hits := make([][]int64, nw)
@@ -358,9 +467,9 @@ func PositionBias(cfg Config, trials int, seed uint64) ([]Estimate, error) {
 					if d < 0 {
 						d = -d
 					}
-					clock += cfg.Disk.Seek.Time(d)
-					clock += rng.Float64() * cfg.Disk.RotationTime
-					clock += cfg.Disk.TransferTime(r.size, r.zone)
+					clock += cfg.Disk.Seek.Time(d) * eff.LatencyScale
+					clock += rng.Float64() * cfg.Disk.RotationTime * eff.LatencyScale
+					clock += cfg.Disk.TransferTime(r.size, r.zone) * eff.LatencyScale / eff.RateScale
 					arm = r.cylinder
 					if clock > cfg.RoundLength {
 						hits[w][pos]++
@@ -377,6 +486,69 @@ func PositionBias(cfg Config, trials int, seed uint64) ([]Estimate, error) {
 			total += hits[w][pos]
 		}
 		out[pos] = newEstimate(total, int64(trials))
+	}
+	return out, nil
+}
+
+// RoundOutcome is one replayed round's result.
+type RoundOutcome struct {
+	// Round is the timeline round index.
+	Round int
+	// Total is the sweep's service time T_N (the down-round sentinel when
+	// the disk was failed).
+	Total float64
+	// Glitches is the number of requests that missed the deadline or were
+	// lost; Lost is the undelivered subset.
+	Glitches int
+	Lost     int
+	// Faulty marks a round with any active fault effect; Down a fully
+	// failed disk.
+	Faulty bool
+	Down   bool
+}
+
+// ReplayRounds plays `rounds` consecutive rounds through the configured
+// fault plan's timeline, starting at round 0: each round's effects are
+// resolved at its own index (unlike the stationary estimators), and
+// read-error retries follow the plan's deterministic hash draws — so a
+// server running under the same plan experiences the identical fault
+// schedule round for round. The replay is single-threaded by design; seed
+// makes it reproducible.
+func ReplayRounds(cfg Config, rounds int, seed uint64) ([]RoundOutcome, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if rounds < 1 {
+		return nil, ErrConfig
+	}
+	inj, err := cfg.injector()
+	if err != nil {
+		return nil, err
+	}
+	rng := dist.NewRand(seed, seed^0x9e3779b97f4a7c15)
+	var sc roundScratch
+	late := make([]bool, cfg.N)
+	out := make([]RoundOutcome, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		eff := inj.EffectsAt(cfg.FaultDisk, r)
+		readErr := func(request, attempt int) bool {
+			return inj.ReadError(cfg.FaultDisk, r, request, attempt)
+		}
+		total, lost := simulateRound(cfg, eff, readErr, rng, &sc, late)
+		glitches := 0
+		for _, l := range late {
+			if l {
+				glitches++
+			}
+		}
+		out = append(out, RoundOutcome{
+			Round:    r,
+			Total:    total,
+			Glitches: glitches,
+			Lost:     lost,
+			Faulty:   eff.Active(),
+			Down:     eff.Failed,
+		})
 	}
 	return out, nil
 }

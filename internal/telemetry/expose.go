@@ -34,6 +34,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "%s%s %d\n", e.name, promLabels(e.labels, "", 0), e.c.Value())
 		case KindGauge:
 			fmt.Fprintf(bw, "%s%s %s\n", e.name, promLabels(e.labels, "", 0), promFloat(e.g.Value()))
+		case KindFloatCounter:
+			fmt.Fprintf(bw, "%s%s %s\n", e.name, promLabels(e.labels, "", 0), promFloat(e.fc.Value()))
 		case KindHistogram:
 			v := e.h.SnapshotValues()
 			var cum int64
@@ -52,7 +54,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 func promType(k Kind) string {
 	switch k {
-	case KindCounter:
+	case KindCounter, KindFloatCounter:
 		return "counter"
 	case KindGauge:
 		return "gauge"

@@ -29,6 +29,9 @@ const (
 	KindGauge
 	// KindHistogram is a fixed-bucket distribution.
 	KindHistogram
+	// KindFloatCounter is a monotonically increasing float total (exposed
+	// with Prometheus counter semantics).
+	KindFloatCounter
 )
 
 // entry is one registered metric series.
@@ -40,6 +43,7 @@ type entry struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	fc     *FloatCounter
 }
 
 // Registry names metrics and exposes them as snapshots and Prometheus
@@ -130,6 +134,12 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	return e.g
 }
 
+// FloatCounter registers (or returns the existing) float-counter series.
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	e := r.register(entry{name: name, help: help, labels: labels, kind: KindFloatCounter, fc: new(FloatCounter)})
+	return e.fc
+}
+
 // Histogram registers (or returns the existing) histogram series over the
 // given bucket bounds.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) (*Histogram, error) {
@@ -172,6 +182,13 @@ type GaugePoint struct {
 	Value  float64 `json:"value"`
 }
 
+// FloatCounterPoint is one float-counter series in a snapshot.
+type FloatCounterPoint struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
 // HistogramPoint is one histogram series in a snapshot.
 type HistogramPoint struct {
 	Name   string  `json:"name"`
@@ -183,9 +200,10 @@ type HistogramPoint struct {
 // registration order. It is safe to retain, marshal, and compare; nothing
 // in it aliases live metric state.
 type Snapshot struct {
-	Counters   []CounterPoint   `json:"counters,omitempty"`
-	Gauges     []GaugePoint     `json:"gauges,omitempty"`
-	Histograms []HistogramPoint `json:"histograms,omitempty"`
+	Counters      []CounterPoint      `json:"counters,omitempty"`
+	Gauges        []GaugePoint        `json:"gauges,omitempty"`
+	FloatCounters []FloatCounterPoint `json:"float_counters,omitempty"`
+	Histograms    []HistogramPoint    `json:"histograms,omitempty"`
 }
 
 // Snapshot captures the current value of every registered series.
@@ -201,6 +219,8 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Counters = append(s.Counters, CounterPoint{Name: e.name, Labels: labels, Value: e.c.Value()})
 		case KindGauge:
 			s.Gauges = append(s.Gauges, GaugePoint{Name: e.name, Labels: labels, Value: e.g.Value()})
+		case KindFloatCounter:
+			s.FloatCounters = append(s.FloatCounters, FloatCounterPoint{Name: e.name, Labels: labels, Value: e.fc.Value()})
 		case KindHistogram:
 			s.Histograms = append(s.Histograms, HistogramPoint{Name: e.name, Labels: labels, HistogramValues: e.h.SnapshotValues()})
 		}
@@ -241,6 +261,16 @@ func (s Snapshot) Gauge(name string, labels ...Label) (float64, bool) {
 	return 0, false
 }
 
+// FloatCounter returns the value of the named float-counter series.
+func (s Snapshot) FloatCounter(name string, labels ...Label) (float64, bool) {
+	for _, c := range s.FloatCounters {
+		if c.Name == name && matchLabels(c.Labels, labels) {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
 // Histogram returns the named histogram series.
 func (s Snapshot) Histogram(name string, labels ...Label) (HistogramPoint, bool) {
 	for _, h := range s.Histograms {
@@ -259,6 +289,9 @@ func (s Snapshot) Names() []string {
 	}
 	for _, g := range s.Gauges {
 		seen[g.Name] = true
+	}
+	for _, c := range s.FloatCounters {
+		seen[c.Name] = true
 	}
 	for _, h := range s.Histograms {
 		seen[h.Name] = true

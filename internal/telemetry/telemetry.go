@@ -40,6 +40,36 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Reset zeroes the counter (for tests and per-run harnesses like mzbench).
 func (c *Counter) Reset() { c.v.Store(0) }
 
+// FloatCounter is a monotonically increasing float64 metric, for
+// accumulated totals measured in continuous units (e.g. per-phase service
+// seconds). Unlike a Gauge it can only go up, so it is exposed with
+// Prometheus counter semantics (rate() and increase() are meaningful).
+// The zero value is ready to use; all methods are safe for concurrent use.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates v (CAS loop; non-positive v is ignored — counters only
+// go up).
+func (c *FloatCounter) Add(v float64) {
+	if !(v > 0) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Reset zeroes the counter (for tests and per-run harnesses).
+func (c *FloatCounter) Reset() { c.bits.Store(0) }
+
 // Gauge is a float64 metric that can go up and down. The zero value is
 // ready to use; all methods are safe for concurrent use.
 type Gauge struct {

@@ -35,6 +35,7 @@ import (
 
 	"mzqos/internal/disk"
 	"mzqos/internal/dist"
+	"mzqos/internal/fault"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
 	"mzqos/internal/sim"
@@ -105,6 +106,65 @@ type (
 	// RunSummary aggregates a multi-round server execution.
 	RunSummary = server.RunSummary
 )
+
+// Fault-injection and degraded-mode types (see README "Fault injection
+// & degraded mode").
+type (
+	// FaultPlan is a deterministic, seedable schedule of service faults;
+	// the same plan drives a server and a simulator to the identical
+	// fault timeline.
+	FaultPlan = fault.Plan
+	// Fault is one scheduled perturbation over a round interval.
+	Fault = fault.Fault
+	// FaultKind selects the perturbation (latency, rate, errors, fail).
+	FaultKind = fault.Kind
+	// FaultEffects is the combined perturbation of one disk in one round.
+	FaultEffects = fault.Effects
+	// FaultInjector resolves a plan to per-(disk, round) effects.
+	FaultInjector = fault.Injector
+	// DegradeConfig controls the server's reaction to sustained faults.
+	DegradeConfig = server.DegradeConfig
+	// ShedPolicy selects which streams to evict when the degraded limit
+	// drops below an offset class's occupancy.
+	ShedPolicy = server.ShedPolicy
+)
+
+// Fault kinds.
+const (
+	FaultLatency   = fault.Latency
+	FaultZoneRate  = fault.ZoneRate
+	FaultReadError = fault.ReadError
+	FaultFailure   = fault.Failure
+	// FaultAllDisks as a Fault.Disk targets every disk in the array.
+	FaultAllDisks = fault.AllDisks
+)
+
+// NewFaultInjector validates a plan against an array of `disks` drives
+// (0 skips the width check) and returns its injector.
+func NewFaultInjector(plan FaultPlan, disks int) (*FaultInjector, error) {
+	return fault.NewInjector(plan, disks)
+}
+
+// ParseFaultPlan parses the compact command-line fault-plan syntax, e.g.
+// "latency:disk=0,from=50,until=250,factor=2;errors:disk=all,from=0,prob=0.01,retries=2".
+func ParseFaultPlan(spec string, seed uint64) (FaultPlan, error) {
+	return fault.ParsePlan(spec, seed)
+}
+
+// ShedNewest is the default shedding policy: evict the most recently
+// admitted streams first. ShedNone disables eviction (degraded limits
+// only close admission).
+var (
+	ShedNewest ShedPolicy = server.ShedNewest
+	ShedNone   ShedPolicy = server.ShedNone
+)
+
+// SimReplayRounds plays consecutive rounds through a fault plan's
+// timeline on the simulator (SimConfig.Faults), mirroring the schedule a
+// server under the same plan experiences.
+func SimReplayRounds(cfg SimConfig, rounds int, seed uint64) ([]sim.RoundOutcome, error) {
+	return sim.ReplayRounds(cfg, rounds, seed)
+}
 
 // Observability types (see README "Observability" and internal/telemetry).
 type (

@@ -1,0 +1,82 @@
+#!/bin/sh
+# Fault-injection smoke test: drive mzserver through a scripted disk
+# slowdown (2x latency on disk 0 for rounds 100..300) with graceful
+# degradation enabled, then assert the degraded-mode lifecycle happened —
+# the limit dropped and was restored, streams were shed, and the fault
+# telemetry and /faults endpoint expose the schedule. Exits non-zero on
+# any miss.
+set -eu
+
+ADDR="${FAULTS_ADDR:-127.0.0.1:19098}"
+BIN="${TMPDIR:-/tmp}/mzserver-faults"
+LOG="${TMPDIR:-/tmp}/mzserver-faults.log"
+
+go build -o "$BIN" ./cmd/mzserver
+
+"$BIN" -disks 2 -rounds 400 -arrivals 2 -report 0 \
+    -faults "latency:disk=0,from=100,until=300,factor=2" -degrade \
+    -listen "$ADDR" -linger 120s >"$LOG" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT INT TERM
+
+up=0
+i=0
+while [ "$i" -lt 100 ]; do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ "$up" -ne 1 ]; then
+    echo "faults: FAIL endpoint on $ADDR never became healthy" >&2
+    exit 1
+fi
+
+# Wait for the scenario to complete all 400 rounds.
+done=0
+i=0
+while [ "$i" -lt 300 ]; do
+    if curl -sf "http://$ADDR/metrics" | grep -q '^mzqos_server_rounds_total 400$'; then
+        done=1
+        break
+    fi
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ "$done" -ne 1 ]; then
+    echo "faults: FAIL scenario never reached round 400" >&2
+    exit 1
+fi
+
+fail=0
+expect() { # expect <path> <grep-pattern> <label>
+    if curl -sf "http://$ADDR$1" | grep -q "$2"; then
+        echo "faults: ok   $1 serves $3"
+    else
+        echo "faults: FAIL $1 lacks $3 (pattern: $2)" >&2
+        fail=1
+    fi
+}
+expect_log() { # expect_log <grep-pattern> <label>
+    if grep -q "$1" "$LOG"; then
+        echo "faults: ok   log shows $2"
+    else
+        echo "faults: FAIL log lacks $2 (pattern: $1)" >&2
+        fail=1
+    fi
+}
+
+expect /faults '"kind": "latency"' "the scheduled fault plan"
+expect /faults '"degraded": false' "degraded cleared after recovery"
+expect /metrics '^mzqos_server_fault_rounds_total{disk="0"} 200$' "per-disk fault round count"
+expect /metrics '^mzqos_server_degraded 0$' "degraded gauge back to 0"
+expect /metrics '^mzqos_server_degraded_transitions_total 2$' "enter+exit transitions"
+expect /metrics '^mzqos_server_fault_evictions_total [1-9]' "shed streams counted"
+expect /metrics '^mzqos_server_phase_seconds_total{disk="0",phase="seek"}' "phase counters survive migration"
+expect_log 'entering degraded mode' "degraded-mode entry"
+expect_log 'healthy limit .*/disk restored' "healthy-limit restoration"
+expect_log 'shed [1-9][0-9]* streams' "stream shedding"
+
+exit "$fail"
