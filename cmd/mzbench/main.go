@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -73,13 +74,17 @@ func gitRev() string {
 }
 
 // speedupPairs names the seed-vs-fast ratios the summary reports: each
-// value is ns/op(baseline) divided by ns/op(optimized).
+// value is ns/op(baseline) divided by ns/op(optimized). The trace pair is
+// an overhead ratio rather than a speedup — Step with the flight recorder
+// on over Step with it off — and the observability PR's claim is that it
+// stays below 1.05 (under 5% tracing overhead on the round hot path).
 var speedupPairs = []struct{ name, baseline, optimized string }{
 	{"nmax_error_warm_vs_seed_cold", "NMaxError/paperM/seed-cold", "NMaxError/paperM/fast-warm"},
 	{"nmax_error_cold_vs_seed_cold", "NMaxError/paperM/seed-cold", "NMaxError/paperM/fast-cold"},
 	{"build_table_warm_vs_seed_cold", "BuildTable/grid/seed-cold", "BuildTable/grid/fast-warm"},
 	{"build_table_cold_vs_seed_cold", "BuildTable/grid/seed-cold", "BuildTable/grid/fast-cold"},
 	{"chernoff_solve_warm_vs_cold", "ChernoffSolve/n26/cold", "ChernoffSolve/n26/warm"},
+	{"step_trace_on_vs_off_overhead", "ServerStep/paperLoad/trace-on", "ServerStep/paperLoad/trace-off"},
 }
 
 func main() {
@@ -97,12 +102,11 @@ func main() {
 		Speedups:   make(map[string]float64),
 	}
 	nsByOp := make(map[string]float64)
-	for _, c := range benchcases.Suite() {
-		res := testing.Benchmark(c.Bench)
+	record := func(name string, res testing.BenchmarkResult) {
 		ns := float64(res.T.Nanoseconds()) / float64(res.N)
-		nsByOp[c.Name] = ns
+		nsByOp[name] = ns
 		r.Benchmarks = append(r.Benchmarks, opResult{
-			Op:          c.Name,
+			Op:          name,
 			NsPerOp:     ns,
 			BytesPerOp:  res.AllocedBytesPerOp(),
 			AllocsPerOp: res.AllocsPerOp(),
@@ -110,8 +114,24 @@ func main() {
 		})
 		if *verbose {
 			fmt.Printf("%-34s %12.1f ns/op %8d B/op %6d allocs/op\n",
-				c.Name, ns, res.AllocedBytesPerOp(), res.AllocsPerOp())
+				name, ns, res.AllocedBytesPerOp(), res.AllocsPerOp())
 		}
+	}
+	var pair []benchcases.Case
+	for _, c := range benchcases.Suite() {
+		if strings.HasPrefix(c.Name, "ServerStep/") {
+			pair = append(pair, c)
+			continue
+		}
+		record(c.Name, testing.Benchmark(c.Bench))
+	}
+	// The Step tracing pair claims a small ratio (<5% overhead), far below
+	// the run-to-run noise of a sequential measurement on a busy machine.
+	// Measure the two variants in interleaved repetitions — so slow machine
+	// drift hits both sides equally — and record each op's median.
+	medians := measureInterleaved(pair, 5)
+	for _, c := range pair { // suite order, not map order
+		record(c.Name, medians[c.Name])
 	}
 	for _, p := range speedupPairs {
 		base, opt := nsByOp[p.baseline], nsByOp[p.optimized]
@@ -156,6 +176,28 @@ func main() {
 	fmt.Printf("  solver: %.1f%% chain hit ratio, %d warm / %d cold solves, %d search probes\n",
 		100*r.Telemetry.CacheHitRatio, r.Telemetry.WarmSolves, r.Telemetry.ColdSolves,
 		r.Telemetry.SearchProbes)
+}
+
+// measureInterleaved benchmarks the given cases reps times in alternation
+// (case A, case B, case A, ...) and returns the median-ns/op result per
+// case, so a ratio between two of them reflects the code difference
+// rather than whichever half of the wall-clock window ran hotter.
+func measureInterleaved(cases []benchcases.Case, reps int) map[string]testing.BenchmarkResult {
+	byCase := make(map[string][]testing.BenchmarkResult)
+	for i := 0; i < reps; i++ {
+		for _, c := range cases {
+			byCase[c.Name] = append(byCase[c.Name], testing.Benchmark(c.Bench))
+		}
+	}
+	out := make(map[string]testing.BenchmarkResult, len(cases))
+	for name, results := range byCase {
+		sort.Slice(results, func(i, j int) bool {
+			return float64(results[i].T.Nanoseconds())/float64(results[i].N) <
+				float64(results[j].T.Nanoseconds())/float64(results[j].N)
+		})
+		out[name] = results[len(results)/2]
+	}
+	return out
 }
 
 // readTrajectory loads the existing run list, tolerating a missing file so

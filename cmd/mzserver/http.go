@@ -5,11 +5,13 @@ import (
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"sync"
 
 	"mzqos/internal/fault"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
+	"mzqos/internal/trace"
 )
 
 // publishOnce guards the process-global expvar namespace: expvar panics on
@@ -24,6 +26,12 @@ var publishOnce sync.Once
 //	/report      the live bound-tightness report as JSON
 //	/sweeps      recent per-sweep phase breakdowns as JSON
 //	/faults      the fault plan and the latest round's per-disk effects
+//	/admission   the admission-explanation report: per-disk decision
+//	             traces (binding k, bound, θ, slack), class occupancy,
+//	             recent rejections and N_max evaluations
+//	/trace       the flight recorder: live span history or the frozen
+//	             trigger snapshot as JSON; ?format=chrome re-renders
+//	             either as Chrome trace-event JSON for Perfetto
 //	/healthz     liveness probe
 //	/debug/pprof runtime profiling, only when withPprof is set
 //
@@ -50,6 +58,12 @@ func newTelemetryMux(srv *server.Server, withPprof bool) *http.ServeMux {
 	})
 	mux.HandleFunc("/faults", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, faultStatus(srv))
+	})
+	mux.HandleFunc("/admission", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, srv.AdmissionStatus())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, traceStatus(srv, r.URL.Query()))
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -96,6 +110,43 @@ func faultStatus(srv *server.Server) faultStatusReport {
 		Limit:    int(limit),
 		Effects:  srv.FaultEffectsAt(round),
 	}
+}
+
+// traceReport is the default /trace payload: recorder accounting, the
+// frozen trigger snapshot when one is latched, and the live span history.
+type traceReport struct {
+	Enabled bool              `json:"enabled"`
+	Stats   trace.Stats       `json:"stats"`
+	Frozen  *trace.Snapshot   `json:"frozen,omitempty"`
+	Spans   []trace.RoundSpan `json:"spans"`
+}
+
+// traceStatus assembles the /trace payload. With ?format=chrome the spans
+// re-render as Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing); ?source=frozen selects the latched trigger snapshot
+// instead of the live ring in either format. Everything reads through the
+// recorder's own lock, so serving is safe while the round loop runs.
+func traceStatus(srv *server.Server, q url.Values) any {
+	trc := srv.Trace()
+	frozen := q.Get("source") == "frozen"
+	if q.Get("format") == "chrome" {
+		spans := trc.Live()
+		if frozen {
+			spans = nil
+			if snap, ok := trc.Frozen(); ok {
+				spans = snap.Spans
+			}
+		}
+		return trace.ChromeTrace(spans, trc.RoundLength())
+	}
+	rep := traceReport{Enabled: trc.Enabled(), Stats: trc.Stats()}
+	if snap, ok := trc.Frozen(); ok {
+		rep.Frozen = &snap
+	}
+	if !frozen {
+		rep.Spans = trc.Live()
+	}
+	return rep
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

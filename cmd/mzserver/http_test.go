@@ -216,3 +216,109 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("/healthz: status %d body %q", rec.Code, rec.Body.String())
 	}
 }
+
+func TestAdmissionEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// Provoke one explained rejection so the endpoint shows a full story.
+	for srv.Active() < srv.Capacity() {
+		if _, _, err := srv.Open("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := srv.Open("v"); err == nil {
+		t.Fatal("open past capacity succeeded")
+	}
+
+	mux := newTelemetryMux(srv, false)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/admission", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/admission status %d", rec.Code)
+	}
+	var st server.AdmissionStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/admission is not an admission status: %v", err)
+	}
+	if st.NMax != 26 || st.Capacity != 52 || len(st.Explanations) != 2 {
+		t.Errorf("status nmax=%d capacity=%d explanations=%d", st.NMax, st.Capacity, len(st.Explanations))
+	}
+	for d, exp := range st.Explanations {
+		if exp.Bound != "b_late" || exp.BindingK != 27 || !(exp.Theta > 0) || !(exp.Slack > 0) {
+			t.Errorf("disk %d explanation incomplete: %+v", d, exp)
+		}
+	}
+	if len(st.Rejections) != 1 || st.Rejections[0].Reason != server.RejectClassesFull {
+		t.Errorf("rejections = %+v", st.Rejections)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	srv := testServer(t)
+	mux := newTelemetryMux(srv, false)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/trace status %d", rec.Code)
+	}
+	var rep traceReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("/trace is not a trace report: %v", err)
+	}
+	if !rep.Enabled || rep.Stats.Capacity == 0 {
+		t.Errorf("report stats = %+v", rep.Stats)
+	}
+	// 20 rounds × 2 disks, minus sweeps where startup delay left a disk
+	// idle; the ring must hold exactly what the recorder committed.
+	if int64(len(rep.Spans)) != rep.Stats.Recorded || len(rep.Spans) < 20 {
+		t.Fatalf("%d spans, %d recorded", len(rep.Spans), rep.Stats.Recorded)
+	}
+	for i, sp := range rep.Spans {
+		if sp.Seq != uint64(i) {
+			t.Fatalf("span %d has seq %d (gap)", i, sp.Seq)
+		}
+		if len(sp.Requests) == 0 || sp.Busy <= 0 {
+			t.Errorf("span %d degenerate: %d requests, busy %v", i, len(sp.Requests), sp.Busy)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace?format=chrome", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/trace?format=chrome status %d", rec.Code)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &chrome); err != nil {
+		t.Fatalf("chrome export is not JSON: %v", err)
+	}
+	sweeps := 0
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph == "X" && ev.Cat == "sweep" {
+			sweeps++
+		}
+	}
+	if int64(sweeps) != rep.Stats.Recorded {
+		t.Errorf("chrome export has %d sweep events, want %d", sweeps, rep.Stats.Recorded)
+	}
+
+	// No trigger fired in a healthy run: the frozen source is empty but
+	// still well-formed JSON.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace?source=frozen", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/trace?source=frozen status %d", rec.Code)
+	}
+	var frozenRep traceReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &frozenRep); err != nil {
+		t.Fatalf("frozen report is not JSON: %v", err)
+	}
+	if frozenRep.Frozen != nil || len(frozenRep.Spans) != 0 {
+		t.Errorf("healthy run has frozen=%v spans=%d", frozenRep.Frozen, len(frozenRep.Spans))
+	}
+}

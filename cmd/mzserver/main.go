@@ -29,6 +29,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
@@ -39,6 +40,7 @@ import (
 	"mzqos/internal/fault"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
+	"mzqos/internal/trace"
 	"mzqos/internal/workload"
 )
 
@@ -64,8 +66,22 @@ func main() {
 		faultSpec   = flag.String("faults", "", `fault schedule, e.g. "latency:disk=0,from=100,until=400,factor=2;errors:disk=all,from=0,prob=0.01,retries=2"`)
 		degrade     = flag.Bool("degrade", false, "react to sustained faults: recompute the admission limit against the degraded disks and shed newest streams to fit")
 		degradeWait = flag.Int("degrade-after", 0, "consecutive faulty (or clean) rounds before degrading (or restoring); 0 = default")
+		logFmt      = flag.String("log", "", "structured lifecycle logging to stderr: 'text' or 'json' (empty = disabled)")
+		traceSpans  = flag.Int("trace-spans", 0, "flight-recorder ring capacity in sweep spans (0 = default)")
+		noTrace     = flag.Bool("no-trace", false, "disable round-level tracing and the flight recorder")
 	)
 	flag.Parse()
+
+	var logger *slog.Logger
+	switch *logFmt {
+	case "":
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fatal(fmt.Errorf("unknown -log format %q (want text or json)", *logFmt))
+	}
 
 	declared, err := workload.GammaSizes(*declMean*workload.KB, *declSD*workload.KB)
 	fatal(err)
@@ -89,6 +105,8 @@ func main() {
 		Seed:        *seed,
 		Faults:      plan,
 		Degrade:     server.DegradeConfig{Enabled: *degrade, After: *degradeWait},
+		Trace:       trace.Config{Disabled: *noTrace, Spans: *traceSpans},
+		Logger:      logger,
 	})
 	fatal(err)
 

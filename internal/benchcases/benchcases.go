@@ -8,6 +8,7 @@
 package benchcases
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -15,6 +16,8 @@ import (
 	"mzqos/internal/disk"
 	"mzqos/internal/experiments"
 	"mzqos/internal/model"
+	"mzqos/internal/server"
+	"mzqos/internal/trace"
 	"mzqos/internal/workload"
 )
 
@@ -204,12 +207,72 @@ func Suite() []Case {
 				}
 			}
 		}},
+		{Name: "ServerStep/paperLoad/trace-off", Bench: func(b *testing.B) {
+			benchServerStep(b, true)
+		}},
+		{Name: "ServerStep/paperLoad/trace-on", Bench: func(b *testing.B) {
+			benchServerStep(b, false)
+		}},
 		{Name: "Experiment/e2-multizone", Bench: func(b *testing.B) {
 			benchExperiment(b, "e2")
 		}},
 		{Name: "Experiment/e3-glitch", Bench: func(b *testing.B) {
 			benchExperiment(b, "e3")
 		}},
+	}
+}
+
+// benchServerStep measures one round of the server's Step hot path at the
+// paper's full admitted load (N_max streams on one Quantum Viking 2.1
+// disk, 1 s rounds), with the flight recorder either off or on. The
+// trace-on/trace-off ratio is the recorded tracing overhead; the
+// observability PR claims it stays under 5%.
+func benchServerStep(b *testing.B, traceOff bool) {
+	b.Helper()
+	s, err := server.New(server.Config{
+		Disk:        disk.QuantumViking21(),
+		NumDisks:    1,
+		RoundLength: 1,
+		Sizes:       workload.PaperSizes(),
+		Guarantee:   model.Guarantee{Threshold: 0.01},
+		Seed:        7,
+		Trace:       trace.Config{Disabled: traceOff},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const objRounds = 4096
+	capacity := s.Capacity()
+	for i := 0; i < capacity; i++ {
+		if err := s.AddSyntheticObject(fmt.Sprintf("v%d", i), objRounds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	refill := func() {
+		for s.Active() < capacity {
+			if _, _, err := s.Open(fmt.Sprintf("v%d", s.Active())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	refill()
+	// Warm one full lap of the flight-recorder ring (plus a little) so the
+	// timed region measures the steady state: buffers shuttling between
+	// the scratch span and ring slots without allocating.
+	warm := trace.DefaultSpans + 8
+	for i := 0; i < warm; i++ {
+		if s.Active() < capacity {
+			refill()
+		}
+		s.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Active() < capacity {
+			refill()
+		}
+		s.Step()
 	}
 }
 

@@ -2,8 +2,10 @@ package model
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -41,15 +43,18 @@ func (g Guarantee) validate() error {
 }
 
 // NMaxFor returns the maximum admissible number of concurrent streams per
-// disk under the given guarantee.
+// disk under the given guarantee. Every evaluation leaves an
+// admission-decision trace in the process-wide ring (RecentDecisions)
+// recording the binding constraint — see ExplainNMax for the full tuple.
 func (m *Model) NMaxFor(g Guarantee) (int, error) {
-	if err := g.validate(); err != nil {
+	exp, err := m.ExplainNMax(g)
+	if err != nil {
 		return 0, err
 	}
-	if g.Rounds == 0 {
-		return m.NMaxLate(g.Threshold)
+	if exp.Overload {
+		return 0, ErrOverload
 	}
-	return m.NMaxError(g.Rounds, g.Glitches, g.Threshold)
+	return exp.NMax, nil
 }
 
 // TableEntry is one row of a precomputed admission table.
@@ -76,7 +81,7 @@ type Table struct {
 func BuildTable(m *Model, specs []Guarantee) (*Table, error) {
 	entries := make([]TableEntry, len(specs))
 	errs := make([]error, len(specs))
-	parallelEach(len(specs), func(i int) {
+	parallelEach("table-build", len(specs), func(i int) {
 		g := specs[i]
 		n, err := m.NMaxFor(g)
 		if err != nil {
@@ -120,7 +125,10 @@ func newTable(entries []TableEntry) *Table {
 }
 
 // parallelEach runs fn(i) for i in [0, n) on up to GOMAXPROCS goroutines.
-func parallelEach(n int, fn func(int)) {
+// Workers carry a pprof goroutine label ("mzqos_worker" = label), so a
+// goroutine or CPU profile of a busy table build or sweep attributes the
+// solver time to the fan-out that spent it.
+func parallelEach(label string, n int, fn func(int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -131,19 +139,22 @@ func parallelEach(n int, fn func(int)) {
 		}
 		return
 	}
+	labels := pprof.Labels("mzqos_worker", label)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					fn(i)
 				}
-				fn(i)
-			}
+			})
 		}()
 	}
 	wg.Wait()

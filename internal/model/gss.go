@@ -109,7 +109,7 @@ func (m *Model) GSSNMax(groups int, delta float64) (int, error) {
 func (m *Model) GSSSweep(groups []int, delta float64) ([]GSSResult, error) {
 	out := make([]GSSResult, len(groups))
 	errs := make([]error, len(groups))
-	parallelEach(len(groups), func(i int) {
+	parallelEach("gss-sweep", len(groups), func(i int) {
 		g := groups[i]
 		n, err := m.GSSNMax(g, delta)
 		if err != nil {

@@ -16,6 +16,8 @@ var tel struct {
 	coldSolves      telemetry.Counter // Chernoff solves from a full-interval search
 	searchProbes    telemetry.Counter // exceeds() evaluations in N_max searches
 	linearFallbacks telemetry.Counter // searches re-run by the linear-scan fallback
+
+	admissionDecisions telemetry.Counter // NMax evaluations traced into the decision ring
 }
 
 // TelemetrySnapshot reports the process-wide solver counters.
@@ -32,6 +34,9 @@ type TelemetrySnapshot struct {
 	// LinearFallbacks counts searches that re-ran as a linear scan after
 	// a non-monotone bound step was recorded.
 	LinearFallbacks int64
+	// AdmissionDecisions counts NMax evaluations traced into the
+	// process-wide decision ring (RecentDecisions).
+	AdmissionDecisions int64
 }
 
 // CacheHitRatio returns ChainHits/(ChainHits+ChainExtensions), the
@@ -54,6 +59,8 @@ func Telemetry() TelemetrySnapshot {
 		ColdSolves:      tel.coldSolves.Value(),
 		SearchProbes:    tel.searchProbes.Value(),
 		LinearFallbacks: tel.linearFallbacks.Value(),
+
+		AdmissionDecisions: tel.admissionDecisions.Value(),
 	}
 }
 
@@ -66,6 +73,7 @@ func ResetTelemetry() {
 	tel.coldSolves.Reset()
 	tel.searchProbes.Reset()
 	tel.linearFallbacks.Reset()
+	tel.admissionDecisions.Reset()
 }
 
 // RegisterTelemetry adopts the solver counters into a registry under the
@@ -84,4 +92,6 @@ func RegisterTelemetry(reg *telemetry.Registry) {
 		"Bound evaluations spent inside N_max admission searches.", &tel.searchProbes)
 	reg.AdoptCounter("mzqos_model_search_linear_fallbacks_total",
 		"N_max searches re-run by the linear-scan fallback.", &tel.linearFallbacks)
+	reg.AdoptCounter("mzqos_model_admission_decisions_total",
+		"NMax evaluations traced into the admission-decision ring.", &tel.admissionDecisions)
 }

@@ -51,26 +51,36 @@ func (s *Server) Recalibrate(minSamples int64) (oldLimit, newLimit int, err erro
 		return s.nmax, s.nmax, err
 	}
 	// Refit per distinct disk; the binding constraint is the minimum.
-	binding, mdls, nmax, err := evaluateDisks(s.geoms, sizes, s.cfg.RoundLength, s.cfg.Guarantee)
+	ev, err := evaluateDisks(s.geoms, sizes, s.cfg.RoundLength, s.cfg.Guarantee)
 	if err != nil {
 		return s.nmax, s.nmax, err
 	}
 	oldLimit = s.nmax
 	s.limitMu.Lock()
-	s.mdl = binding
-	s.mdls = mdls
-	s.nmax = nmax
+	s.mdl = ev.binding
+	s.mdls = ev.mdls
+	s.nmax = ev.nmax
+	s.explains, s.bindDisk = ev.explains, ev.bindDisk
 	s.limitMu.Unlock()
 	s.cfg.Sizes = sizes
 	if s.deg.active {
 		s.deg.active = false
 		s.deg.appliedSig = ""
-		s.deg.baseMdl, s.deg.baseMdls = nil, nil
+		s.deg.baseMdl, s.deg.baseMdls, s.deg.baseExplains = nil, nil, nil
 		s.tel.degraded.Set(0)
 		s.tel.degradeTransitions.Inc()
 	}
 	s.publishLimits()
-	return oldLimit, nmax, nil
+	if s.log != nil {
+		s.log.Info("recalibrated admission model",
+			"old_nmax", oldLimit,
+			"new_nmax", ev.nmax,
+			"observed_mean_bytes", mean,
+			"observed_sd_bytes", sd,
+			"samples", s.observed.N(),
+		)
+	}
+	return oldLimit, ev.nmax, nil
 }
 
 // SizeDrift returns the relative deviation of the observed mean fragment

@@ -74,9 +74,11 @@ type degradeState struct {
 	active       bool   // degraded limits are in force
 
 	// Healthy limits saved at the first degradation, restored on recovery.
-	baseMdl  *model.Model
-	baseMdls []*model.Model
-	baseNmax int
+	baseMdl      *model.Model
+	baseMdls     []*model.Model
+	baseNmax     int
+	baseExplains []model.AdmissionExplanation
+	baseBindDisk int
 }
 
 // Degraded reports whether degraded admission limits are currently in
@@ -158,26 +160,37 @@ func (s *Server) applyDegraded(effs []fault.Effects, sig string) []StreamID {
 		}
 		geoms[i] = dg
 	}
-	binding, mdls, nmax, err := evaluateDisks(geoms, s.cfg.Sizes, s.cfg.RoundLength, s.cfg.Guarantee)
+	ev, err := evaluateDisks(geoms, s.cfg.Sizes, s.cfg.RoundLength, s.cfg.Guarantee)
 	if err != nil {
 		return nil
 	}
 	if failed {
 		// Round-robin striping routes every stream over every disk, so a
 		// failed disk leaves no admissible load.
-		nmax = 0
+		ev.nmax = 0
 	}
 	if !s.deg.active {
 		s.deg.baseMdl, s.deg.baseMdls, s.deg.baseNmax = s.mdl, s.mdls, s.nmax
+		s.deg.baseExplains, s.deg.baseBindDisk = s.explains, s.bindDisk
 		s.deg.active = true
 		s.tel.degradeTransitions.Inc()
 		s.tel.degraded.Set(1)
 	}
 	s.deg.appliedSig = sig
 	s.limitMu.Lock()
-	s.mdl, s.mdls, s.nmax = binding, mdls, nmax
+	s.mdl, s.mdls, s.nmax = ev.binding, ev.mdls, ev.nmax
+	s.explains, s.bindDisk = ev.explains, ev.bindDisk
 	s.limitMu.Unlock()
 	s.publishLimits()
+	s.trc.Freeze("degrade", s.round)
+	if s.log != nil {
+		s.log.Warn("degraded admission limits applied",
+			"round", s.round,
+			"nmax", ev.nmax,
+			"binding_disk", ev.bindDisk,
+			"disk_failed", failed,
+		)
+	}
 
 	if failed && !s.deg.evictOnFailure {
 		return nil
@@ -221,11 +234,19 @@ func (s *Server) shedToLimit() []StreamID {
 func (s *Server) restoreHealthy() {
 	s.limitMu.Lock()
 	s.mdl, s.mdls, s.nmax = s.deg.baseMdl, s.deg.baseMdls, s.deg.baseNmax
+	s.explains, s.bindDisk = s.deg.baseExplains, s.deg.baseBindDisk
 	s.limitMu.Unlock()
 	s.publishLimits()
 	s.deg.active = false
 	s.deg.appliedSig = ""
-	s.deg.baseMdl, s.deg.baseMdls = nil, nil
+	s.deg.baseMdl, s.deg.baseMdls, s.deg.baseExplains = nil, nil, nil
 	s.tel.degraded.Set(0)
 	s.tel.degradeTransitions.Inc()
+	s.trc.Freeze("restore", s.round)
+	if s.log != nil {
+		s.log.Info("healthy admission limits restored",
+			"round", s.round,
+			"nmax", s.nmax,
+		)
+	}
 }

@@ -14,6 +14,7 @@ func (s *Server) Pause(id StreamID) error {
 	}
 	delete(s.active, st.id)
 	s.classes[st.offset]--
+	s.syncClassesView()
 	s.paused[st.id] = st
 	s.tel.active.Set(float64(len(s.active)))
 	s.tel.paused.Set(float64(len(s.paused)))
@@ -57,6 +58,7 @@ func (s *Server) Resume(id StreamID) (startupDelay int, err error) {
 	st.delay += bestDelay
 	s.active[st.id] = st
 	s.classes[class]++
+	s.syncClassesView()
 	s.tel.active.Set(float64(len(s.active)))
 	s.tel.paused.Set(float64(len(s.paused)))
 	return bestDelay, nil

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"mzqos/internal/fault"
+	"mzqos/internal/trace"
 )
 
 // DiskRoundReport is the outcome of one disk's sweep in one round.
@@ -73,6 +74,7 @@ type diskRequest struct {
 // plan) reproduces byte-identical reports run after run.
 func (s *Server) Step() RoundReport {
 	rep := RoundReport{Round: s.round, Disks: make([]DiskRoundReport, len(s.geoms))}
+	tracing := s.trc.Enabled()
 
 	// Resolve this round's fault effects once per disk.
 	effs := make([]fault.Effects, len(s.geoms))
@@ -118,6 +120,9 @@ func (s *Server) Step() RoundReport {
 			// lost — a glitch for its stream (playback skips it, §2.3).
 			dr.Down = true
 			dr.Lost = len(reqs)
+			if tracing {
+				s.trcSpan.Requests = s.trcSpan.Requests[:0]
+			}
 			for _, r := range reqs {
 				st := r.st
 				st.served++
@@ -127,8 +132,27 @@ func (s *Server) Step() RoundReport {
 				if st.next >= len(st.obj.frags) {
 					done = append(done, st)
 				}
+				if tracing {
+					// No sweep happened: the event records only what was
+					// due (location, size) and that it was lost.
+					var ev *trace.RequestEvent
+					s.trcSpan.Requests, ev = trace.NextEvent(s.trcSpan.Requests)
+					ev.Stream = int64(st.id)
+					ev.Cylinder = r.frag.loc.Cylinder
+					ev.Zone = r.frag.loc.Zone
+					ev.SeekCylinders = 0
+					ev.Bytes = r.frag.size
+					ev.Start, ev.Seek, ev.Rotation, ev.Transfer = 0, 0, 0, 0
+					ev.Retries = 0
+					ev.Late = false
+					ev.Lost = true
+				}
 			}
 			s.observeSweep(d, dr)
+			if tracing {
+				s.commitSpan(d, dr, downRoundSentinel*s.cfg.RoundLength)
+				s.trc.Freeze("down_round", s.round)
+			}
 			continue
 		}
 		// SCAN: sort by cylinder (StreamID tiebreak keeps seeded runs
@@ -142,14 +166,18 @@ func (s *Server) Step() RoundReport {
 		arm := 0
 		var clock float64
 		g := s.geoms[d]
+		if tracing {
+			s.trcSpan.Requests = s.trcSpan.Requests[:0]
+		}
 		for i, r := range reqs {
-			dd := float64(r.frag.loc.Cylinder - arm)
-			if dd < 0 {
-				dd = -dd
+			seekCyl := r.frag.loc.Cylinder - arm
+			if seekCyl < 0 {
+				seekCyl = -seekCyl
 			}
-			seek := g.Seek.Time(dd) * eff.LatencyScale
+			seek := g.Seek.Time(float64(seekCyl)) * eff.LatencyScale
 			rot := s.rng.Float64() * g.RotationTime * eff.LatencyScale
 			trans := g.TransferTime(r.frag.size, r.frag.loc.Zone) * eff.LatencyScale / eff.RateScale
+			start := clock
 			clock += seek + rot + trans
 			dr.Seek += seek
 			dr.Rotation += rot
@@ -157,6 +185,7 @@ func (s *Server) Step() RoundReport {
 			arm = r.frag.loc.Cylinder
 
 			lost := false
+			retries := 0
 			if eff.ErrorProb > 0 {
 				for attempt := 0; s.inj.ReadError(d, s.round, i, attempt); attempt++ {
 					if attempt >= eff.Retries {
@@ -167,6 +196,8 @@ func (s *Server) Step() RoundReport {
 					penalty := g.RotationTime * eff.LatencyScale
 					clock += penalty
 					dr.Rotation += penalty
+					rot += penalty
+					retries++
 					dr.Retries++
 				}
 			}
@@ -174,12 +205,14 @@ func (s *Server) Step() RoundReport {
 			st := r.st
 			st.served++
 			s.observed.Add(r.frag.size)
+			late := false
 			switch {
 			case lost:
 				dr.Lost++
 				st.glitches++
 				rep.Glitches++
 			case clock > s.cfg.RoundLength:
+				late = true
 				dr.Late++
 				st.glitches++
 				rep.Glitches++
@@ -188,12 +221,34 @@ func (s *Server) Step() RoundReport {
 			if st.next >= len(st.obj.frags) {
 				done = append(done, st)
 			}
+			if tracing {
+				var ev *trace.RequestEvent
+				s.trcSpan.Requests, ev = trace.NextEvent(s.trcSpan.Requests)
+				ev.Stream = int64(st.id)
+				ev.Cylinder = r.frag.loc.Cylinder
+				ev.Zone = r.frag.loc.Zone
+				ev.SeekCylinders = seekCyl
+				ev.Bytes = r.frag.size
+				ev.Start = start
+				ev.Seek = seek
+				ev.Rotation = rot
+				ev.Transfer = trans
+				ev.Retries = retries
+				ev.Late = late
+				ev.Lost = lost
+			}
 		}
 		dr.Busy = clock
 		s.observeSweep(d, dr)
+		if tracing {
+			s.commitSpan(d, dr, dr.Busy)
+		}
 	}
 	s.tel.rounds.Inc()
 	s.tel.glitches.Add(int64(rep.Glitches))
+	if tracing && rep.Glitches > 0 {
+		s.trc.Freeze("glitch", s.round)
+	}
 
 	for _, st := range done {
 		rep.Completed = append(rep.Completed, st.id)

@@ -17,6 +17,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand/v2"
 	"sort"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"mzqos/internal/dist"
 	"mzqos/internal/fault"
 	"mzqos/internal/model"
+	"mzqos/internal/trace"
 	"mzqos/internal/workload"
 )
 
@@ -80,6 +82,16 @@ type Config struct {
 	// fit. Zero value = never adapt (faults silently violate the
 	// guarantee, which BoundTightness then reports).
 	Degrade DegradeConfig
+	// Trace sizes the round-level flight recorder (per-request span
+	// events, freeze-on-trigger snapshots — see internal/trace). The zero
+	// value enables it at the default ring capacity; set Trace.Disabled
+	// to run without tracing. RoundLength is filled in from the server's.
+	Trace trace.Config
+	// Logger optionally receives structured lifecycle events (admission
+	// limits, degrade transitions, recalibrations, flight-recorder
+	// freezes) via log/slog. Nil disables logging; the round loop never
+	// logs per-request.
+	Logger *slog.Logger
 }
 
 // DefaultRetiredHistory is the retired-stream stats retention used when
@@ -152,6 +164,24 @@ type Server struct {
 	tel      *Telemetry
 	inj      *fault.Injector // nil-safe: a nil injector is a healthy array
 	deg      degradeState
+	log      *slog.Logger // nil = no structured logging
+
+	// Round-level tracing: the flight recorder plus a scratch span the
+	// Step loop fills and commits once per loaded disk (the recorder
+	// deep-copies, so one scratch serves every sweep).
+	trc      *trace.Recorder // nil-safe: nil means tracing disabled
+	trcSpan  trace.RoundSpan
+	explains []model.AdmissionExplanation // per-disk decision traces, under limitMu
+	bindDisk int                          // disk whose model binds nmax, under limitMu
+
+	// Admission rejection history: a small ring written by Open and read
+	// concurrently by the /admission endpoint, under its own mutex (Open
+	// runs on the loop thread, readers do not).
+	admMu       sync.Mutex
+	rejections  []RejectionEvent
+	rejectAt    int
+	rejectSeq   int64
+	classesView []int // copy of classes for concurrent readers
 
 	// Retired-stream stats: a bounded FIFO ring so glitch counts stay
 	// queryable after Close without the finished set growing forever.
@@ -188,7 +218,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, ErrConfig
 	}
 
-	binding, mdls, nmax, err := evaluateDisks(geoms, cfg.Sizes, cfg.RoundLength, cfg.Guarantee)
+	ev, err := evaluateDisks(geoms, cfg.Sizes, cfg.RoundLength, cfg.Guarantee)
 	if err != nil {
 		return nil, err
 	}
@@ -210,9 +240,11 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		geoms:      geoms,
-		mdl:        binding,
-		mdls:       mdls,
-		nmax:       nmax,
+		mdl:        ev.binding,
+		mdls:       ev.mdls,
+		nmax:       ev.nmax,
+		explains:   ev.explains,
+		bindDisk:   ev.bindDisk,
 		rng:        dist.NewRand(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15),
 		catalog:    make(map[string]*object),
 		active:     make(map[StreamID]*stream),
@@ -222,6 +254,12 @@ func New(cfg Config) (*Server, error) {
 		finished:   make(map[StreamID]StreamStats),
 		retiredCap: retiredCap,
 		inj:        inj,
+		log:        cfg.Logger,
+	}
+	if !cfg.Trace.Disabled {
+		tcfg := cfg.Trace
+		tcfg.RoundLength = cfg.RoundLength
+		s.trc = trace.NewRecorder(tcfg)
 	}
 	s.deg = degradeState{
 		enabled:        cfg.Degrade.Enabled,
@@ -236,44 +274,69 @@ func New(cfg Config) (*Server, error) {
 		s.deg.policy = ShedNewest
 	}
 	s.publishLimits()
+	s.syncClassesView()
+	if s.log != nil {
+		s.log.Info("server configured",
+			"disks", len(geoms),
+			"round_length_s", cfg.RoundLength,
+			"nmax", ev.nmax,
+			"binding_disk", ev.bindDisk,
+			"tracing", s.trc.Enabled(),
+		)
+	}
 	return s, nil
+}
+
+// diskEval is the outcome of evaluating the admission model across the
+// array: the per-disk models and decision traces, plus the binding
+// (minimum-N_max) disk that sets the server-wide limit.
+type diskEval struct {
+	binding  *model.Model
+	mdls     []*model.Model
+	nmax     int
+	explains []model.AdmissionExplanation
+	bindDisk int
 }
 
 // evaluateDisks builds one admission model per disk (sharing instances
 // across repeated geometries so homogeneous arrays evaluate once) and
-// returns the binding model and the minimum N_max.
-func evaluateDisks(geoms []*disk.Geometry, sizes workload.SizeModel, roundLength float64, g model.Guarantee) (binding *model.Model, mdls []*model.Model, nmax int, err error) {
-	nmax = -1
-	cache := make(map[*disk.Geometry]*model.Model)
-	mdls = make([]*model.Model, 0, len(geoms))
-	for _, geom := range geoms {
-		mdl, ok := cache[geom]
+// returns the binding model, the minimum N_max, and the per-disk
+// admission explanations recording which constraint produced each limit.
+func evaluateDisks(geoms []*disk.Geometry, sizes workload.SizeModel, roundLength float64, g model.Guarantee) (ev diskEval, err error) {
+	ev.nmax = -1
+	type entry struct {
+		mdl *model.Model
+		exp model.AdmissionExplanation
+	}
+	cache := make(map[*disk.Geometry]entry)
+	ev.mdls = make([]*model.Model, 0, len(geoms))
+	ev.explains = make([]model.AdmissionExplanation, 0, len(geoms))
+	for i, geom := range geoms {
+		e, ok := cache[geom]
 		if !ok {
-			mdl, err = model.New(model.Config{
+			e.mdl, err = model.New(model.Config{
 				Disk:        geom,
 				Sizes:       sizes,
 				RoundLength: roundLength,
 			})
 			if err != nil {
-				return nil, nil, 0, fmt.Errorf("server: building admission model: %w", err)
+				return diskEval{}, fmt.Errorf("server: building admission model: %w", err)
 			}
-			cache[geom] = mdl
-		}
-		mdls = append(mdls, mdl)
-		n, err := mdl.NMaxFor(g)
-		if err != nil {
-			if errors.Is(err, model.ErrOverload) {
-				n = 0
-			} else {
-				return nil, nil, 0, fmt.Errorf("server: evaluating guarantee: %w", err)
+			e.exp, err = e.mdl.ExplainNMax(g)
+			if err != nil {
+				return diskEval{}, fmt.Errorf("server: evaluating guarantee: %w", err)
 			}
+			cache[geom] = e
 		}
-		if nmax < 0 || n < nmax {
-			nmax = n
-			binding = mdl
+		ev.mdls = append(ev.mdls, e.mdl)
+		ev.explains = append(ev.explains, e.exp)
+		if ev.nmax < 0 || e.exp.NMax < ev.nmax {
+			ev.nmax = e.exp.NMax
+			ev.binding = e.mdl
+			ev.bindDisk = i
 		}
 	}
-	return binding, mdls, nmax, nil
+	return ev, nil
 }
 
 // publishLimits refreshes the admission-limit gauges and the analytic
@@ -371,6 +434,7 @@ func (s *Server) Open(name string) (id StreamID, startupDelay int, err error) {
 	}
 	if s.nmax == 0 {
 		s.tel.rejected.Inc()
+		s.recordRejection(name, RejectOverload)
 		return 0, 0, ErrRejected
 	}
 	// Starting in round s.round+delay puts the stream in offset class
@@ -389,6 +453,7 @@ func (s *Server) Open(name string) (id StreamID, startupDelay int, err error) {
 	}
 	if bestDelay < 0 {
 		s.tel.rejected.Inc()
+		s.recordRejection(name, RejectClassesFull)
 		return 0, 0, ErrRejected
 	}
 	class := mod(obj.base-(s.round+bestDelay), d)
@@ -402,6 +467,7 @@ func (s *Server) Open(name string) (id StreamID, startupDelay int, err error) {
 	}
 	s.active[st.id] = st
 	s.classes[class]++
+	s.syncClassesView()
 	s.tel.admitted.Inc()
 	s.tel.active.Set(float64(len(s.active)))
 	return st.id, bestDelay, nil
@@ -432,6 +498,7 @@ func (s *Server) Close(id StreamID) error {
 func (s *Server) retire(st *stream, done bool) {
 	delete(s.active, st.id)
 	s.classes[st.offset]--
+	s.syncClassesView()
 	s.tel.active.Set(float64(len(s.active)))
 	s.rememberFinished(st.id, StreamStats{
 		Object:       st.obj.name,

@@ -1,0 +1,32 @@
+package server
+
+import "mzqos/internal/trace"
+
+// Trace returns the server's flight recorder, or nil when tracing was
+// disabled in the configuration. A nil recorder's methods all no-op, so
+// callers may use the result without checking. The recorder itself is
+// safe for concurrent use with the round loop, which is how the /trace
+// endpoint reads live and frozen span history while rounds execute.
+func (s *Server) Trace() *trace.Recorder { return s.trc }
+
+// commitSpan finishes the scratch span with the sweep totals of dr and
+// commits it to the recorder. The Requests slice was filled by Step as
+// the sweep executed; observed is the value the round-time histogram
+// recorded for this sweep (Busy, or the down-round sentinel), so summed
+// span Observed reproduces the histogram sum exactly.
+func (s *Server) commitSpan(d int, dr *DiskRoundReport, observed float64) {
+	sp := &s.trcSpan
+	sp.Round = s.round
+	sp.Disk = d
+	sp.Seek = dr.Seek
+	sp.Rotation = dr.Rotation
+	sp.Transfer = dr.Transfer
+	sp.Busy = dr.Busy
+	sp.Observed = observed
+	sp.Late = dr.Late
+	sp.Lost = dr.Lost
+	sp.Retries = dr.Retries
+	sp.Faulty = dr.Faulty
+	sp.Down = dr.Down
+	s.trc.Record(sp)
+}

@@ -24,6 +24,7 @@ import (
 	"mzqos/internal/dist"
 	"mzqos/internal/fault"
 	"mzqos/internal/telemetry"
+	"mzqos/internal/trace"
 	"mzqos/internal/workload"
 )
 
@@ -69,6 +70,15 @@ type Config struct {
 	// FaultRound is the round index at which the stationary estimators
 	// resolve the plan's effects.
 	FaultRound int
+	// Trace optionally receives one RoundSpan per simulated round, with
+	// per-request service events (see internal/trace). All workers of a
+	// parallel estimator share the recorder, so spans from concurrent
+	// trials interleave in commit order; the stationary estimators label
+	// every span with FaultRound (EstimatePLate, MeasureRounds) or the
+	// history round (EstimatePError), while ReplayRounds — being
+	// single-threaded — emits a deterministic, gap-free stream suitable
+	// for byte-identical replay comparison. Nil disables sim tracing.
+	Trace *trace.Recorder
 }
 
 func (c Config) validate() error {
@@ -122,6 +132,7 @@ type request struct {
 // roundScratch holds per-worker buffers so the hot loop does not allocate.
 type roundScratch struct {
 	reqs []request
+	span trace.RoundSpan // trace scratch, reused across rounds
 }
 
 // downRoundSentinel is the round time (in round lengths) recorded for a
@@ -135,12 +146,15 @@ const downRoundSentinel = 16
 // the total service time plus the number of lost (undelivered) requests. If
 // lateFor is non-nil, it is filled with one bool per stream indicating
 // whether that stream's request glitched (finished late or was lost).
+// round labels the round in trace spans (it does not affect the service
+// draws).
 //
 // readErr, when non-nil, decides read-error retries deterministically (the
 // timeline replay wires it to the plan's hash draws so a server run under
 // the same plan sees the identical error schedule); nil draws retries from
 // rng at eff.ErrorProb, which is what the Monte-Carlo estimators want.
-func simulateRound(cfg Config, eff fault.Effects, readErr func(request, attempt int) bool, rng *rand.Rand, sc *roundScratch, lateFor []bool) (total float64, lost int) {
+func simulateRound(cfg Config, eff fault.Effects, round int, readErr func(request, attempt int) bool, rng *rand.Rand, sc *roundScratch, lateFor []bool) (total float64, lost int) {
+	tracing := cfg.Trace.Enabled()
 	if eff.Failed {
 		// A down disk serves nothing: every request is lost outright.
 		for i := range lateFor {
@@ -149,6 +163,18 @@ func simulateRound(cfg Config, eff fault.Effects, readErr func(request, attempt 
 		total = downRoundSentinel * cfg.RoundLength
 		if cfg.RoundTimes != nil {
 			cfg.RoundTimes.Observe(total)
+		}
+		if tracing {
+			sp := &sc.span
+			sp.Requests = sp.Requests[:0]
+			for i := 0; i < cfg.N; i++ {
+				sp.Requests = append(sp.Requests, trace.RequestEvent{Stream: int64(i), Lost: true})
+			}
+			*sp = trace.RoundSpan{
+				Round: round, Disk: cfg.FaultDisk, Requests: sp.Requests,
+				Observed: total, Lost: cfg.N, Faulty: true, Down: true,
+			}
+			cfg.Trace.Record(sp)
 		}
 		return total, cfg.N
 	}
@@ -167,20 +193,32 @@ func simulateRound(cfg Config, eff fault.Effects, readErr func(request, attempt 
 	}
 	// SCAN: one sweep in ascending cylinder order from the parked arm.
 	slices.SortFunc(reqs, func(a, b request) int { return cmp.Compare(a.cylinder, b.cylinder) })
+	if tracing {
+		sc.span = trace.RoundSpan{
+			Round: round, Disk: cfg.FaultDisk,
+			Requests: sc.span.Requests[:0],
+			Faulty:   eff.Active(),
+		}
+	}
 	arm := 0
 	var clock float64
 	for i := range reqs {
 		r := &reqs[i]
-		d := float64(r.cylinder - arm)
-		if d < 0 {
-			d = -d
+		seekCyl := r.cylinder - arm
+		if seekCyl < 0 {
+			seekCyl = -seekCyl
 		}
-		clock += cfg.Disk.Seek.Time(d) * eff.LatencyScale
-		clock += rng.Float64() * cfg.Disk.RotationTime * eff.LatencyScale // rotational latency
-		clock += cfg.Disk.TransferTime(r.size, r.zone) * eff.LatencyScale / eff.RateScale
+		seek := cfg.Disk.Seek.Time(float64(seekCyl)) * eff.LatencyScale
+		rot := rng.Float64() * cfg.Disk.RotationTime * eff.LatencyScale // rotational latency
+		trans := cfg.Disk.TransferTime(r.size, r.zone) * eff.LatencyScale / eff.RateScale
+		start := clock
+		clock += seek
+		clock += rot
+		clock += trans
 		arm = r.cylinder
 
 		isLost := false
+		retries := 0
 		if eff.ErrorProb > 0 {
 			for attempt := 0; ; attempt++ {
 				var fails bool
@@ -197,7 +235,10 @@ func simulateRound(cfg Config, eff fault.Effects, readErr func(request, attempt 
 					break
 				}
 				// Each retry re-reads after one full (inflated) revolution.
-				clock += cfg.Disk.RotationTime * eff.LatencyScale
+				penalty := cfg.Disk.RotationTime * eff.LatencyScale
+				clock += penalty
+				rot += penalty
+				retries++
 			}
 		}
 		if isLost {
@@ -206,9 +247,41 @@ func simulateRound(cfg Config, eff fault.Effects, readErr func(request, attempt 
 		if lateFor != nil {
 			lateFor[r.stream] = isLost || clock > cfg.RoundLength
 		}
+		if tracing {
+			sp := &sc.span
+			isLate := !isLost && clock > cfg.RoundLength
+			sp.Requests = append(sp.Requests, trace.RequestEvent{
+				Stream:        int64(r.stream),
+				Cylinder:      r.cylinder,
+				Zone:          r.zone,
+				SeekCylinders: seekCyl,
+				Bytes:         r.size,
+				Start:         start,
+				Seek:          seek,
+				Rotation:      rot,
+				Transfer:      trans,
+				Retries:       retries,
+				Late:          isLate,
+				Lost:          isLost,
+			})
+			sp.Seek += seek
+			sp.Rotation += rot
+			sp.Transfer += trans
+			sp.Retries += retries
+			if isLost {
+				sp.Lost++
+			} else if isLate {
+				sp.Late++
+			}
+		}
 	}
 	if cfg.RoundTimes != nil {
 		cfg.RoundTimes.Observe(clock)
+	}
+	if tracing {
+		sc.span.Busy = clock
+		sc.span.Observed = clock
+		cfg.Trace.Record(&sc.span)
 	}
 	return clock, lost
 }
@@ -273,7 +346,7 @@ func EstimatePLate(cfg Config, trials int, seed uint64) (Estimate, error) {
 			var sc roundScratch
 			var h int64
 			for i := 0; i < share; i++ {
-				if total, _ := simulateRound(cfg, eff, nil, rng, &sc, nil); total > cfg.RoundLength {
+				if total, _ := simulateRound(cfg, eff, cfg.FaultRound, nil, rng, &sc, nil); total > cfg.RoundLength {
 					h++
 				}
 			}
@@ -325,7 +398,7 @@ func EstimatePError(cfg Config, rounds, glitches, runs int, seed uint64) (Estima
 					counts[i] = 0
 				}
 				for r := 0; r < rounds; r++ {
-					simulateRound(cfg, eff, nil, rng, &sc, late)
+					simulateRound(cfg, eff, r, nil, rng, &sc, late)
 					for s, isLate := range late {
 						if isLate {
 							counts[s]++
@@ -387,7 +460,7 @@ func MeasureRounds(cfg Config, trials int, seed uint64) (RoundStats, error) {
 			rng := dist.NewRand(seed^0x5eed, uint64(w)*0x9e3779b97f4a7c15+1)
 			var sc roundScratch
 			for i := 0; i < share; i++ {
-				total, _ := simulateRound(cfg, eff, nil, rng, &sc, nil)
+				total, _ := simulateRound(cfg, eff, cfg.FaultRound, nil, rng, &sc, nil)
 				accs[w].Add(total)
 				if total > cfg.RoundLength {
 					lates[w]++
@@ -534,7 +607,7 @@ func ReplayRounds(cfg Config, rounds int, seed uint64) ([]RoundOutcome, error) {
 		readErr := func(request, attempt int) bool {
 			return inj.ReadError(cfg.FaultDisk, r, request, attempt)
 		}
-		total, lost := simulateRound(cfg, eff, readErr, rng, &sc, late)
+		total, lost := simulateRound(cfg, eff, r, readErr, rng, &sc, late)
 		glitches := 0
 		for _, l := range late {
 			if l {

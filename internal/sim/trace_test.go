@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"mzqos/internal/fault"
+	"mzqos/internal/trace"
+)
+
+// tracedReplay runs ReplayRounds with a fresh recorder attached and
+// returns the outcomes plus the recorder's retained spans.
+func tracedReplay(t *testing.T, plan *fault.Plan, rounds int, seed uint64) ([]RoundOutcome, []trace.RoundSpan) {
+	t.Helper()
+	cfg := faultCfg(8, plan)
+	cfg.Trace = trace.NewRecorder(trace.Config{Spans: rounds, RoundLength: cfg.RoundLength})
+	outs, err := ReplayRounds(cfg, rounds, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs, cfg.Trace.Live()
+}
+
+// TestReplayTraceDeterminism is the trace half of the replay determinism
+// guarantee: two replays of the same seeded config must produce
+// byte-identical span streams, not merely equal outcomes.
+func TestReplayTraceDeterminism(t *testing.T) {
+	plan := &fault.Plan{Seed: 3, Faults: []fault.Fault{
+		{Kind: fault.Latency, Disk: 0, From: 5, Until: 15, Factor: 1.8},
+		{Kind: fault.ReadError, Disk: 0, From: 8, Until: 20, Prob: 0.25, Retries: 1},
+		{Kind: fault.Failure, Disk: 0, From: 22, Until: 25},
+	}}
+	_, a := tracedReplay(t, plan, 30, 11)
+	_, b := tracedReplay(t, plan, 30, 11)
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Error("identical config+seed replays produced different trace streams")
+	}
+}
+
+// TestReplayTraceMatchesOutcomes pins the span stream to the replay's own
+// outcome report: one span per round, gap-free sequence numbers, span
+// totals agreeing with the outcome, and down rounds carrying the 16·t
+// sentinel with every request marked lost.
+func TestReplayTraceMatchesOutcomes(t *testing.T) {
+	plan := &fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Latency, Disk: 0, From: 5, Until: 10, Factor: 3},
+		{Kind: fault.Failure, Disk: 0, From: 12, Until: 14},
+	}}
+	outs, spans := tracedReplay(t, plan, 20, 1)
+	if len(spans) != len(outs) {
+		t.Fatalf("%d spans for %d rounds", len(spans), len(outs))
+	}
+	for i, sp := range spans {
+		o := outs[i]
+		if sp.Seq != uint64(i) || sp.Round != o.Round {
+			t.Fatalf("span %d: seq=%d round=%d, want %d/%d", i, sp.Seq, sp.Round, i, o.Round)
+		}
+		if sp.Faulty != o.Faulty || sp.Down != o.Down {
+			t.Errorf("round %d: span faulty=%v down=%v, outcome %v/%v",
+				o.Round, sp.Faulty, sp.Down, o.Faulty, o.Down)
+		}
+		if sp.Lost != o.Lost {
+			t.Errorf("round %d: span lost=%d, outcome %d", o.Round, sp.Lost, o.Lost)
+		}
+		if sp.Observed != o.Total {
+			t.Errorf("round %d: span observed=%v, outcome total=%v", o.Round, sp.Observed, o.Total)
+		}
+		if sp.Down {
+			if sp.Busy != 0 || len(sp.Requests) != 8 {
+				t.Errorf("down round %d: busy=%v requests=%d", o.Round, sp.Busy, len(sp.Requests))
+			}
+			for _, ev := range sp.Requests {
+				if !ev.Lost {
+					t.Errorf("down round %d has a delivered request", o.Round)
+				}
+			}
+			continue
+		}
+		// A served sweep's phases decompose its busy time (eq. 3.1.1),
+		// and the request events chain contiguously through it.
+		if math.Abs(sp.Seek+sp.Rotation+sp.Transfer-sp.Busy) > 1e-9 {
+			t.Errorf("round %d: phase sum %v != busy %v",
+				o.Round, sp.Seek+sp.Rotation+sp.Transfer, sp.Busy)
+		}
+		clock := 0.0
+		for j, ev := range sp.Requests {
+			if math.Abs(ev.Start-clock) > 1e-9 {
+				t.Fatalf("round %d request %d: start %v, want %v", o.Round, j, ev.Start, clock)
+			}
+			clock = ev.End()
+		}
+		if math.Abs(clock-sp.Busy) > 1e-9 {
+			t.Errorf("round %d: last request ends at %v, busy %v", o.Round, clock, sp.Busy)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import "fmt"
+
+// ChromeEvent is one event of the Chrome trace-event format (the JSON
+// format Perfetto and chrome://tracing load). Only the fields this
+// exporter uses are modeled: complete ("X") duration events and metadata
+// ("M") events naming the per-disk tracks.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeFile is a Chrome trace-event JSON object: serialize it and load
+// the result in Perfetto (ui.perfetto.dev) or chrome://tracing.
+type ChromeFile struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// sweepTid and requestTid are the two tracks each disk "process" shows:
+// the whole-sweep span above, the per-request child events nested below.
+const (
+	sweepTid   = 0
+	requestTid = 1
+)
+
+// ChromeTrace renders spans onto a virtual timeline with one round length
+// of wall time per scheduling round: round r's sweep starts at r·t and a
+// sweep span's duration is its Observed time (Busy, or the down-round
+// sentinel for a failed disk) — so the sum of sweep durations equals the
+// round-time histogram's sum, which is what lets a test reconcile the
+// trace against the telemetry. Each disk renders as one Perfetto process
+// with a sweep track and a request track; request events carry zone,
+// cylinder, bytes, retries, and glitch annotations in their args.
+func ChromeTrace(spans []RoundSpan, roundLength float64) ChromeFile {
+	if !(roundLength > 0) {
+		roundLength = 1
+	}
+	const us = 1e6
+	f := ChromeFile{DisplayTimeUnit: "ms"}
+	seenDisk := make(map[int]bool)
+	for _, sp := range spans {
+		if !seenDisk[sp.Disk] {
+			seenDisk[sp.Disk] = true
+			f.TraceEvents = append(f.TraceEvents,
+				ChromeEvent{Name: "process_name", Ph: "M", Pid: sp.Disk, Tid: sweepTid,
+					Args: map[string]any{"name": fmt.Sprintf("disk %d", sp.Disk)}},
+				ChromeEvent{Name: "thread_name", Ph: "M", Pid: sp.Disk, Tid: sweepTid,
+					Args: map[string]any{"name": "sweep"}},
+				ChromeEvent{Name: "thread_name", Ph: "M", Pid: sp.Disk, Tid: requestTid,
+					Args: map[string]any{"name": "requests"}},
+			)
+		}
+		start := float64(sp.Round) * roundLength * us
+		name := fmt.Sprintf("round %d", sp.Round)
+		if sp.Down {
+			name = fmt.Sprintf("round %d (down)", sp.Round)
+		}
+		f.TraceEvents = append(f.TraceEvents, ChromeEvent{
+			Name: name,
+			Cat:  "sweep",
+			Ph:   "X",
+			Ts:   start,
+			Dur:  sp.Observed * us,
+			Pid:  sp.Disk,
+			Tid:  sweepTid,
+			Args: map[string]any{
+				"seq":        sp.Seq,
+				"requests":   len(sp.Requests),
+				"seek_s":     sp.Seek,
+				"rotation_s": sp.Rotation,
+				"transfer_s": sp.Transfer,
+				"late":       sp.Late,
+				"lost":       sp.Lost,
+				"faulty":     sp.Faulty,
+				"down":       sp.Down,
+			},
+		})
+		for _, rq := range sp.Requests {
+			args := map[string]any{
+				"zone":           rq.Zone,
+				"cylinder":       rq.Cylinder,
+				"seek_cylinders": rq.SeekCylinders,
+				"bytes":          rq.Bytes,
+				"seek_s":         rq.Seek,
+				"rotation_s":     rq.Rotation,
+				"transfer_s":     rq.Transfer,
+			}
+			if rq.Retries > 0 {
+				args["retries"] = rq.Retries
+			}
+			if rq.Late {
+				args["late"] = true
+			}
+			if rq.Lost {
+				args["lost"] = true
+			}
+			f.TraceEvents = append(f.TraceEvents, ChromeEvent{
+				Name: fmt.Sprintf("stream %d", rq.Stream),
+				Cat:  "request",
+				Ph:   "X",
+				Ts:   start + rq.Start*us,
+				Dur:  (rq.End() - rq.Start) * us,
+				Pid:  sp.Disk,
+				Tid:  requestTid,
+				Args: args,
+			})
+		}
+	}
+	return f
+}

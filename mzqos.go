@@ -40,6 +40,7 @@ import (
 	"mzqos/internal/server"
 	"mzqos/internal/sim"
 	"mzqos/internal/telemetry"
+	"mzqos/internal/trace"
 	"mzqos/internal/workload"
 )
 
@@ -188,6 +189,61 @@ type (
 	// counters (bound-chain cache hits, warm/cold Chernoff solves).
 	SolverTelemetry = model.TelemetrySnapshot
 )
+
+// Round-level tracing and admission explainability (see README
+// "Round-level tracing & the flight recorder" and DESIGN.md §6). The
+// MPEG trace generator's TraceConfig is unrelated; these names carry the
+// Trace/Span vocabulary of internal/trace.
+type (
+	// FlightRecorder retains the last R sweep spans in a fixed ring and
+	// latches a snapshot on trigger conditions; Server.Trace() returns
+	// the server's own, configured via ServerConfig.Trace.
+	FlightRecorder = trace.Recorder
+	// RoundTraceConfig sizes a FlightRecorder (ServerConfig.Trace).
+	RoundTraceConfig = trace.Config
+	// RoundSpan is one disk's SCAN sweep with per-request child events.
+	RoundSpan = trace.RoundSpan
+	// RequestTraceEvent is one request's realized service record: the
+	// drawn seek, rotational delay, zone, transfer, retries and outcome.
+	RequestTraceEvent = trace.RequestEvent
+	// TraceSnapshot is a frozen flight-recorder history with its trigger.
+	TraceSnapshot = trace.Snapshot
+	// TraceStats is a recorder's lifetime accounting.
+	TraceStats = trace.Stats
+	// ChromeTraceFile is the Perfetto-loadable trace-event export.
+	ChromeTraceFile = trace.ChromeFile
+	// AdmissionStatus is the server's full admission explainability
+	// report: per-disk explanations, class occupancy, rejections.
+	AdmissionStatus = server.AdmissionStatus
+	// AdmissionExplanation records one N_max derivation's binding
+	// constraint: the first inadmissible k, which bound binds, the
+	// solved Chernoff θ, and the slack to the guarantee threshold.
+	AdmissionExplanation = model.AdmissionExplanation
+	// AdmissionDecision is one logged Admit/NMax evaluation.
+	AdmissionDecision = model.AdmissionDecision
+	// RejectionEvent is one admission rejection with its cause.
+	RejectionEvent = server.RejectionEvent
+)
+
+// Rejection reasons recorded in RejectionEvent.Reason.
+const (
+	RejectOverload    = server.RejectOverload
+	RejectClassesFull = server.RejectClassesFull
+)
+
+// NewFlightRecorder builds a standalone recorder, e.g. to hand to
+// SimConfig.Trace for traced replays.
+func NewFlightRecorder(cfg RoundTraceConfig) *FlightRecorder { return trace.NewRecorder(cfg) }
+
+// ChromeTrace renders spans as Chrome trace-event JSON (Perfetto or
+// chrome://tracing), one round length of virtual time per round.
+func ChromeTrace(spans []RoundSpan, roundLength float64) ChromeTraceFile {
+	return trace.ChromeTrace(spans, roundLength)
+}
+
+// RecentAdmissionDecisions returns the process-wide ring of logged
+// admission evaluations, oldest first.
+func RecentAdmissionDecisions() []AdmissionDecision { return model.RecentDecisions() }
 
 // NewRoundTimeHistogram builds a histogram whose buckets are log-spaced
 // around the round length t, with t itself an exact boundary so the

@@ -45,5 +45,34 @@ expect /metrics '^mzqos_model_chain_hits_total ' "model solver counters"
 expect /debug/vars '"mzqos"' "expvar snapshot key"
 expect /report '"bound_p_late"' "bound-tightness report"
 expect /sweeps '"rotation_s"' "sweep phase events"
+expect /admission '"explanations"' "admission explanation list"
+expect /admission '"binding_k"' "binding-constraint tuple"
+expect /admission '"theta"' "solved Chernoff parameter"
+expect /trace '"spans"' "flight-recorder span history"
+expect /trace '"capacity"' "recorder ring stats"
+expect '/trace?format=chrome' '"traceEvents"' "Chrome trace-event export"
+expect '/trace?format=chrome' '"sweep"' "sweep slices in the export"
+
+# The JSON observability surfaces must parse, not merely contain the
+# expected keys.
+if command -v python3 >/dev/null 2>&1; then
+    for path in /admission /trace '/trace?format=chrome'; do
+        if curl -sf "http://$ADDR$path" | python3 -m json.tool >/dev/null 2>&1; then
+            echo "smoke: ok   $path is valid JSON"
+        else
+            echo "smoke: FAIL $path is not valid JSON" >&2
+            fail=1
+        fi
+    done
+fi
+
+# On failure, preserve the flight recorder (frozen snapshot if latched,
+# else the live ring) so CI can upload it as a debugging artifact.
+if [ "$fail" -ne 0 ]; then
+    ARTDIR="${SMOKE_ARTIFACT_DIR:-${TMPDIR:-/tmp}}"
+    mkdir -p "$ARTDIR"
+    curl -s "http://$ADDR/trace" >"$ARTDIR/flight-recorder.json" || true
+    echo "smoke: saved flight recorder to $ARTDIR/flight-recorder.json" >&2
+fi
 
 exit "$fail"
