@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench smoke faults check clean
+.PHONY: all build vet test test-race bench bench-quick smoke faults check clean
 
 all: build
 
@@ -25,6 +25,13 @@ test-race:
 # BENCH_admission.json; the schema is documented in BENCH_SCHEMA.md.
 bench:
 	$(GO) run ./cmd/mzbench -v -out BENCH_admission.json
+
+# CI smoke for the cluster-admission hot path: runs the ClusterAdmit
+# benchmarks, gates the warm path at its latency/allocation budget, and
+# validates the existing BENCH_admission.json trajectory against
+# BENCH_SCHEMA.md without appending a run.
+bench-quick:
+	$(GO) run ./cmd/mzbench -quick -v -out BENCH_admission.json
 
 # Runs mzserver with -listen and curls the live telemetry endpoints.
 smoke:

@@ -30,13 +30,17 @@ import (
 	"mzqos/internal/model"
 )
 
-// opResult is one benchmark measurement in the trajectory file.
+// opResult is one benchmark measurement in the trajectory file. Each
+// entry carries its own gomaxprocs (not just the run header) because
+// parallel ops — cluster admission above all — are meaningless without
+// the parallelism they ran at, and future runs may pin ops differently.
 type opResult struct {
 	Op          string  `json:"op"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Iterations  int     `json:"iterations"`
+	Gomaxprocs  int     `json:"gomaxprocs"`
 }
 
 // solverTelemetry is the model package's solver-counter block, captured
@@ -90,11 +94,21 @@ var speedupPairs = []struct{ name, baseline, optimized string }{
 func main() {
 	out := flag.String("out", "BENCH_admission.json", "trajectory file to append this run to")
 	verbose := flag.Bool("v", false, "print each result as it is measured")
+	quick := flag.Bool("quick", false,
+		"smoke mode: run only the ClusterAdmit benchmarks, gate them on the <10µs/0-alloc budget,\nvalidate the trajectory file against BENCH_SCHEMA.md, and exit without appending")
 	flag.Parse()
+
+	if *quick {
+		if err := quickSmoke(*out, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "mzbench -quick: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	model.ResetTelemetry()
 	r := run{
-		Schema:     "mzbench/v2",
+		Schema:     schemaVersion,
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GitRev:     gitRev(),
 		GoVersion:  runtime.Version(),
@@ -111,6 +125,7 @@ func main() {
 			BytesPerOp:  res.AllocedBytesPerOp(),
 			AllocsPerOp: res.AllocsPerOp(),
 			Iterations:  res.N,
+			Gomaxprocs:  runtime.GOMAXPROCS(0),
 		})
 		if *verbose {
 			fmt.Printf("%-34s %12.1f ns/op %8d B/op %6d allocs/op\n",
@@ -215,4 +230,102 @@ func readTrajectory(path string) ([]run, error) {
 		return nil, fmt.Errorf("%s is not a mzbench trajectory: %w", path, err)
 	}
 	return runs, nil
+}
+
+// schemaVersion is the trajectory schema this binary writes. v3 added a
+// per-entry gomaxprocs field to every benchmark measurement.
+const schemaVersion = "mzbench/v3"
+
+// Cluster-admission budget the quick smoke gates on (the cluster PR's
+// acceptance criterion: reservations stay a microsecond-scale hot path).
+const (
+	clusterWarmOp       = "ClusterAdmit/16shards/warm"
+	clusterWarmBudgetNs = 10_000 // 10 µs
+)
+
+// quickSmoke is the CI `make bench-quick` entry: run just the ClusterAdmit
+// benchmarks (seconds, not the full suite's minutes), fail if the warm
+// reservation path blows its latency or allocation budget, then validate
+// the recorded trajectory file against BENCH_SCHEMA.md so schema drift
+// fails the build instead of corrupting the trajectory. Nothing is
+// appended to the file.
+func quickSmoke(path string, verbose bool) error {
+	ranWarm := false
+	for _, c := range benchcases.Suite() {
+		if !strings.HasPrefix(c.Name, "ClusterAdmit/") {
+			continue
+		}
+		res := testing.Benchmark(c.Bench)
+		if res.N == 0 {
+			return fmt.Errorf("%s did not run", c.Name)
+		}
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		if verbose {
+			fmt.Printf("%-34s %12.1f ns/op %8d B/op %6d allocs/op (GOMAXPROCS=%d)\n",
+				c.Name, ns, res.AllocedBytesPerOp(), res.AllocsPerOp(), runtime.GOMAXPROCS(0))
+		}
+		if c.Name == clusterWarmOp {
+			ranWarm = true
+			if ns >= clusterWarmBudgetNs {
+				return fmt.Errorf("%s measured %.1f ns/op, budget is <%d ns/op", c.Name, ns, clusterWarmBudgetNs)
+			}
+			if res.AllocsPerOp() != 0 {
+				return fmt.Errorf("%s allocates %d/op, budget is 0", c.Name, res.AllocsPerOp())
+			}
+		}
+	}
+	if !ranWarm {
+		return fmt.Errorf("suite no longer contains %s", clusterWarmOp)
+	}
+	runs, err := readTrajectory(path)
+	if err != nil {
+		return err
+	}
+	if err := validateRuns(runs); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("mzbench -quick: ClusterAdmit within budget; %s valid (%d runs)\n", path, len(runs))
+	return nil
+}
+
+// validateRuns checks a trajectory against BENCH_SCHEMA.md: known schema
+// versions, well-formed headers, positive measurements, and — from v3 on —
+// a per-entry gomaxprocs on every benchmark.
+func validateRuns(runs []run) error {
+	for i, r := range runs {
+		switch r.Schema {
+		case "mzbench/v1", "mzbench/v2", "mzbench/v3":
+		default:
+			return fmt.Errorf("run %d: unknown schema %q", i, r.Schema)
+		}
+		if _, err := time.Parse(time.RFC3339, r.Date); err != nil {
+			return fmt.Errorf("run %d: bad date %q: %w", i, r.Date, err)
+		}
+		if r.GitRev == "" || r.GoVersion == "" {
+			return fmt.Errorf("run %d: missing git_rev or go_version", i)
+		}
+		if r.GOMAXPROCS < 1 {
+			return fmt.Errorf("run %d: gomaxprocs %d", i, r.GOMAXPROCS)
+		}
+		if len(r.Benchmarks) == 0 {
+			return fmt.Errorf("run %d: no benchmarks", i)
+		}
+		for _, b := range r.Benchmarks {
+			if b.Op == "" || !(b.NsPerOp > 0) || b.Iterations < 1 {
+				return fmt.Errorf("run %d: malformed benchmark entry %+v", i, b)
+			}
+			if b.BytesPerOp < 0 || b.AllocsPerOp < 0 {
+				return fmt.Errorf("run %d: negative allocation stats in %q", i, b.Op)
+			}
+			if r.Schema == "mzbench/v3" && b.Gomaxprocs < 1 {
+				return fmt.Errorf("run %d: %q lacks the v3 per-entry gomaxprocs", i, b.Op)
+			}
+		}
+		for name, v := range r.Speedups {
+			if !(v > 0) {
+				return fmt.Errorf("run %d: non-positive speedup %q = %v", i, name, v)
+			}
+		}
+	}
+	return nil
 }

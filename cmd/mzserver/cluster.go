@@ -1,0 +1,203 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"time"
+
+	"mzqos/internal/cluster"
+	"mzqos/internal/disk"
+	"mzqos/internal/dist"
+	"mzqos/internal/engine"
+	"mzqos/internal/fault"
+	"mzqos/internal/model"
+	"mzqos/internal/server"
+	"mzqos/internal/telemetry"
+	"mzqos/internal/trace"
+	"mzqos/internal/workload"
+)
+
+// clusterOptions carries the subset of flags cluster mode consumes.
+type clusterOptions struct {
+	shards, disks, rounds        int
+	route                        string
+	replicas                     int
+	arrivals                     float64
+	clipLen, catalog             int
+	declared, actual             workload.SizeModel
+	eps                          float64
+	zipfS                        float64
+	seed                         uint64
+	report                       int
+	listen                       string
+	withPprof                    bool
+	linger                       time.Duration
+	plan                         *fault.Plan
+	degrade                      bool
+	degradeAfter                 int
+	recalibrateEvery, minSamples int
+}
+
+// runCluster is the -shards N (N > 1) entry point: S server shards behind
+// a coordinator, one shared metric registry with per-shard instance
+// labels, and cluster-wide admission over the routing policy. The same
+// operational scenario as single-server mode (Poisson arrivals over a
+// Zipf catalog) drives the coordinator instead of one server.
+func runCluster(o clusterOptions) {
+	reg := telemetry.NewRegistry()
+	engines := make([]engine.Engine, o.shards)
+	for i := range engines {
+		srv, err := server.New(server.Config{
+			Disk:        disk.QuantumViking21(),
+			NumDisks:    o.disks,
+			RoundLength: 1,
+			Sizes:       o.declared,
+			Guarantee:   model.Guarantee{Threshold: o.eps},
+			Seed:        o.seed + uint64(i)*0x9e3779b9,
+			Faults:      o.plan,
+			Degrade:     server.DegradeConfig{Enabled: o.degrade, After: o.degradeAfter},
+			Trace:       trace.Config{Disabled: true},
+			Registry:    reg,
+			InstanceLabels: []telemetry.Label{
+				telemetry.L("shard", fmt.Sprintf("%d", i)),
+			},
+		})
+		fatal(err)
+		engines[i] = srv
+	}
+	coord, err := cluster.New(cluster.Config{
+		Engines:  engines,
+		Route:    o.route,
+		Replicas: o.replicas,
+		Registry: reg,
+	})
+	fatal(err)
+
+	st := coord.Status()
+	fmt.Printf("cluster: %d shards x %d disks, capacity %d streams, route %s, %d replicas/object\n",
+		o.shards, o.disks, st.Capacity, coord.Route(), o.replicas)
+
+	if o.listen != "" {
+		mux := newClusterMux(coord, reg, o.withPprof)
+		go func() {
+			if err := http.ListenAndServe(o.listen, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "mzserver: telemetry endpoint: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("telemetry: http://%s/metrics (prometheus), /cluster (shard health), /admission (placements)\n",
+			o.listen)
+	}
+
+	// Catalog placement: clips stripe over the shards with the configured
+	// replication width.
+	rng := dist.NewRand(o.seed, o.seed^0xfeed)
+	for i := 0; i < o.catalog; i++ {
+		length := 1 + geometric(float64(o.clipLen), rng)
+		sizes := make([]float64, length)
+		for j := range sizes {
+			sizes[j] = o.actual.Sample(rng)
+		}
+		fatal(coord.AddObject(fmt.Sprintf("clip-%04d", i), sizes))
+	}
+	pop, err := workload.NewZipf(o.catalog, o.zipfS)
+	fatal(err)
+
+	var admitted, rejected, completed, evicted, glitches int
+	for r := 0; r < o.rounds; r++ {
+		for k := poisson(o.arrivals, rng); k > 0; k-- {
+			name := fmt.Sprintf("clip-%04d", pop.Sample(rng))
+			if _, _, err := coord.Open(name); err != nil {
+				rejected++
+			} else {
+				admitted++
+			}
+		}
+		rep := coord.Step()
+		glitches += rep.Glitches
+		completed += rep.Completed
+		evicted += rep.Evicted
+		if o.recalibrateEvery > 0 && (r+1)%o.recalibrateEvery == 0 {
+			if _, err := coord.Recalibrate(int64(o.minSamples)); err == nil {
+				fmt.Printf("round %4d: recalibrated all shards\n", r+1)
+			}
+		}
+		if o.report > 0 && (r+1)%o.report == 0 {
+			s := coord.Status()
+			degraded := 0
+			for _, row := range s.Shards {
+				if row.Health.Degraded {
+					degraded++
+				}
+			}
+			fmt.Printf("round %4d: tickets %4d/%d  admitted %5d  rejected %4d  glitches %5d  degraded shards %d\n",
+				r+1, s.Tickets, s.Capacity, admitted, rejected, glitches, degraded)
+		}
+	}
+
+	fmt.Println()
+	fmt.Printf("final: %d streams admitted, %d rejected (%.1f%% block rate), %d completed, %d shed\n",
+		admitted, rejected, 100*float64(rejected)/math.Max(1, float64(admitted+rejected)),
+		completed, evicted)
+	final := coord.Status()
+	for _, row := range final.Shards {
+		fmt.Printf("  shard %d: %4d active / %4d capacity (N_max %d/disk), round %d, degraded %v\n",
+			row.Shard, row.Health.Active, row.Health.Capacity, row.Health.PerDiskLimit,
+			row.Health.Round, row.Health.Degraded)
+	}
+
+	if o.listen != "" && o.linger > 0 {
+		fmt.Printf("lingering %s for scrapers on %s ...\n", o.linger, o.listen)
+		time.Sleep(o.linger)
+	}
+}
+
+// clusterAdmissionReport is the cluster /admission payload: the routing
+// policy and the retained admissions, each naming its shard.
+type clusterAdmissionReport struct {
+	Route      string                    `json:"route"`
+	Admissions []cluster.AdmissionRecord `json:"admissions"`
+}
+
+// newClusterMux wires the cluster-mode observability endpoints:
+//
+//	/metrics     Prometheus text for the shared registry: every shard's
+//	             mzqos_server_* series (distinguished by the shard label),
+//	             the coordinator's mzqos_cluster_* series, and the model's
+//	             process-wide solver counters
+//	/cluster     shard health + placement summary (cluster.Status JSON)
+//	/admission   recent admissions, each naming the shard that admitted it
+//	/debug/vars  expvar JSON
+//	/healthz     liveness probe
+//	/debug/pprof runtime profiling, only when withPprof is set
+//
+// Everything reads atomic or lock-guarded snapshots, so scraping is safe
+// while the round loop runs.
+func newClusterMux(coord *cluster.Coordinator, reg *telemetry.Registry, withPprof bool) *http.ServeMux {
+	model.RegisterTelemetry(reg)
+	publishOnce.Do(func() { expvar.Publish("mzqos", reg.ExpvarFunc()) })
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.MetricsHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, coord.Status())
+	})
+	mux.HandleFunc("/admission", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, clusterAdmissionReport{
+			Route:      coord.Route(),
+			Admissions: coord.Admissions(),
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	if withPprof {
+		registerPprof(mux)
+	}
+	return mux
+}

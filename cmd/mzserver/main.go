@@ -11,6 +11,16 @@
 //	mzserver -mean 300 -sd 150                  # heavier clips than declared
 //	mzserver -listen :9090 -linger 1m           # scrape /metrics, /report
 //	mzserver -faults "latency:disk=0,from=100,until=400,factor=2" -degrade
+//	mzserver -shards 4 -route least-loaded      # cluster mode: S shards
+//
+// With -shards N (N > 1) the process runs cluster mode: N server shards
+// behind a coordinator with cluster-wide admission (see internal/cluster).
+// -route picks the routing policy (round-robin, least-loaded, affinity)
+// and -replicas the per-clip placement width. All shards share one metric
+// registry — every mzqos_server_* series carries a shard label — and the
+// telemetry endpoint serves /cluster (shard health) and /admission
+// (recent placements, each naming its shard) instead of the single-server
+// report surface.
 //
 // With -listen the process serves live telemetry while the rounds run:
 // Prometheus text on /metrics, expvar JSON on /debug/vars, the
@@ -47,6 +57,9 @@ import (
 func main() {
 	var (
 		disks       = flag.Int("disks", 4, "number of disks")
+		shards      = flag.Int("shards", 1, "server shards; >1 runs cluster mode behind a coordinator")
+		route       = flag.String("route", "round-robin", "cluster routing policy: round-robin, least-loaded, or affinity")
+		replicas    = flag.Int("replicas", 1, "cluster placement replicas per clip")
 		rounds      = flag.Int("rounds", 600, "rounds to simulate")
 		arrivals    = flag.Float64("arrivals", 0.8, "mean client arrivals per round (Poisson)")
 		clipLen     = flag.Int("cliplen", 300, "mean clip length in rounds (geometric)")
@@ -94,6 +107,34 @@ func main() {
 		fatal(err)
 		fatal(p.Validate(*disks))
 		plan = &p
+	}
+
+	if *shards > 1 {
+		runCluster(clusterOptions{
+			shards:           *shards,
+			disks:            *disks,
+			rounds:           *rounds,
+			route:            *route,
+			replicas:         *replicas,
+			arrivals:         *arrivals,
+			clipLen:          *clipLen,
+			catalog:          *catalog,
+			declared:         declared,
+			actual:           actual,
+			eps:              *streamLimit,
+			zipfS:            *zipfS,
+			seed:             *seed,
+			report:           *report,
+			listen:           *listen,
+			withPprof:        *withPprof,
+			linger:           *linger,
+			plan:             plan,
+			degrade:          *degrade,
+			degradeAfter:     *degradeWait,
+			recalibrateEvery: *recalEvery,
+			minSamples:       500,
+		})
+		return
 	}
 
 	srv, err := server.New(server.Config{

@@ -13,10 +13,13 @@ import (
 	"testing"
 
 	"mzqos/internal/chernoff"
+	"mzqos/internal/cluster"
 	"mzqos/internal/disk"
+	"mzqos/internal/engine"
 	"mzqos/internal/experiments"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
+	"mzqos/internal/sim"
 	"mzqos/internal/trace"
 	"mzqos/internal/workload"
 )
@@ -170,6 +173,36 @@ func Suite() []Case {
 				}
 			}
 		}},
+		{Name: "NMaxError/paperM/fast-warm-parallel", Bench: func(b *testing.B) {
+			// The warm path reads the copy-on-write bound chain without
+			// locks, so concurrent admission decisions should scale with
+			// GOMAXPROCS rather than serialize.
+			m := mustPaperModel(b)
+			if _, err := m.NMaxFor(PaperGuarantee); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := m.NMaxFor(PaperGuarantee); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}},
+		{Name: "ClusterAdmit/16shards/warm", Bench: func(b *testing.B) {
+			benchClusterAdmit(b, cluster.RouteRoundRobin, false)
+		}},
+		{Name: "ClusterAdmit/16shards/least-loaded", Bench: func(b *testing.B) {
+			benchClusterAdmit(b, cluster.RouteLeastLoaded, false)
+		}},
+		{Name: "ClusterAdmit/16shards/affinity", Bench: func(b *testing.B) {
+			benchClusterAdmit(b, cluster.RouteAffinity, false)
+		}},
+		{Name: "ClusterAdmit/16shards/parallel", Bench: func(b *testing.B) {
+			benchClusterAdmit(b, cluster.RouteRoundRobin, true)
+		}},
 		{Name: "BuildTable/grid/seed-cold", Bench: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				m := mustPaperModel(b)
@@ -219,6 +252,62 @@ func Suite() []Case {
 		{Name: "Experiment/e3-glitch", Bench: func(b *testing.B) {
 			benchExperiment(b, "e3")
 		}},
+	}
+}
+
+// benchClusterAdmit measures the steady-state cluster-admission hot path
+// over a 16-shard simulated fleet: one ticket reservation plus its
+// release per op, so the fleet never fills and every op exercises the
+// lock-free view-consult + CAS fast path. With parallel set the loop runs
+// under b.RunParallel — admission contention across GOMAXPROCS admitters
+// is the case cluster serving exists for.
+func benchClusterAdmit(b *testing.B, route string, parallel bool) {
+	b.Helper()
+	engines := make([]engine.Engine, 16)
+	for i := range engines {
+		e, err := sim.NewEngine(sim.EngineConfig{
+			Disk:         disk.QuantumViking21(),
+			NumDisks:     4,
+			Sizes:        workload.PaperSizes(),
+			RoundLength:  1,
+			PerDiskLimit: 64,
+			Seed:         uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		engines[i] = e
+	}
+	c, err := cluster.New(cluster.Config{Engines: engines, Route: route})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One warm lap primes the view and the routing cursor.
+	t, err := c.Admit("vod")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Release(t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if parallel {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				t, err := c.Admit("vod")
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.Release(t)
+			}
+		})
+		return
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := c.Admit("vod")
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Release(t)
 	}
 }
 

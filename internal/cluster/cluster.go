@@ -1,0 +1,575 @@
+// Package cluster coordinates many round engines as one admission-
+// controlled service: the scale-out of the paper's D-disk striped server
+// to S server shards behind a coordinator.
+//
+// The design splits admission into a microsecond-scale reservation and a
+// slower materialization, the same discipline that keeps the single
+// server's warm admission fast:
+//
+//   - Admit reserves a slot ("ticket") on a shard chosen by the routing
+//     policy. The hot path is lock-free: capacities come from an
+//     atomically published copy-on-write view of shard health, and the
+//     reservation itself is one CAS on the shard's ticket counter. No
+//     cross-shard locking, no allocation.
+//   - Open materializes the stream on the reserved shard's engine under
+//     that shard's own mutex (engines are single-writer by contract).
+//
+// A heartbeat refreshes the view from each engine's atomic Health
+// snapshot — run automatically every Config.HeartbeatEvery coordinator
+// rounds and on demand via Heartbeat. When a shard degrades (PR 3's
+// fault-degradation machinery shrinking N_max), the next view publishes
+// its reduced capacity and Admit routes new load to sibling shards
+// instead of closing cluster admission; streams the shard itself sheds
+// come back as Evicted in Step reports and release their tickets.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mzqos/internal/engine"
+	"mzqos/internal/telemetry"
+)
+
+// Errors reported by the coordinator.
+var (
+	// ErrConfig is returned for invalid cluster configurations.
+	ErrConfig = errors.New("cluster: invalid configuration")
+	// ErrRejected is returned when every candidate shard is at capacity.
+	ErrRejected = fmt.Errorf("cluster: %w", engine.ErrRejected)
+	// ErrUnknownObject is returned for opens of objects never placed.
+	ErrUnknownObject = fmt.Errorf("cluster: %w", engine.ErrUnknownObject)
+)
+
+// Routing policy names accepted by Config.Route.
+const (
+	// RouteRoundRobin spreads admissions over candidate shards with an
+	// atomic cursor.
+	RouteRoundRobin = "round-robin"
+	// RouteLeastLoaded picks the candidate with the lowest ticket/capacity
+	// load factor in the current view.
+	RouteLeastLoaded = "least-loaded"
+	// RouteAffinity hashes the object name to a sticky starting candidate,
+	// so repeat opens of one object land on the same shard while capacity
+	// lasts — a pure function of (name, view), which also makes placement
+	// deterministic under concurrent admission.
+	RouteAffinity = "affinity"
+)
+
+const (
+	routeRoundRobin = iota
+	routeLeastLoaded
+	routeAffinity
+)
+
+// defaultRingSize bounds the admission explainability ring.
+const defaultRingSize = 256
+
+// Config assembles a Coordinator.
+type Config struct {
+	// Engines are the shard engines; shard i is Engines[i]. The
+	// coordinator becomes the engines' single writer: drive every
+	// AddObject/Open/Close/Step/Recalibrate through it.
+	Engines []engine.Engine
+	// Route selects the routing policy (RouteRoundRobin, RouteLeastLoaded,
+	// RouteAffinity); empty means round-robin.
+	Route string
+	// Replicas is the number of shards each object is placed on (striped
+	// round-robin from a moving cursor); 0 means 1. Opens route among the
+	// object's replica shards only.
+	Replicas int
+	// HeartbeatEvery refreshes the admission view every that many
+	// coordinator rounds (0 means every round). Heartbeat forces one.
+	HeartbeatEvery int
+	// Registry optionally receives cluster-level metrics
+	// (mzqos_cluster_*). Nil disables them.
+	Registry *telemetry.Registry
+	// RingSize bounds the admission explainability ring (0 means 256).
+	RingSize int
+}
+
+// shard pairs an engine with its reservation state.
+type shard struct {
+	id  int
+	eng engine.Engine
+	// mu serializes engine mutations (Open/Close/Step/Recalibrate);
+	// Health stays lock-free by the engine contract.
+	mu sync.Mutex
+	// tickets counts reserved admission slots: streams admitted (or being
+	// materialized) minus completed/evicted/closed. The admit hot path
+	// CASes this against the view's capacity.
+	tickets atomic.Int64
+}
+
+// Handle identifies a cluster stream: the shard it lives on plus the
+// engine-local stream id.
+type Handle struct {
+	Shard int             `json:"shard"`
+	ID    engine.StreamID `json:"id"`
+}
+
+// Ticket is a reserved admission slot, redeemable with OpenReserved or
+// returnable with Release.
+type Ticket struct {
+	// Shard is the shard the slot was reserved on.
+	Shard int
+}
+
+// AdmissionRecord is one materialized admission, retained in a bounded
+// ring for explainability (the cluster /admission endpoint).
+type AdmissionRecord struct {
+	// Object is the opened object name.
+	Object string `json:"object"`
+	// Shard is the shard that admitted the stream; Stream its engine-local
+	// id — together the stream's cluster Handle.
+	Shard  int             `json:"shard"`
+	Stream engine.StreamID `json:"stream"`
+	// Delay is the startup delay in rounds reported by the engine.
+	Delay int `json:"delay"`
+	// Round is the coordinator round at admission time.
+	Round int `json:"round"`
+	// Route is the routing policy that placed the stream.
+	Route string `json:"route"`
+}
+
+// Coordinator owns S shards and serves cluster-wide admission over them.
+// Admit/Release/TryAdmit are safe for arbitrary concurrency and never
+// lock; Open/Close/AddObject/Step/Recalibrate serialize per shard.
+type Coordinator struct {
+	shards []*shard
+	route  int
+	routeN string
+	reps   int
+	hbEach int
+
+	view atomic.Pointer[view]
+	rr   atomic.Uint64 // round-robin cursor
+
+	// placement maps object → candidate shard ids (ascending). The admit
+	// path takes only the read lock; the slice is immutable once stored.
+	pmu       sync.RWMutex
+	placement map[string][]int
+	placeCur  int
+	all       []int // every shard id, the no-placement candidate set
+
+	// round counts coordinator rounds (Step calls).
+	round atomic.Int64
+
+	// ring retains the last RingSize materialized admissions.
+	ringMu  sync.Mutex
+	ring    []AdmissionRecord
+	ringPos int
+
+	tel *clusterTelemetry
+}
+
+// clusterTelemetry is the optional mzqos_cluster_* metric set.
+type clusterTelemetry struct {
+	admitted   *telemetry.Counter
+	rejected   *telemetry.Counter
+	released   *telemetry.Counter
+	heartbeats *telemetry.Counter
+	tickets    *telemetry.Gauge
+	capacity   *telemetry.Gauge
+	degraded   *telemetry.Gauge
+}
+
+func newClusterTelemetry(reg *telemetry.Registry) *clusterTelemetry {
+	if reg == nil {
+		return nil
+	}
+	return &clusterTelemetry{
+		admitted: reg.Counter("mzqos_cluster_admitted_total",
+			"Cluster admissions reserved (tickets granted)."),
+		rejected: reg.Counter("mzqos_cluster_rejected_total",
+			"Cluster admissions turned away (every candidate shard full)."),
+		released: reg.Counter("mzqos_cluster_released_total",
+			"Tickets returned (streams completed, evicted, closed, or failed opens)."),
+		heartbeats: reg.Counter("mzqos_cluster_heartbeats_total",
+			"Shard-health view refreshes published."),
+		tickets: reg.Gauge("mzqos_cluster_tickets",
+			"Outstanding reserved admission slots across shards."),
+		capacity: reg.Gauge("mzqos_cluster_capacity",
+			"Cluster-wide admission capacity in the current view (Σ D·N_max)."),
+		degraded: reg.Gauge("mzqos_cluster_degraded_shards",
+			"Shards degraded in the current view."),
+	}
+}
+
+// New builds a Coordinator over the given shard engines and publishes the
+// initial health view.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Engines) == 0 {
+		return nil, ErrConfig
+	}
+	route := routeRoundRobin
+	name := cfg.Route
+	switch cfg.Route {
+	case "", RouteRoundRobin:
+		name = RouteRoundRobin
+	case RouteLeastLoaded:
+		route = routeLeastLoaded
+	case RouteAffinity:
+		route = routeAffinity
+	default:
+		return nil, fmt.Errorf("%w: unknown route %q", ErrConfig, cfg.Route)
+	}
+	reps := cfg.Replicas
+	if reps == 0 {
+		reps = 1
+	}
+	if reps < 0 || reps > len(cfg.Engines) {
+		return nil, fmt.Errorf("%w: %d replicas over %d shards", ErrConfig, reps, len(cfg.Engines))
+	}
+	ringSize := cfg.RingSize
+	if ringSize == 0 {
+		ringSize = defaultRingSize
+	}
+	if ringSize < 0 {
+		return nil, ErrConfig
+	}
+	hb := cfg.HeartbeatEvery
+	if hb <= 0 {
+		hb = 1
+	}
+	c := &Coordinator{
+		route:     route,
+		routeN:    name,
+		reps:      reps,
+		hbEach:    hb,
+		placement: make(map[string][]int),
+		ring:      make([]AdmissionRecord, 0, ringSize),
+		tel:       newClusterTelemetry(cfg.Registry),
+	}
+	for i, eng := range cfg.Engines {
+		if eng == nil {
+			return nil, ErrConfig
+		}
+		c.shards = append(c.shards, &shard{id: i, eng: eng})
+		c.all = append(c.all, i)
+	}
+	c.refreshView()
+	return c, nil
+}
+
+// NumShards returns S.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Route returns the routing policy name.
+func (c *Coordinator) Route() string { return c.routeN }
+
+// Round returns the number of coordinator rounds executed.
+func (c *Coordinator) Round() int { return int(c.round.Load()) }
+
+// Tickets returns the outstanding reserved slots across all shards.
+func (c *Coordinator) Tickets() int {
+	var n int64
+	for _, s := range c.shards {
+		n += s.tickets.Load()
+	}
+	return int(n)
+}
+
+// AddObject places an object on Replicas shards — striped round-robin
+// from a moving cursor, mirroring how the paper stripes fragments over
+// disks one level down — and stores it in each replica's catalog.
+func (c *Coordinator) AddObject(name string, sizes []float64) error {
+	c.pmu.Lock()
+	if _, ok := c.placement[name]; ok {
+		c.pmu.Unlock()
+		return fmt.Errorf("cluster: %w: %q", engine.ErrDuplicateObject, name)
+	}
+	cands := make([]int, c.reps)
+	for i := range cands {
+		cands[i] = (c.placeCur + i) % len(c.shards)
+	}
+	c.placeCur = (c.placeCur + 1) % len(c.shards)
+	c.placement[name] = cands
+	c.pmu.Unlock()
+
+	for _, id := range cands {
+		s := c.shards[id]
+		s.mu.Lock()
+		err := s.eng.AddObject(name, sizes)
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// candidates returns the admission candidate shard ids for an object:
+// its placement replicas, or every shard when the object was never
+// placed through the coordinator (engines share a catalog populated out
+// of band — the fleet-benchmark arrangement).
+func (c *Coordinator) candidates(object string) []int {
+	c.pmu.RLock()
+	cands, ok := c.placement[object]
+	c.pmu.RUnlock()
+	if !ok {
+		return c.all
+	}
+	return cands
+}
+
+// Admit reserves an admission slot for one stream of the object on a
+// shard chosen by the routing policy, consulting only the locally cached
+// health view — no locks, no cross-shard coordination, no allocation.
+// The reservation is a ticket: redeem it with OpenReserved to
+// materialize the stream, or hand it back with Release. Safe for
+// arbitrary concurrency.
+func (c *Coordinator) Admit(object string) (Ticket, error) {
+	cands := c.candidates(object)
+	v := c.view.Load()
+	n := len(cands)
+	start := 0
+	switch c.route {
+	case routeRoundRobin:
+		start = int(c.rr.Add(1)-1) % n
+	case routeLeastLoaded:
+		start = v.leastLoaded(c.shards, cands)
+	case routeAffinity:
+		start = int(fnv1a(object) % uint64(n))
+	}
+	for i := 0; i < n; i++ {
+		id := cands[(start+i)%n]
+		capa := v.capacity(id)
+		if capa <= 0 {
+			continue // failed or unknown shard: shed to siblings
+		}
+		s := c.shards[id]
+		for {
+			cur := s.tickets.Load()
+			if cur >= capa {
+				break // shard full in this view: try the next candidate
+			}
+			if s.tickets.CompareAndSwap(cur, cur+1) {
+				if c.tel != nil {
+					c.tel.admitted.Inc()
+					c.tel.tickets.Set(float64(c.Tickets()))
+				}
+				return Ticket{Shard: id}, nil
+			}
+		}
+	}
+	if c.tel != nil {
+		c.tel.rejected.Inc()
+	}
+	return Ticket{Shard: -1}, ErrRejected
+}
+
+// Release returns an unredeemed ticket's slot.
+func (c *Coordinator) Release(t Ticket) {
+	if t.Shard < 0 || t.Shard >= len(c.shards) {
+		return
+	}
+	c.shards[t.Shard].tickets.Add(-1)
+	if c.tel != nil {
+		c.tel.released.Inc()
+		c.tel.tickets.Set(float64(c.Tickets()))
+	}
+}
+
+// Open admits and materializes one stream of the object: a ticket
+// reservation followed by an engine Open on the reserved shard. When the
+// engine itself rejects (its class slots can fill unevenly before the
+// view refreshes), the ticket moves to the next candidate shard before
+// the open fails cluster-wide.
+func (c *Coordinator) Open(object string) (Handle, int, error) {
+	for attempt := 0; attempt < len(c.shards); attempt++ {
+		t, err := c.Admit(object)
+		if err != nil {
+			return Handle{Shard: -1}, 0, err
+		}
+		h, delay, err := c.OpenReserved(t, object)
+		if err == nil {
+			return h, delay, nil
+		}
+		if !errors.Is(err, engine.ErrRejected) {
+			return Handle{Shard: -1}, 0, err
+		}
+		// The shard's engine is fuller than the view knew; refresh so the
+		// next reservation sees current capacity.
+		c.Heartbeat()
+	}
+	if c.tel != nil {
+		c.tel.rejected.Inc()
+	}
+	return Handle{Shard: -1}, 0, ErrRejected
+}
+
+// OpenReserved redeems a ticket: it materializes one stream of the
+// object on the reserved shard. On error the ticket is released.
+func (c *Coordinator) OpenReserved(t Ticket, object string) (Handle, int, error) {
+	if t.Shard < 0 || t.Shard >= len(c.shards) {
+		return Handle{Shard: -1}, 0, ErrConfig
+	}
+	s := c.shards[t.Shard]
+	s.mu.Lock()
+	id, delay, err := s.eng.Open(object)
+	s.mu.Unlock()
+	if err != nil {
+		c.Release(t)
+		return Handle{Shard: -1}, 0, fmt.Errorf("cluster: shard %d: %w", t.Shard, err)
+	}
+	c.recordAdmission(AdmissionRecord{
+		Object: object, Shard: t.Shard, Stream: id, Delay: delay,
+		Round: int(c.round.Load()), Route: c.routeN,
+	})
+	return Handle{Shard: t.Shard, ID: id}, delay, nil
+}
+
+// Close stops a cluster stream early, releasing its slot.
+func (c *Coordinator) Close(h Handle) error {
+	if h.Shard < 0 || h.Shard >= len(c.shards) {
+		return fmt.Errorf("cluster: %w: shard %d", engine.ErrUnknownStream, h.Shard)
+	}
+	s := c.shards[h.Shard]
+	s.mu.Lock()
+	err := s.eng.Close(h.ID)
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("cluster: shard %d: %w", h.Shard, err)
+	}
+	c.Release(Ticket{Shard: h.Shard})
+	return nil
+}
+
+// recordAdmission appends to the bounded explainability ring.
+func (c *Coordinator) recordAdmission(r AdmissionRecord) {
+	c.ringMu.Lock()
+	if cap(c.ring) == 0 {
+		c.ringMu.Unlock()
+		return
+	}
+	if len(c.ring) < cap(c.ring) {
+		c.ring = append(c.ring, r)
+	} else {
+		c.ring[c.ringPos] = r
+		c.ringPos = (c.ringPos + 1) % cap(c.ring)
+	}
+	c.ringMu.Unlock()
+}
+
+// Admissions returns the retained admission records, oldest first.
+func (c *Coordinator) Admissions() []AdmissionRecord {
+	c.ringMu.Lock()
+	defer c.ringMu.Unlock()
+	out := make([]AdmissionRecord, 0, len(c.ring))
+	out = append(out, c.ring[c.ringPos:]...)
+	out = append(out, c.ring[:c.ringPos]...)
+	return out
+}
+
+// ShardRoundReport is one shard's outcome of a cluster round.
+type ShardRoundReport struct {
+	// Shard is the shard id.
+	Shard int
+	// Report is the shard engine's round report.
+	Report engine.RoundReport
+}
+
+// RoundReport is the outcome of one cluster round: every shard's report,
+// ordered by shard id.
+type RoundReport struct {
+	// Round is the executed coordinator round index.
+	Round int
+	// Shards holds one report per shard, ascending by shard id.
+	Shards []ShardRoundReport
+	// Glitches totals late or lost fragments across shards; Completed and
+	// Evicted total retired streams (their tickets are released).
+	Glitches  int
+	Completed int
+	Evicted   int
+}
+
+// Step executes one round on every shard — shards sweep in parallel,
+// each under its own lock — then releases tickets for streams the round
+// retired (completed or shed by a degrading shard) and refreshes the
+// health view on the heartbeat cadence. Reports are assembled in shard
+// order, so a fixed per-shard seed set reproduces byte-identical cluster
+// reports regardless of sweep parallelism.
+func (c *Coordinator) Step() RoundReport {
+	rep := RoundReport{
+		Round:  int(c.round.Load()),
+		Shards: make([]ShardRoundReport, len(c.shards)),
+	}
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			s.mu.Lock()
+			r := s.eng.Step()
+			s.mu.Unlock()
+			rep.Shards[i] = ShardRoundReport{Shard: s.id, Report: r}
+			if retired := len(r.Completed) + len(r.Evicted); retired > 0 {
+				s.tickets.Add(-int64(retired))
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	released := 0
+	for i := range rep.Shards {
+		r := &rep.Shards[i].Report
+		rep.Glitches += r.Glitches
+		rep.Completed += len(r.Completed)
+		rep.Evicted += len(r.Evicted)
+		released += len(r.Completed) + len(r.Evicted)
+	}
+	if c.tel != nil && released > 0 {
+		c.tel.released.Add(int64(released))
+	}
+	round := c.round.Add(1)
+	if int(round)%c.hbEach == 0 {
+		c.refreshView()
+	} else if c.tel != nil {
+		c.tel.tickets.Set(float64(c.Tickets()))
+	}
+	return rep
+}
+
+// Run executes n cluster rounds and returns the last round's report.
+func (c *Coordinator) Run(n int) RoundReport {
+	var rep RoundReport
+	for i := 0; i < n; i++ {
+		rep = c.Step()
+	}
+	return rep
+}
+
+// Recalibrate re-derives every shard's admission limit from its observed
+// workload (§5) and publishes a fresh view. Shards that decline (too few
+// samples yet, degenerate moments) keep their current limits rather than
+// failing the fleet. It returns the per-shard limits now in force.
+func (c *Coordinator) Recalibrate(minSamples int64) ([]int, error) {
+	limits := make([]int, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.Lock()
+		_, newLimit, err := s.eng.Recalibrate(minSamples)
+		s.mu.Unlock()
+		if err != nil {
+			newLimit = s.eng.PerDiskLimit()
+		}
+		limits[i] = newLimit
+	}
+	c.refreshView()
+	return limits, nil
+}
+
+// fnv1a hashes an object name (64-bit FNV-1a, allocation-free).
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import "mzqos/internal/engine"
+
+// view is the copy-on-write admission view: an immutable snapshot of
+// every shard's health, published atomically by heartbeats. The admit
+// hot path loads the current view with one atomic pointer read and never
+// blocks a refresh (nor vice versa) — the same copy-on-write discipline
+// the analytic model uses for its cached bound chains.
+type view struct {
+	shards []engine.Health
+}
+
+// capacity returns the admission capacity of a shard in this view
+// (0 for out-of-range ids).
+func (v *view) capacity(id int) int64 {
+	if v == nil || id < 0 || id >= len(v.shards) {
+		return 0
+	}
+	return int64(v.shards[id].Capacity)
+}
+
+// leastLoaded returns the index into cands of the candidate with the
+// lowest ticket/capacity load factor in this view, skipping failed
+// shards. Load factors compare by cross-multiplication so the scan stays
+// in integers. Ties keep the earliest candidate.
+func (v *view) leastLoaded(shards []*shard, cands []int) int {
+	best := 0
+	var bestT, bestC int64 = 0, 0
+	first := true
+	for i, id := range cands {
+		capa := v.capacity(id)
+		if capa <= 0 {
+			continue
+		}
+		t := shards[id].tickets.Load()
+		if first || t*bestC < bestT*capa {
+			best, bestT, bestC = i, t, capa
+			first = false
+		}
+	}
+	return best
+}
+
+// refreshView collects every shard's atomic Health snapshot into a fresh
+// view and publishes it.
+func (c *Coordinator) refreshView() {
+	v := &view{shards: make([]engine.Health, len(c.shards))}
+	capacity, degraded := 0, 0
+	for i, s := range c.shards {
+		h := s.eng.Health()
+		v.shards[i] = h
+		capacity += h.Capacity
+		if h.Degraded {
+			degraded++
+		}
+	}
+	c.view.Store(v)
+	if c.tel != nil {
+		c.tel.heartbeats.Inc()
+		c.tel.capacity.Set(float64(capacity))
+		c.tel.degraded.Set(float64(degraded))
+		c.tel.tickets.Set(float64(c.Tickets()))
+	}
+}
+
+// Heartbeat forces a health-view refresh outside the Step cadence. Safe
+// to call concurrently with Admit and Step (heartbeat collectors own no
+// locks; they read atomic engine state and publish atomically).
+func (c *Coordinator) Heartbeat() { c.refreshView() }
+
+// ShardStatus is one shard's row in the cluster status.
+type ShardStatus struct {
+	// Shard is the shard id.
+	Shard int `json:"shard"`
+	// Health is the shard's view entry (the admission view's copy, not a
+	// fresh engine read).
+	Health engine.Health `json:"health"`
+	// Tickets is the shard's outstanding reserved slots.
+	Tickets int `json:"tickets"`
+}
+
+// Status is the coordinator's externally visible state (the /cluster
+// endpoint's payload).
+type Status struct {
+	// Shards holds one row per shard, ascending by id.
+	Shards []ShardStatus `json:"shards"`
+	// Route is the routing policy name; Replicas the per-object placement
+	// width; Objects the number of placed objects.
+	Route    string `json:"route"`
+	Replicas int    `json:"replicas"`
+	Objects  int    `json:"objects"`
+	// Capacity sums shard capacities in the current view; Tickets the
+	// outstanding reservations against it; Round the coordinator rounds
+	// executed.
+	Capacity int `json:"capacity"`
+	Tickets  int `json:"tickets"`
+	Round    int `json:"round"`
+}
+
+// Status snapshots the current view, reservations, and placement counts.
+func (c *Coordinator) Status() Status {
+	v := c.view.Load()
+	st := Status{
+		Shards:   make([]ShardStatus, len(c.shards)),
+		Route:    c.routeN,
+		Replicas: c.reps,
+		Round:    int(c.round.Load()),
+	}
+	for i, s := range c.shards {
+		var h engine.Health
+		if v != nil && i < len(v.shards) {
+			h = v.shards[i]
+		}
+		t := int(s.tickets.Load())
+		st.Shards[i] = ShardStatus{Shard: i, Health: h, Tickets: t}
+		st.Capacity += h.Capacity
+		st.Tickets += t
+	}
+	c.pmu.RLock()
+	st.Objects = len(c.placement)
+	c.pmu.RUnlock()
+	return st
+}

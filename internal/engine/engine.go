@@ -1,0 +1,200 @@
+// Package engine defines the round-engine contract shared by the live
+// striped server (internal/server) and the stepping simulator
+// (internal/sim): a component that owns a catalog of continuous objects,
+// admits streams under the analytic N_max discipline, and executes
+// round-based SCAN scheduling one Step at a time.
+//
+// The abstraction exists for the cluster layer (internal/cluster): a
+// shard is just an Engine plus placement metadata, so a coordinator can
+// stripe objects and route streams across many server shards — or many
+// cheap simulated shards when exercising fleet-scale admission — without
+// caring which implementation serves the rounds. The report types
+// (RoundReport, RunSummary) live here so both implementations, and every
+// layer above them, speak the same vocabulary; internal/server aliases
+// them under its historical names.
+package engine
+
+import (
+	"errors"
+
+	"mzqos/internal/fault"
+)
+
+// Shared error conditions. Engine implementations wrap these with their
+// own package prefix, so callers (the cluster coordinator in particular)
+// can classify failures with errors.Is without knowing which engine
+// served the call.
+var (
+	// ErrRejected is returned when admission control turns a stream away.
+	ErrRejected = errors.New("admission control rejected the stream")
+	// ErrUnknownObject is returned for opens of objects not in the catalog.
+	ErrUnknownObject = errors.New("unknown object")
+	// ErrUnknownStream is returned for operations on closed or unknown
+	// streams.
+	ErrUnknownStream = errors.New("unknown stream")
+	// ErrDuplicateObject is returned when an object name is already taken.
+	ErrDuplicateObject = errors.New("object already exists")
+)
+
+// StreamID identifies an open stream within one engine. Identity is local
+// to the engine: a cluster-wide stream is the (shard, StreamID) pair.
+type StreamID int64
+
+// Engine is one admission-controlled round engine. Mutating operations
+// (AddObject, Open, Close, Step, Recalibrate) are not safe for concurrent
+// use; drive them from one goroutine per engine — the shard loop. The
+// Health snapshot is the exception: it reads atomic state only, so
+// heartbeat collectors may call it concurrently with the loop.
+type Engine interface {
+	// AddObject stores a continuous object with the given per-round
+	// fragment sizes (bytes).
+	AddObject(name string, sizes []float64) error
+	// Open admits a new stream on the named object or rejects it, and
+	// reports the startup delay in rounds.
+	Open(name string) (id StreamID, startupDelay int, err error)
+	// Close stops a stream early, releasing its admission slot.
+	Close(id StreamID) error
+	// Step executes one scheduling round.
+	Step() RoundReport
+	// Recalibrate re-derives the admission limit from observed workload
+	// statistics (§5) and reports the old and new per-disk limits.
+	Recalibrate(minSamples int64) (oldLimit, newLimit int, err error)
+	// NumDisks returns the array width D; PerDiskLimit the admission
+	// limit N_max per disk; Capacity the engine-wide limit D·N_max.
+	NumDisks() int
+	PerDiskLimit() int
+	Capacity() int
+	// Active returns the open-stream count; Round the next round index.
+	Active() int
+	Round() int
+	// Degraded reports whether fault-degraded admission limits are in
+	// force; FaultEffectsAt resolves the configured fault plan at a round
+	// (identity effects when no plan is configured).
+	Degraded() bool
+	FaultEffectsAt(round int) []fault.Effects
+	// Health returns a concurrent-safe load/limit snapshot for heartbeat
+	// collectors (read from atomic state, never the loop's own fields).
+	Health() Health
+}
+
+// Health is the heartbeat view of one engine: the load and limits a
+// cluster coordinator caches between refreshes. All fields are captured
+// from atomic state, so collecting a Health never races the engine loop.
+type Health struct {
+	// Active is the number of open streams.
+	Active int `json:"active"`
+	// PerDiskLimit is the admission limit N_max per disk currently in
+	// force (degraded limits included); Capacity is D·N_max.
+	PerDiskLimit int `json:"per_disk_limit"`
+	Capacity     int `json:"capacity"`
+	// Round counts executed rounds.
+	Round int `json:"round"`
+	// Degraded marks fault-degraded limits in force.
+	Degraded bool `json:"degraded"`
+}
+
+// Failed reports whether the engine is accepting no load at all
+// (capacity zero: overload, or a failed disk closed admission).
+func (h Health) Failed() bool { return h.Capacity <= 0 }
+
+// DiskRoundReport is the outcome of one disk's sweep in one round.
+type DiskRoundReport struct {
+	// Requests is the number of fragments due on the disk.
+	Requests int
+	// Busy is the total service time of the sweep in seconds; it equals
+	// Seek + Rotation + Transfer, the three phases of eq. 3.1.1 (zero when
+	// the disk is Down).
+	Busy float64
+	// Seek, Rotation, and Transfer break Busy down by service phase.
+	// Rotation includes any extra revolutions paid for read-error retries.
+	// (The simulated engine reports Busy only; its phase split is
+	// available through the trace recorder instead.)
+	Seek, Rotation, Transfer float64
+	// Late is the number of requests that finished after the round end.
+	Late int
+	// Faulty marks a round in which a fault effect was active on the disk.
+	Faulty bool
+	// Retries is the number of extra revolutions paid re-reading after
+	// transient read errors.
+	Retries int
+	// Lost is the number of fragments not delivered at all: reads that
+	// exhausted their in-round retries, or every request of a Down disk.
+	Lost int
+	// Down marks a round in which the disk was fully failed.
+	Down bool
+}
+
+// RoundReport is the outcome of one engine round.
+type RoundReport struct {
+	// Round is the executed round index.
+	Round int
+	// Disks holds one report per disk.
+	Disks []DiskRoundReport
+	// Glitches is the total number of late or lost fragments across disks.
+	Glitches int
+	// Completed lists streams that consumed their last fragment, in
+	// ascending StreamID order.
+	Completed []StreamID
+	// Evicted lists streams shed by the degraded-mode controller this
+	// round (ascending StreamID order, empty unless degradation is
+	// enabled and the admission limit shrank below a class's occupancy).
+	Evicted []StreamID
+}
+
+// RunSummary aggregates a multi-round execution.
+type RunSummary struct {
+	// FirstRound is the round index the run started at.
+	FirstRound int
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Requests is the total fragments served.
+	Requests int
+	// Glitches is the total late or lost fragments.
+	Glitches int
+	// Lost is the subset of Glitches that were never delivered at all
+	// (read errors past their retry budget, or a failed disk).
+	Lost int
+	// Completed is the number of streams that finished playback.
+	Completed int
+	// Evicted is the number of streams shed by the degraded-mode
+	// controller.
+	Evicted int
+	// PeakDiskLoad is the largest per-disk per-round request count seen.
+	PeakDiskLoad int
+	// BusyTime is the summed disk service time; DiskTime the summed
+	// capacity (rounds × round length × disks). Their ratio is utilization.
+	BusyTime, DiskTime float64
+}
+
+// Utilization returns BusyTime/DiskTime (0 when no time has passed).
+func (r RunSummary) Utilization() float64 {
+	if r.DiskTime == 0 {
+		return 0
+	}
+	return r.BusyTime / r.DiskTime
+}
+
+// GlitchRate returns Glitches/Requests (0 when idle).
+func (r RunSummary) GlitchRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Glitches) / float64(r.Requests)
+}
+
+// Observe folds one round report into the summary (the shared aggregation
+// behind every engine's Run).
+func (r *RunSummary) Observe(rep RoundReport) {
+	r.Rounds++
+	r.Glitches += rep.Glitches
+	r.Completed += len(rep.Completed)
+	r.Evicted += len(rep.Evicted)
+	for _, dr := range rep.Disks {
+		r.Requests += dr.Requests
+		r.BusyTime += dr.Busy
+		r.Lost += dr.Lost
+		if dr.Requests > r.PeakDiskLoad {
+			r.PeakDiskLoad = dr.Requests
+		}
+	}
+}

@@ -60,81 +60,98 @@ type diskTelemetry struct {
 const recorderCapacity = 4096
 
 // newTelemetry registers the server metric set for `disks` drives and a
-// round length of t seconds.
-func newTelemetry(disks int, t float64) (*Telemetry, error) {
-	reg := telemetry.NewRegistry()
+// round length of t seconds. With reg nil a private registry is created;
+// instance labels (e.g. shard="3") are prepended to every series so
+// several servers can share one registry without clobbering each other's
+// counters.
+func newTelemetry(reg *telemetry.Registry, instance []telemetry.Label, disks int, t float64) (*Telemetry, error) {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	// labels returns the instance labels plus any series-specific ones,
+	// instance first so every mzqos_server_* series of one shard shares a
+	// label prefix.
+	labels := func(extra ...telemetry.Label) []telemetry.Label {
+		if len(instance) == 0 {
+			return extra
+		}
+		out := make([]telemetry.Label, 0, len(instance)+len(extra))
+		out = append(out, instance...)
+		return append(out, extra...)
+	}
 	tl := &Telemetry{
 		reg:      reg,
 		recorder: telemetry.NewRoundRecorder(recorderCapacity),
 		rounds: reg.Counter("mzqos_server_rounds_total",
-			"Scheduling rounds executed."),
+			"Scheduling rounds executed.", labels()...),
 		fragments: reg.Counter("mzqos_server_fragments_total",
-			"Fragments served across all disks."),
+			"Fragments served across all disks.", labels()...),
 		glitches: reg.Counter("mzqos_server_glitches_total",
-			"Fragments that finished after their round deadline."),
+			"Fragments that finished after their round deadline.", labels()...),
 		admitted: reg.Counter("mzqos_server_streams_admitted_total",
-			"Streams accepted by admission control."),
+			"Streams accepted by admission control.", labels()...),
 		rejected: reg.Counter("mzqos_server_streams_rejected_total",
-			"Streams turned away by admission control."),
+			"Streams turned away by admission control.", labels()...),
 		completed: reg.Counter("mzqos_server_streams_completed_total",
-			"Streams that consumed their final fragment."),
+			"Streams that consumed their final fragment.", labels()...),
 		retired: reg.Counter("mzqos_server_streams_retired_total",
-			"Streams closed or completed (retired from the active set)."),
+			"Streams closed or completed (retired from the active set).", labels()...),
 		active: reg.Gauge("mzqos_server_streams_active",
-			"Streams currently open."),
+			"Streams currently open.", labels()...),
 		paused: reg.Gauge("mzqos_server_streams_paused",
-			"Streams currently paused."),
+			"Streams currently paused.", labels()...),
 		nmax: reg.Gauge("mzqos_server_nmax",
-			"Admission limit N_max per disk (binding disk)."),
+			"Admission limit N_max per disk (binding disk).", labels()...),
 		boundLate: reg.Gauge("mzqos_server_bound_late",
-			"Analytic b_late(N_max, t): Chernoff bound on a full round being late."),
+			"Analytic b_late(N_max, t): Chernoff bound on a full round being late.", labels()...),
 		boundGlitch: reg.Gauge("mzqos_server_bound_glitch",
-			"Analytic b_glitch(N_max, t): bound on a stream glitching in one round."),
+			"Analytic b_glitch(N_max, t): bound on a stream glitching in one round.", labels()...),
 		faultActive: reg.Gauge("mzqos_server_fault_active_disks",
-			"Disks with an active fault effect in the latest round."),
+			"Disks with an active fault effect in the latest round.", labels()...),
 		degraded: reg.Gauge("mzqos_server_degraded",
-			"1 while degraded admission limits are in force, else 0."),
+			"1 while degraded admission limits are in force, else 0.", labels()...),
 		degradeTransitions: reg.Counter("mzqos_server_degraded_transitions_total",
-			"Entries into and exits from degraded mode."),
+			"Entries into and exits from degraded mode.", labels()...),
 		evictions: reg.Counter("mzqos_server_fault_evictions_total",
-			"Streams shed by the degraded-mode controller."),
+			"Streams shed by the degraded-mode controller.", labels()...),
 	}
 	for d := 0; d < disks; d++ {
-		lbl := telemetry.L("disk", fmt.Sprintf("%d", d))
+		dl := telemetry.L("disk", fmt.Sprintf("%d", d))
+		lbl := labels(dl)
 		bounds, err := telemetry.RoundTimeBuckets(t)
 		if err != nil {
 			return nil, err
 		}
 		hist, err := reg.Histogram("mzqos_server_round_time_seconds",
 			"Total SCAN sweep service time T_N per loaded round, log-bucketed around the round length.",
-			bounds, lbl)
+			bounds, lbl...)
 		if err != nil {
 			return nil, err
 		}
 		tl.disks = append(tl.disks, diskTelemetry{
 			roundTime: hist,
 			lateRounds: reg.Counter("mzqos_server_late_rounds_total",
-				"Loaded rounds whose sweep exceeded the round length (the event bounded by b_late).", lbl),
+				"Loaded rounds whose sweep exceeded the round length (the event bounded by b_late).", lbl...),
 			fragments: reg.Counter("mzqos_server_disk_fragments_total",
-				"Fragments served by this disk.", lbl),
+				"Fragments served by this disk.", lbl...),
 			glitches: reg.Counter("mzqos_server_disk_glitches_total",
-				"Late fragments on this disk.", lbl),
+				"Late fragments on this disk.", lbl...),
 			peakLoad: reg.Gauge("mzqos_server_peak_round_load",
-				"Largest per-round request count this disk has served.", lbl),
+				"Largest per-round request count this disk has served.", lbl...),
 			seek: reg.FloatCounter("mzqos_server_phase_seconds_total",
-				"Accumulated sweep service seconds by phase.", lbl, telemetry.L("phase", "seek")),
+				"Accumulated sweep service seconds by phase.", labels(dl, telemetry.L("phase", "seek"))...),
 			rotation: reg.FloatCounter("mzqos_server_phase_seconds_total",
-				"Accumulated sweep service seconds by phase.", lbl, telemetry.L("phase", "rotation")),
+				"Accumulated sweep service seconds by phase.", labels(dl, telemetry.L("phase", "rotation"))...),
 			transfer: reg.FloatCounter("mzqos_server_phase_seconds_total",
-				"Accumulated sweep service seconds by phase.", lbl, telemetry.L("phase", "transfer")),
+				"Accumulated sweep service seconds by phase.", labels(dl, telemetry.L("phase", "transfer"))...),
 			faultRounds: reg.Counter("mzqos_server_fault_rounds_total",
-				"Rounds in which a fault effect was active on this disk.", lbl),
+				"Rounds in which a fault effect was active on this disk.", lbl...),
 			retries: reg.Counter("mzqos_server_fault_retries_total",
-				"Extra revolutions paid re-reading after transient read errors.", lbl),
+				"Extra revolutions paid re-reading after transient read errors.", lbl...),
 			lost: reg.Counter("mzqos_server_lost_fragments_total",
-				"Fragments never delivered: retries exhausted or the disk was down.", lbl),
+				"Fragments never delivered: retries exhausted or the disk was down.", lbl...),
 			downRounds: reg.Counter("mzqos_server_down_rounds_total",
-				"Loaded rounds in which this disk was fully failed.", lbl),
+				"Loaded rounds in which this disk was fully failed.", lbl...),
 		})
 	}
 	return tl, nil

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"mzqos/internal/disk"
 	"mzqos/internal/model"
+	"mzqos/internal/telemetry"
 	"mzqos/internal/workload"
 )
 
@@ -343,4 +345,66 @@ func TestBoundTightnessConcurrentWithRounds(t *testing.T) {
 		s.Step()
 	}
 	<-done
+}
+
+// TestSharedRegistryShardsDoNotCollide covers the multi-engine process
+// shape: two servers sharing one registry, each with its own instance
+// label, must own disjoint series — without the labels a second shard
+// would silently write to the first shard's counters.
+func TestSharedRegistryShardsDoNotCollide(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	mk := func(shard string, seed uint64) *Server {
+		s, err := New(Config{
+			Disk:           disk.QuantumViking21(),
+			NumDisks:       2,
+			RoundLength:    1,
+			Sizes:          workload.PaperSizes(),
+			Guarantee:      model.Guarantee{Threshold: 0.01},
+			Seed:           seed,
+			Registry:       reg,
+			InstanceLabels: []telemetry.Label{telemetry.L("shard", shard)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s0, s1 := mk("0", 1), mk("1", 2)
+	if s0.Telemetry().Registry() != reg || s1.Telemetry().Registry() != reg {
+		t.Fatal("servers should adopt the shared registry")
+	}
+
+	s0.Run(3)
+	s1.Run(5)
+
+	snap := reg.Snapshot()
+	r0, ok0 := snap.Counter("mzqos_server_rounds_total", telemetry.L("shard", "0"))
+	r1, ok1 := snap.Counter("mzqos_server_rounds_total", telemetry.L("shard", "1"))
+	if !ok0 || !ok1 {
+		t.Fatal("per-shard rounds series missing from shared registry")
+	}
+	if r0 != 3 || r1 != 5 {
+		t.Fatalf("rounds = (%d, %d), want (3, 5): shards clobbered each other", r0, r1)
+	}
+
+	// The per-disk series carry the instance label too.
+	if _, ok := snap.Counter("mzqos_server_late_rounds_total",
+		telemetry.L("shard", "1"), telemetry.L("disk", "0")); !ok {
+		t.Error("per-disk series missing the instance label")
+	}
+
+	// And the exposition stays one contiguous block per metric name.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	i0 := strings.Index(out, `mzqos_server_rounds_total{shard="0"} 3`)
+	i1 := strings.Index(out, `mzqos_server_rounds_total{shard="1"} 5`)
+	if i0 < 0 || i1 < 0 {
+		t.Fatalf("exposition missing per-shard series:\n%s", out)
+	}
+	if header := strings.Count(out, "# TYPE mzqos_server_rounds_total "); header != 1 {
+		t.Errorf("rounds header appears %d times, want 1", header)
+	}
 }

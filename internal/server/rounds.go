@@ -4,51 +4,22 @@ import (
 	"cmp"
 	"slices"
 
+	"mzqos/internal/engine"
 	"mzqos/internal/fault"
 	"mzqos/internal/trace"
 )
 
-// DiskRoundReport is the outcome of one disk's sweep in one round.
-type DiskRoundReport struct {
-	// Requests is the number of fragments due on the disk.
-	Requests int
-	// Busy is the total service time of the sweep in seconds; it equals
-	// Seek + Rotation + Transfer, the three phases of eq. 3.1.1 (zero when
-	// the disk is Down).
-	Busy float64
-	// Seek, Rotation, and Transfer break Busy down by service phase.
-	// Rotation includes any extra revolutions paid for read-error retries.
-	Seek, Rotation, Transfer float64
-	// Late is the number of requests that finished after the round end.
-	Late int
-	// Faulty marks a round in which a fault effect was active on the disk.
-	Faulty bool
-	// Retries is the number of extra revolutions paid re-reading after
-	// transient read errors.
-	Retries int
-	// Lost is the number of fragments not delivered at all: reads that
-	// exhausted their in-round retries, or every request of a Down disk.
-	Lost int
-	// Down marks a round in which the disk was fully failed.
-	Down bool
-}
-
-// RoundReport is the outcome of one server round.
-type RoundReport struct {
-	// Round is the executed round index.
-	Round int
-	// Disks holds one report per disk.
-	Disks []DiskRoundReport
-	// Glitches is the total number of late or lost fragments across disks.
-	Glitches int
-	// Completed lists streams that consumed their last fragment, in
-	// ascending StreamID order.
-	Completed []StreamID
-	// Evicted lists streams shed by the degraded-mode controller this
-	// round (ascending StreamID order, empty unless degradation is
-	// enabled and the admission limit shrank below a class's occupancy).
-	Evicted []StreamID
-}
+// The round-report vocabulary is shared with every other engine through
+// internal/engine (the cluster layer's shard contract); the historical
+// server names remain as aliases.
+type (
+	// DiskRoundReport is the outcome of one disk's sweep in one round.
+	DiskRoundReport = engine.DiskRoundReport
+	// RoundReport is the outcome of one server round.
+	RoundReport = engine.RoundReport
+	// RunSummary aggregates a multi-round execution.
+	RunSummary = engine.RunSummary
+)
 
 // diskRequest pairs a due stream with its current fragment for the sweep.
 type diskRequest struct {
@@ -265,61 +236,8 @@ func (s *Server) Run(n int) RunSummary {
 	var sum RunSummary
 	sum.FirstRound = s.round
 	for i := 0; i < n; i++ {
-		rep := s.Step()
-		sum.Rounds++
-		sum.Glitches += rep.Glitches
-		sum.Completed += len(rep.Completed)
-		sum.Evicted += len(rep.Evicted)
-		for _, dr := range rep.Disks {
-			sum.Requests += dr.Requests
-			sum.BusyTime += dr.Busy
-			sum.Lost += dr.Lost
-			if dr.Requests > sum.PeakDiskLoad {
-				sum.PeakDiskLoad = dr.Requests
-			}
-		}
+		sum.Observe(s.Step())
 	}
 	sum.DiskTime = float64(n) * s.cfg.RoundLength * float64(len(s.geoms))
 	return sum
-}
-
-// RunSummary aggregates a multi-round execution.
-type RunSummary struct {
-	// FirstRound is the round index the run started at.
-	FirstRound int
-	// Rounds is the number of rounds executed.
-	Rounds int
-	// Requests is the total fragments served.
-	Requests int
-	// Glitches is the total late or lost fragments.
-	Glitches int
-	// Lost is the subset of Glitches that were never delivered at all
-	// (read errors past their retry budget, or a failed disk).
-	Lost int
-	// Completed is the number of streams that finished playback.
-	Completed int
-	// Evicted is the number of streams shed by the degraded-mode
-	// controller.
-	Evicted int
-	// PeakDiskLoad is the largest per-disk per-round request count seen.
-	PeakDiskLoad int
-	// BusyTime is the summed disk service time; DiskTime the summed
-	// capacity (rounds × round length × disks). Their ratio is utilization.
-	BusyTime, DiskTime float64
-}
-
-// Utilization returns BusyTime/DiskTime (0 when no time has passed).
-func (r RunSummary) Utilization() float64 {
-	if r.DiskTime == 0 {
-		return 0
-	}
-	return r.BusyTime / r.DiskTime
-}
-
-// GlitchRate returns Glitches/Requests (0 when idle).
-func (r RunSummary) GlitchRate() float64 {
-	if r.Requests == 0 {
-		return 0
-	}
-	return float64(r.Glitches) / float64(r.Requests)
 }

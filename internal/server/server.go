@@ -24,24 +24,31 @@ import (
 
 	"mzqos/internal/disk"
 	"mzqos/internal/dist"
+	"mzqos/internal/engine"
 	"mzqos/internal/fault"
 	"mzqos/internal/model"
+	"mzqos/internal/telemetry"
 	"mzqos/internal/trace"
 	"mzqos/internal/workload"
 )
 
-// Errors reported by the server.
+// Server implements the shared round-engine contract, so a cluster
+// coordinator can treat it as one shard among many.
+var _ engine.Engine = (*Server)(nil)
+
+// Errors reported by the server. The admission and catalog conditions
+// wrap the engine-level sentinels, so errors.Is matches either identity.
 var (
 	// ErrConfig is returned for invalid server configurations.
 	ErrConfig = errors.New("server: invalid configuration")
 	// ErrRejected is returned when admission control turns a stream away.
-	ErrRejected = errors.New("server: admission control rejected the stream")
+	ErrRejected = fmt.Errorf("server: %w", engine.ErrRejected)
 	// ErrUnknownObject is returned for opens of objects not in the catalog.
-	ErrUnknownObject = errors.New("server: unknown object")
+	ErrUnknownObject = fmt.Errorf("server: %w", engine.ErrUnknownObject)
 	// ErrUnknownStream is returned for operations on closed or unknown streams.
-	ErrUnknownStream = errors.New("server: unknown stream")
+	ErrUnknownStream = fmt.Errorf("server: %w", engine.ErrUnknownStream)
 	// ErrDuplicateObject is returned when an object name is already taken.
-	ErrDuplicateObject = errors.New("server: object already exists")
+	ErrDuplicateObject = fmt.Errorf("server: %w", engine.ErrDuplicateObject)
 )
 
 // Config assembles a server.
@@ -92,14 +99,27 @@ type Config struct {
 	// freezes) via log/slog. Nil disables logging; the round loop never
 	// logs per-request.
 	Logger *slog.Logger
+	// Registry optionally supplies a shared metric registry. Multi-engine
+	// processes (mzserver -shards) pass one registry to every shard so a
+	// single /metrics endpoint exposes the whole fleet; nil creates a
+	// private registry, preserving the single-server behaviour.
+	Registry *telemetry.Registry
+	// InstanceLabels are prepended to every mzqos_server_* series this
+	// server registers (e.g. shard="3"). Required whenever several
+	// servers share a Registry: without a distinguishing label the second
+	// server would silently adopt the first one's series and the shards
+	// would clobber each other's counters.
+	InstanceLabels []telemetry.Label
 }
 
 // DefaultRetiredHistory is the retired-stream stats retention used when
 // Config.RetiredHistory is zero.
 const DefaultRetiredHistory = 1024
 
-// StreamID identifies an open stream.
-type StreamID int64
+// StreamID identifies an open stream (shared with every other engine
+// through internal/engine; cluster-wide identity is the (shard, StreamID)
+// pair).
+type StreamID = engine.StreamID
 
 // fragment is one stored piece of an object: its size and its fixed
 // physical location on its disk (chosen uniformly at layout time, which is
@@ -233,7 +253,7 @@ func New(cfg Config) (*Server, error) {
 	if retiredCap <= 0 {
 		retiredCap = DefaultRetiredHistory
 	}
-	tel, err := newTelemetry(len(geoms), cfg.RoundLength)
+	tel, err := newTelemetry(cfg.Registry, cfg.InstanceLabels, len(geoms), cfg.RoundLength)
 	if err != nil {
 		return nil, fmt.Errorf("server: building telemetry: %w", err)
 	}
@@ -373,6 +393,21 @@ func (s *Server) Active() int { return len(s.active) }
 
 // Round returns the index of the next round to be executed.
 func (s *Server) Round() int { return s.round }
+
+// Health returns the heartbeat snapshot a cluster coordinator caches:
+// load, limits, and degrade state. Unlike the plain accessors it reads
+// only atomic telemetry state, so it is safe to call concurrently with
+// the round loop — which is exactly what a heartbeat collector does.
+func (s *Server) Health() engine.Health {
+	nmax := int(s.tel.nmax.Value())
+	return engine.Health{
+		Active:       int(s.tel.active.Value()),
+		PerDiskLimit: nmax,
+		Capacity:     nmax * len(s.geoms),
+		Round:        int(s.tel.rounds.Value()),
+		Degraded:     s.tel.degraded.Value() > 0,
+	}
+}
 
 // AddObject stores a continuous object with the given fragment sizes
 // (bytes, one per round of display time). Fragments are striped round-robin

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -13,11 +14,26 @@ import (
 // WritePrometheus renders every registered series in the Prometheus text
 // exposition format (version 0.0.4): # HELP / # TYPE headers once per
 // metric name, histogram series as cumulative _bucket{le=...} plus _sum
-// and _count.
+// and _count. Series are grouped by metric name in first-registration
+// order — a shared multi-shard registry interleaves each shard's
+// registrations, and the text format wants one contiguous block per
+// metric name.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	entries := append([]entry(nil), r.entries...)
 	r.mu.Unlock()
+
+	// Stable grouping: order of first appearance per name, registration
+	// order within a name.
+	nameRank := make(map[string]int)
+	for _, e := range entries {
+		if _, ok := nameRank[e.name]; !ok {
+			nameRank[e.name] = len(nameRank)
+		}
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		return nameRank[entries[i].name] < nameRank[entries[j].name]
+	})
 
 	bw := bufio.NewWriter(w)
 	seenHeader := make(map[string]bool)

@@ -94,3 +94,34 @@ func TestExpvarFuncMarshals(t *testing.T) {
 		t.Fatalf("round-tripped snapshot wrong: %+v", snap)
 	}
 }
+
+// TestWritePrometheusGroupsInterleavedNames covers the shared multi-shard
+// registry shape: two instances registering the same metric names with
+// distinct instance labels, interleaved with other names. The exposition
+// must keep every metric name's series contiguous under one header.
+func TestWritePrometheusGroupsInterleavedNames(t *testing.T) {
+	reg := NewRegistry()
+	// Shard 0 registers rounds then streams; shard 1 repeats the pair —
+	// registration order interleaves the two names.
+	reg.Counter("grp_rounds_total", "rounds", L("shard", "0")).Inc()
+	reg.Gauge("grp_streams", "streams", L("shard", "0")).Set(5)
+	reg.Counter("grp_rounds_total", "rounds", L("shard", "1")).Add(2)
+	reg.Gauge("grp_streams", "streams", L("shard", "1")).Set(7)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := "# HELP grp_rounds_total rounds\n" +
+		"# TYPE grp_rounds_total counter\n" +
+		"grp_rounds_total{shard=\"0\"} 1\n" +
+		"grp_rounds_total{shard=\"1\"} 2\n" +
+		"# HELP grp_streams streams\n" +
+		"# TYPE grp_streams gauge\n" +
+		"grp_streams{shard=\"0\"} 5\n" +
+		"grp_streams{shard=\"1\"} 7\n"
+	if out != want {
+		t.Fatalf("exposition not grouped by name:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}

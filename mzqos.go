@@ -27,14 +27,19 @@
 //   - VBR workload models and an MPEG-like trace generator
 //     (internal/workload),
 //   - a detailed Monte-Carlo simulator for validation (internal/sim),
-//   - a runnable striped server with admission control (internal/server).
+//   - a runnable striped server with admission control (internal/server),
+//   - a sharded cluster coordinator with lock-free admission
+//     (internal/cluster) over the shared round-engine contract
+//     (internal/engine).
 package mzqos
 
 import (
 	"math/rand/v2"
 
+	"mzqos/internal/cluster"
 	"mzqos/internal/disk"
 	"mzqos/internal/dist"
+	"mzqos/internal/engine"
 	"mzqos/internal/fault"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
@@ -106,6 +111,53 @@ type (
 	StreamStats = server.StreamStats
 	// RunSummary aggregates a multi-round server execution.
 	RunSummary = server.RunSummary
+)
+
+// Cluster types (see README "Cluster serving" and DESIGN.md §7).
+type (
+	// Engine is the round-engine contract a cluster shard satisfies;
+	// both *Server and the statistical sim engine implement it.
+	Engine = engine.Engine
+	// EngineHealth is one shard's cached health row: active streams,
+	// per-disk limit, capacity, round, degraded flag.
+	EngineHealth = engine.Health
+	// Cluster coordinates S shards: placement, routing, and a lock-free
+	// cluster-wide admission hot path over cached per-shard N_max views.
+	Cluster = cluster.Coordinator
+	// ClusterConfig configures a Cluster.
+	ClusterConfig = cluster.Config
+	// ClusterTicket is a reserved-but-unmaterialized admission slot.
+	ClusterTicket = cluster.Ticket
+	// ClusterHandle identifies an open stream by (shard, stream).
+	ClusterHandle = cluster.Handle
+	// ClusterStatus is the cluster-wide health + placement summary the
+	// mzserver /cluster endpoint serves.
+	ClusterStatus = cluster.Status
+	// ClusterAdmissionRecord is one retained admission, naming its shard.
+	ClusterAdmissionRecord = cluster.AdmissionRecord
+)
+
+// Routing policies for ClusterConfig.Route.
+const (
+	RouteRoundRobin  = cluster.RouteRoundRobin
+	RouteLeastLoaded = cluster.RouteLeastLoaded
+	RouteAffinity    = cluster.RouteAffinity
+)
+
+// NewCluster builds a coordinator over pre-built shard engines.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// NewSimEngine builds a statistical shard engine: the detailed
+// simulator's service-time law behind the Engine contract, cheap enough
+// to fan out into large simulated fleets.
+func NewSimEngine(cfg SimEngineConfig) (*SimEngine, error) { return sim.NewEngine(cfg) }
+
+// SimEngine types (simulated shards for cluster experiments).
+type (
+	// SimEngine is the simulator-backed Engine implementation.
+	SimEngine = sim.Engine
+	// SimEngineConfig configures a SimEngine.
+	SimEngineConfig = sim.EngineConfig
 )
 
 // Fault-injection and degraded-mode types (see README "Fault injection

@@ -75,4 +75,76 @@ if [ "$fail" -ne 0 ]; then
     echo "smoke: saved flight recorder to $ARTDIR/flight-recorder.json" >&2
 fi
 
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
+# --- Cluster mode: S shards in one process behind the coordinator ---
+
+CADDR="${SMOKE_CLUSTER_ADDR:-127.0.0.1:19098}"
+"$BIN" -shards 3 -disks 2 -rounds 80 -arrivals 2 -report 0 \
+    -route least-loaded -replicas 2 -listen "$CADDR" -linger 120s >/dev/null &
+PID=$!
+
+up=0
+i=0
+while [ "$i" -lt 100 ]; do
+    if curl -sf "http://$CADDR/healthz" >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ "$up" -ne 1 ]; then
+    echo "smoke: FAIL cluster endpoint on $CADDR never became healthy" >&2
+    exit 1
+fi
+
+cexpect() { # cexpect <path> <grep-pattern> <label>
+    if curl -sf "http://$CADDR$1" | grep -q "$2"; then
+        echo "smoke: ok   cluster $1 serves $3"
+    else
+        echo "smoke: FAIL cluster $1 lacks $3 (pattern: $2)" >&2
+        fail=1
+    fi
+}
+
+# The shared registry keeps per-shard series apart via the shard label.
+cexpect /metrics '^mzqos_server_rounds_total{shard="0"} ' "shard 0 round counter"
+cexpect /metrics '^mzqos_server_rounds_total{shard="2"} ' "shard 2 round counter"
+cexpect /metrics '^mzqos_server_round_time_seconds_bucket{shard="1",disk="0",le="1"}' "per-shard histogram"
+cexpect /metrics '^mzqos_cluster_admitted_total ' "cluster admission counter"
+cexpect /metrics '^mzqos_cluster_capacity ' "cluster capacity gauge"
+cexpect /cluster '"route": "least-loaded"' "routing policy"
+cexpect /cluster '"per_disk_limit"' "shard health rows"
+cexpect /cluster '"tickets"' "outstanding reservations"
+
+# Every admitted stream names its shard in the /admission explanations.
+if command -v python3 >/dev/null 2>&1; then
+    if curl -sf "http://$CADDR/admission" | python3 -c '
+import json, sys
+rep = json.load(sys.stdin)
+adm = rep["admissions"]
+assert adm, "no admissions retained"
+shards = set()
+for a in adm:
+    assert isinstance(a["shard"], int) and a["shard"] >= 0, f"admission without a shard: {a}"
+    assert a["object"].startswith("clip-"), f"admission without an object: {a}"
+    shards.add(a["shard"])
+assert len(shards) > 1, f"all admissions landed on one shard: {shards}"
+print(f"smoke: ok   cluster /admission names a shard on all {len(adm)} admissions over {len(shards)} shards")
+'; then
+        :
+    else
+        echo "smoke: FAIL cluster /admission admissions do not all name their shard" >&2
+        fail=1
+    fi
+    if curl -sf "http://$CADDR/cluster" | python3 -m json.tool >/dev/null 2>&1; then
+        echo "smoke: ok   cluster /cluster is valid JSON"
+    else
+        echo "smoke: FAIL cluster /cluster is not valid JSON" >&2
+        fail=1
+    fi
+fi
+
 exit "$fail"
