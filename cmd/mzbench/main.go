@@ -56,6 +56,16 @@ type solverTelemetry struct {
 	CacheHitRatio   float64 `json:"cache_hit_ratio"`
 }
 
+// sloBlock is the v4 SLO-audit summary: the audit's two hot-path costs
+// pulled out of the benchmark list so trajectory consumers can track the
+// observability overhead without knowing the op names.
+type sloBlock struct {
+	ObserveNsPerOp      float64 `json:"observe_ns_per_op"`
+	EvaluateNsPerOp     float64 `json:"evaluate_ns_per_op"`
+	ObserveAllocsPerOp  int64   `json:"observe_allocs_per_op"`
+	EvaluateAllocsPerOp int64   `json:"evaluate_allocs_per_op"`
+}
+
 // run is one mzbench invocation; the trajectory file holds a list of them.
 // The format is documented in BENCH_SCHEMA.md.
 type run struct {
@@ -67,6 +77,7 @@ type run struct {
 	Benchmarks []opResult         `json:"benchmarks"`
 	Speedups   map[string]float64 `json:"speedups"`
 	Telemetry  *solverTelemetry   `json:"telemetry,omitempty"`
+	SLO        *sloBlock          `json:"slo,omitempty"`
 }
 
 func gitRev() string {
@@ -95,7 +106,7 @@ func main() {
 	out := flag.String("out", "BENCH_admission.json", "trajectory file to append this run to")
 	verbose := flag.Bool("v", false, "print each result as it is measured")
 	quick := flag.Bool("quick", false,
-		"smoke mode: run only the ClusterAdmit benchmarks, gate them on the <10µs/0-alloc budget,\nvalidate the trajectory file against BENCH_SCHEMA.md, and exit without appending")
+		"smoke mode: run only the ClusterAdmit and SLO-audit benchmarks, gate them on their\nlatency/0-alloc budgets, validate the trajectory file against BENCH_SCHEMA.md, and exit without appending")
 	flag.Parse()
 
 	if *quick {
@@ -154,6 +165,7 @@ func main() {
 			r.Speedups[p.name] = base / opt
 		}
 	}
+	r.SLO = sloSummary(r.Benchmarks)
 	mt := model.Telemetry()
 	r.Telemetry = &solverTelemetry{
 		ChainHits:       mt.ChainHits,
@@ -233,8 +245,9 @@ func readTrajectory(path string) ([]run, error) {
 }
 
 // schemaVersion is the trajectory schema this binary writes. v3 added a
-// per-entry gomaxprocs field to every benchmark measurement.
-const schemaVersion = "mzbench/v3"
+// per-entry gomaxprocs field to every benchmark measurement; v4 added
+// the slo block summarizing the guarantee audit's hot-path costs.
+const schemaVersion = "mzbench/v4"
 
 // Cluster-admission budget the quick smoke gates on (the cluster PR's
 // acceptance criterion: reservations stay a microsecond-scale hot path).
@@ -243,16 +256,49 @@ const (
 	clusterWarmBudgetNs = 10_000 // 10 µs
 )
 
+// SLO-audit budgets the quick smoke gates on (the observability PR's
+// acceptance criterion: auditing every sweep costs well under the trace
+// budget and never allocates in steady state).
+const (
+	sloObserveOp       = "SLOObserve/4disks/steady"
+	sloEvaluateOp      = "SLOEvaluate/4disks/steady"
+	sloObserveBudgetNs = 200
+)
+
+// sloSummary pulls the v4 slo block out of the measured benchmark list;
+// nil when the suite no longer contains the audit ops.
+func sloSummary(benchmarks []opResult) *sloBlock {
+	var blk sloBlock
+	found := 0
+	for _, b := range benchmarks {
+		switch b.Op {
+		case sloObserveOp:
+			blk.ObserveNsPerOp = b.NsPerOp
+			blk.ObserveAllocsPerOp = b.AllocsPerOp
+			found++
+		case sloEvaluateOp:
+			blk.EvaluateNsPerOp = b.NsPerOp
+			blk.EvaluateAllocsPerOp = b.AllocsPerOp
+			found++
+		}
+	}
+	if found != 2 {
+		return nil
+	}
+	return &blk
+}
+
 // quickSmoke is the CI `make bench-quick` entry: run just the ClusterAdmit
-// benchmarks (seconds, not the full suite's minutes), fail if the warm
-// reservation path blows its latency or allocation budget, then validate
-// the recorded trajectory file against BENCH_SCHEMA.md so schema drift
-// fails the build instead of corrupting the trajectory. Nothing is
-// appended to the file.
+// and SLO-audit benchmarks (seconds, not the full suite's minutes), fail
+// if the warm reservation path or the audit's observe/evaluate paths blow
+// their latency or allocation budgets, then validate the recorded
+// trajectory file against BENCH_SCHEMA.md so schema drift fails the build
+// instead of corrupting the trajectory. Nothing is appended to the file.
 func quickSmoke(path string, verbose bool) error {
-	ranWarm := false
+	ranWarm, ranObserve, ranEvaluate := false, false, false
 	for _, c := range benchcases.Suite() {
-		if !strings.HasPrefix(c.Name, "ClusterAdmit/") {
+		if !strings.HasPrefix(c.Name, "ClusterAdmit/") &&
+			c.Name != sloObserveOp && c.Name != sloEvaluateOp {
 			continue
 		}
 		res := testing.Benchmark(c.Bench)
@@ -264,11 +310,25 @@ func quickSmoke(path string, verbose bool) error {
 			fmt.Printf("%-34s %12.1f ns/op %8d B/op %6d allocs/op (GOMAXPROCS=%d)\n",
 				c.Name, ns, res.AllocedBytesPerOp(), res.AllocsPerOp(), runtime.GOMAXPROCS(0))
 		}
-		if c.Name == clusterWarmOp {
+		switch c.Name {
+		case clusterWarmOp:
 			ranWarm = true
 			if ns >= clusterWarmBudgetNs {
 				return fmt.Errorf("%s measured %.1f ns/op, budget is <%d ns/op", c.Name, ns, clusterWarmBudgetNs)
 			}
+			if res.AllocsPerOp() != 0 {
+				return fmt.Errorf("%s allocates %d/op, budget is 0", c.Name, res.AllocsPerOp())
+			}
+		case sloObserveOp:
+			ranObserve = true
+			if ns >= sloObserveBudgetNs {
+				return fmt.Errorf("%s measured %.1f ns/op, budget is <%d ns/op", c.Name, ns, sloObserveBudgetNs)
+			}
+			if res.AllocsPerOp() != 0 {
+				return fmt.Errorf("%s allocates %d/op, budget is 0", c.Name, res.AllocsPerOp())
+			}
+		case sloEvaluateOp:
+			ranEvaluate = true
 			if res.AllocsPerOp() != 0 {
 				return fmt.Errorf("%s allocates %d/op, budget is 0", c.Name, res.AllocsPerOp())
 			}
@@ -277,6 +337,9 @@ func quickSmoke(path string, verbose bool) error {
 	if !ranWarm {
 		return fmt.Errorf("suite no longer contains %s", clusterWarmOp)
 	}
+	if !ranObserve || !ranEvaluate {
+		return fmt.Errorf("suite no longer contains the SLO audit ops (%s, %s)", sloObserveOp, sloEvaluateOp)
+	}
 	runs, err := readTrajectory(path)
 	if err != nil {
 		return err
@@ -284,19 +347,28 @@ func quickSmoke(path string, verbose bool) error {
 	if err := validateRuns(runs); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	fmt.Printf("mzbench -quick: ClusterAdmit within budget; %s valid (%d runs)\n", path, len(runs))
+	fmt.Printf("mzbench -quick: ClusterAdmit and SLO audit within budget; %s valid (%d runs)\n", path, len(runs))
 	return nil
 }
 
 // validateRuns checks a trajectory against BENCH_SCHEMA.md: known schema
-// versions, well-formed headers, positive measurements, and — from v3 on —
-// a per-entry gomaxprocs on every benchmark.
+// versions, well-formed headers, positive measurements, from v3 on a
+// per-entry gomaxprocs on every benchmark, and from v4 on a well-formed
+// slo block when one is present.
 func validateRuns(runs []run) error {
 	for i, r := range runs {
 		switch r.Schema {
-		case "mzbench/v1", "mzbench/v2", "mzbench/v3":
+		case "mzbench/v1", "mzbench/v2", "mzbench/v3", "mzbench/v4":
 		default:
 			return fmt.Errorf("run %d: unknown schema %q", i, r.Schema)
+		}
+		if r.Schema == "mzbench/v4" && r.SLO != nil {
+			if !(r.SLO.ObserveNsPerOp > 0) || !(r.SLO.EvaluateNsPerOp > 0) {
+				return fmt.Errorf("run %d: v4 slo block has non-positive ns/op: %+v", i, *r.SLO)
+			}
+			if r.SLO.ObserveAllocsPerOp < 0 || r.SLO.EvaluateAllocsPerOp < 0 {
+				return fmt.Errorf("run %d: v4 slo block has negative allocs: %+v", i, *r.SLO)
+			}
 		}
 		if _, err := time.Parse(time.RFC3339, r.Date); err != nil {
 			return fmt.Errorf("run %d: bad date %q: %w", i, r.Date, err)
@@ -317,8 +389,8 @@ func validateRuns(runs []run) error {
 			if b.BytesPerOp < 0 || b.AllocsPerOp < 0 {
 				return fmt.Errorf("run %d: negative allocation stats in %q", i, b.Op)
 			}
-			if r.Schema == "mzbench/v3" && b.Gomaxprocs < 1 {
-				return fmt.Errorf("run %d: %q lacks the v3 per-entry gomaxprocs", i, b.Op)
+			if (r.Schema == "mzbench/v3" || r.Schema == "mzbench/v4") && b.Gomaxprocs < 1 {
+				return fmt.Errorf("run %d: %q lacks the v3+ per-entry gomaxprocs", i, b.Op)
 			}
 		}
 		for name, v := range r.Speedups {

@@ -15,6 +15,7 @@ import (
 	"mzqos/internal/fault"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
+	"mzqos/internal/slo"
 	"mzqos/internal/telemetry"
 	"mzqos/internal/trace"
 	"mzqos/internal/workload"
@@ -39,6 +40,7 @@ type clusterOptions struct {
 	degrade                      bool
 	degradeAfter                 int
 	recalibrateEvery, minSamples int
+	slo                          slo.Config
 }
 
 // runCluster is the -shards N (N > 1) entry point: S server shards behind
@@ -60,6 +62,7 @@ func runCluster(o clusterOptions) {
 			Faults:      o.plan,
 			Degrade:     server.DegradeConfig{Enabled: o.degrade, After: o.degradeAfter},
 			Trace:       trace.Config{Disabled: true},
+			SLO:         o.slo,
 			Registry:    reg,
 			InstanceLabels: []telemetry.Label{
 				telemetry.L("shard", fmt.Sprintf("%d", i)),
@@ -88,7 +91,7 @@ func runCluster(o clusterOptions) {
 				os.Exit(1)
 			}
 		}()
-		fmt.Printf("telemetry: http://%s/metrics (prometheus), /cluster (shard health), /admission (placements)\n",
+		fmt.Printf("telemetry: http://%s/metrics (prometheus), /cluster (shard health), /admission (placements), /slo (guarantee audit), /report (bound tightness)\n",
 			o.listen)
 	}
 
@@ -149,6 +152,42 @@ func runCluster(o clusterOptions) {
 			row.Health.Round, row.Health.Degraded)
 	}
 
+	// The paper's guarantee checked across the cluster: every shard's
+	// measured tails beside the analytic bounds they admitted under.
+	if ct := coord.TightnessReport(); ct.AuditedShards > 0 {
+		fmt.Println()
+		fmt.Printf("bound tightness (measured vs analytic, %d/%d shards audited, within bounds: %v):\n",
+			ct.AuditedShards, len(ct.Shards), ct.WithinBounds)
+		fmt.Printf("  %-5s %-4s %-8s %8s %6s %14s %14s %14s %14s\n",
+			"shard", "disk", "sweeps", "peak N", "ok", "P^[T>t]", "b_late", "glitch rate", "b_glitch")
+		for _, row := range ct.Shards {
+			if !row.Audited {
+				continue
+			}
+			for _, d := range row.Report.Disks {
+				ok := "yes"
+				if !d.WithinBounds() {
+					ok = "NO"
+				}
+				fmt.Printf("  %-5d %-4d %-8d %8d %6s %14.3e %14.3e %14.3e %14.3e\n",
+					row.Shard, d.Disk, d.Sweeps, d.PeakLoad, ok,
+					d.EmpiricalPLate, d.BoundPLate, d.EmpiricalGlitchRate, d.BoundGlitch)
+			}
+		}
+	}
+
+	// Cluster SLO roll-up: the capacity-weighted error budget across the
+	// audited shards and each target's burn rate at exit.
+	if cs := coord.SLOStatus(); cs.AuditedShards > 0 {
+		fmt.Printf("slo audit: %d/%d shards audited, %d firing\n",
+			cs.AuditedShards, len(cs.Shards), cs.FiringShards)
+		for _, t := range cs.Targets {
+			fmt.Printf("  %-7s budget %10.3e  fast %.3e (burn %.2fx)  slow %.3e (burn %.2fx)  firing %d  pending %d\n",
+				t.Target, t.Budget, t.MeasuredFast, t.BurnFast, t.MeasuredSlow, t.BurnSlow,
+				t.FiringShards, t.PendingShards)
+		}
+	}
+
 	if o.listen != "" && o.linger > 0 {
 		fmt.Printf("lingering %s for scrapers on %s ...\n", o.linger, o.listen)
 		time.Sleep(o.linger)
@@ -170,6 +209,9 @@ type clusterAdmissionReport struct {
 //	             process-wide solver counters
 //	/cluster     shard health + placement summary (cluster.Status JSON)
 //	/admission   recent admissions, each naming the shard that admitted it
+//	/slo         the cluster guarantee audit: capacity-weighted error
+//	             budget roll-up plus each shard's alert state
+//	/report      per-shard bound-vs-measured tightness reports
 //	/debug/vars  expvar JSON
 //	/healthz     liveness probe
 //	/debug/pprof runtime profiling, only when withPprof is set
@@ -191,6 +233,12 @@ func newClusterMux(coord *cluster.Coordinator, reg *telemetry.Registry, withPpro
 			Route:      coord.Route(),
 			Admissions: coord.Admissions(),
 		})
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, coord.SLOStatus())
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, coord.TightnessReport())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

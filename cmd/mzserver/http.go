@@ -11,6 +11,7 @@ import (
 	"mzqos/internal/fault"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
+	"mzqos/internal/slo"
 	"mzqos/internal/trace"
 )
 
@@ -32,6 +33,9 @@ var publishOnce sync.Once
 //	/trace       the flight recorder: live span history or the frozen
 //	             trigger snapshot as JSON; ?format=chrome re-renders
 //	             either as Chrome trace-event JSON for Perfetto
+//	/slo         the guarantee audit: windowed bound-vs-measured tail
+//	             estimates, burn rates, alert states, transition history,
+//	             and any active recalibration hints
 //	/healthz     liveness probe
 //	/debug/pprof runtime profiling, only when withPprof is set
 //
@@ -64,6 +68,9 @@ func newTelemetryMux(srv *server.Server, withPprof bool) *http.ServeMux {
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, traceStatus(srv, r.URL.Query()))
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, sloReport{Status: srv.SLOStatus(), Hints: srv.SLOHints()})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -152,6 +159,14 @@ func traceStatus(srv *server.Server, q url.Values) any {
 		rep.Spans = trc.Live()
 	}
 	return rep
+}
+
+// sloReport is the /slo payload: the audit status (embedded, so its
+// fields serve flat) plus the active recalibration hints — one per
+// target currently Firing, empty while the guarantee holds.
+type sloReport struct {
+	slo.Status
+	Hints []server.SLOHint `json:"hints,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

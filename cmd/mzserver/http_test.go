@@ -2,14 +2,18 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"mzqos/internal/cluster"
 	"mzqos/internal/disk"
+	"mzqos/internal/engine"
 	"mzqos/internal/fault"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
+	"mzqos/internal/telemetry"
 	"mzqos/internal/workload"
 )
 
@@ -320,5 +324,171 @@ func TestTraceEndpoint(t *testing.T) {
 	}
 	if frozenRep.Frozen != nil || len(frozenRep.Spans) != 0 {
 		t.Errorf("healthy run has frozen=%v spans=%d", frozenRep.Frozen, len(frozenRep.Spans))
+	}
+}
+
+func TestSLOEndpoint(t *testing.T) {
+	mux := newTelemetryMux(testServer(t), false)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/slo status %d", rec.Code)
+	}
+	var rep struct {
+		Enabled    bool `json:"enabled"`
+		Round      int  `json:"round"`
+		FastWindow int  `json:"fast_window_rounds"`
+		SlowWindow int  `json:"slow_window_rounds"`
+		Targets    []struct {
+			Target  string  `json:"target"`
+			Budget  float64 `json:"budget"`
+			State   string  `json:"state"`
+			Windows []struct {
+				Window   string  `json:"window"`
+				Measured float64 `json:"measured"`
+				Burn     float64 `json:"burn"`
+			} `json:"windows"`
+		} `json:"targets"`
+		Hints []server.SLOHint `json:"hints"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("/slo is not a guarantee-audit report: %v", err)
+	}
+	if !rep.Enabled || rep.Round != 20 {
+		t.Errorf("enabled=%v round=%d, want true/20", rep.Enabled, rep.Round)
+	}
+	if rep.FastWindow <= 0 || rep.SlowWindow < rep.FastWindow {
+		t.Errorf("windows = %d/%d", rep.FastWindow, rep.SlowWindow)
+	}
+	if len(rep.Targets) != 2 {
+		t.Fatalf("targets = %d, want 2 (late, glitch)", len(rep.Targets))
+	}
+	for _, tgt := range rep.Targets {
+		if tgt.Target != "late" && tgt.Target != "glitch" {
+			t.Errorf("unknown target %q", tgt.Target)
+		}
+		if !(tgt.Budget > 0) || tgt.State == "" || len(tgt.Windows) != 2 {
+			t.Errorf("target %s incomplete: %+v", tgt.Target, tgt)
+		}
+	}
+	if len(rep.Hints) != 0 {
+		t.Errorf("healthy run published hints: %+v", rep.Hints)
+	}
+
+	// The metric surface carries the matching series.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, name := range []string{
+		`mzqos_slo_budget{target="late"}`,
+		`mzqos_slo_budget{target="glitch"}`,
+		`mzqos_slo_alert_state{target="late"} 0`,
+		`mzqos_slo_alerts_fired_total{target="late"} 0`,
+		`mzqos_slo_measured{target="late",window="fast"}`,
+		`mzqos_slo_burn_rate{target="glitch",window="slow"}`,
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics missing %q", name)
+		}
+	}
+}
+
+// testCluster assembles a small cluster-mode stack the way runCluster
+// does: server shards on a shared registry behind a coordinator.
+func testCluster(t *testing.T) (*cluster.Coordinator, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	engines := make([]engine.Engine, 2)
+	for i := range engines {
+		srv, err := server.New(server.Config{
+			Disk:        disk.QuantumViking21(),
+			NumDisks:    2,
+			RoundLength: 1,
+			Sizes:       workload.PaperSizes(),
+			Guarantee:   model.Guarantee{Threshold: 0.01},
+			Seed:        uint64(i) + 7,
+			Registry:    reg,
+			InstanceLabels: []telemetry.Label{
+				telemetry.L("shard", fmt.Sprintf("%d", i)),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = srv
+	}
+	coord, err := cluster.New(cluster.Config{Engines: engines, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Run(10)
+	return coord, reg
+}
+
+func TestClusterSLOAndReportEndpoints(t *testing.T) {
+	coord, reg := testCluster(t)
+	mux := newClusterMux(coord, reg, false)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/slo status %d", rec.Code)
+	}
+	var st cluster.ClusterSLO
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/slo is not a cluster SLO report: %v", err)
+	}
+	if st.AuditedShards != 2 || len(st.Shards) != 2 || len(st.Targets) != 2 {
+		t.Errorf("audited=%d shards=%d targets=%d, want 2/2/2",
+			st.AuditedShards, len(st.Shards), len(st.Targets))
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/report", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/report status %d", rec.Code)
+	}
+	var rep cluster.ClusterTightnessReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("/report is not a cluster tightness report: %v", err)
+	}
+	if rep.AuditedShards != 2 || !rep.WithinBounds {
+		t.Errorf("report audited=%d within=%v, want 2/true", rep.AuditedShards, rep.WithinBounds)
+	}
+
+	// /cluster gained the staleness fields.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/cluster", nil))
+	var cs struct {
+		ViewAgeRounds *int `json:"view_age_rounds"`
+		Shards        []struct {
+			LagRounds *int `json:"lag_rounds"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &cs); err != nil {
+		t.Fatalf("/cluster is not JSON: %v", err)
+	}
+	if cs.ViewAgeRounds == nil {
+		t.Error("/cluster lacks view_age_rounds")
+	}
+	if len(cs.Shards) != 2 || cs.Shards[0].LagRounds == nil {
+		t.Error("/cluster shard rows lack lag_rounds")
+	}
+
+	// Cluster metric surface: view age and the SLO roll-up series.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, name := range []string{
+		"mzqos_cluster_view_age_rounds",
+		`mzqos_cluster_slo_budget{target="late"}`,
+		`mzqos_cluster_slo_burn_rate{target="late",window="fast"}`,
+		"mzqos_cluster_slo_firing_shards 0",
+		`mzqos_slo_budget{shard="0",target="late"}`,
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics missing %q", name)
+		}
 	}
 }

@@ -26,7 +26,10 @@
 // Prometheus text on /metrics, expvar JSON on /debug/vars, the
 // bound-vs-measured tightness report on /report, recent per-sweep phase
 // breakdowns on /sweeps, the fault plan and current effects on /faults,
-// and (with -pprof) the runtime profiler under /debug/pprof. -linger
+// the guarantee audit (windowed tail estimates, burn rates, alert state)
+// on /slo, and (with -pprof) the runtime profiler under /debug/pprof.
+// -slo-fast/-slo-slow/-slo-burn tune the audit's windows and alert
+// threshold; -no-slo disables it. -linger
 // keeps the endpoint up after the last round so scrapers and smoke tests
 // can read the final state.
 //
@@ -50,6 +53,7 @@ import (
 	"mzqos/internal/fault"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
+	"mzqos/internal/slo"
 	"mzqos/internal/trace"
 	"mzqos/internal/workload"
 )
@@ -82,6 +86,10 @@ func main() {
 		logFmt      = flag.String("log", "", "structured lifecycle logging to stderr: 'text' or 'json' (empty = disabled)")
 		traceSpans  = flag.Int("trace-spans", 0, "flight-recorder ring capacity in sweep spans (0 = default)")
 		noTrace     = flag.Bool("no-trace", false, "disable round-level tracing and the flight recorder")
+		sloFast     = flag.Int("slo-fast", 0, "SLO audit fast window in rounds (0 = default)")
+		sloSlow     = flag.Int("slo-slow", 0, "SLO audit slow window in rounds (0 = default)")
+		sloBurn     = flag.Float64("slo-burn", 0, "SLO burn-rate alert threshold (0 = default)")
+		noSLO       = flag.Bool("no-slo", false, "disable the SLO audit (windowed bound-vs-measured burn-rate alerting)")
 	)
 	flag.Parse()
 
@@ -109,6 +117,13 @@ func main() {
 		plan = &p
 	}
 
+	sloCfg := slo.Config{
+		Disabled:   *noSLO,
+		FastWindow: *sloFast,
+		SlowWindow: *sloSlow,
+		Burn:       *sloBurn,
+	}
+
 	if *shards > 1 {
 		runCluster(clusterOptions{
 			shards:           *shards,
@@ -133,6 +148,7 @@ func main() {
 			degradeAfter:     *degradeWait,
 			recalibrateEvery: *recalEvery,
 			minSamples:       500,
+			slo:              sloCfg,
 		})
 		return
 	}
@@ -147,6 +163,7 @@ func main() {
 		Faults:      plan,
 		Degrade:     server.DegradeConfig{Enabled: *degrade, After: *degradeWait},
 		Trace:       trace.Config{Disabled: *noTrace, Spans: *traceSpans},
+		SLO:         sloCfg,
 		Logger:      logger,
 	})
 	fatal(err)
@@ -170,7 +187,7 @@ func main() {
 				os.Exit(1)
 			}
 		}()
-		fmt.Printf("telemetry: http://%s/metrics (prometheus), /debug/vars (expvar), /report (bound tightness)\n", *listen)
+		fmt.Printf("telemetry: http://%s/metrics (prometheus), /debug/vars (expvar), /report (bound tightness), /slo (guarantee audit)\n", *listen)
 	}
 
 	// Build the catalog with the *actual* workload.
@@ -270,6 +287,21 @@ func main() {
 			fmt.Printf("  %-4d %-8d %8d %6s %14.3e %14.3e %14.3e %14.3e\n",
 				d.Disk, d.Sweeps, d.PeakLoad, ok,
 				d.EmpiricalPLate, d.BoundPLate, d.EmpiricalGlitchRate, d.BoundGlitch)
+		}
+	}
+	// The SLO audit's verdict: windowed measured tails against the bounds
+	// as error budgets, with the alert state each target ended in.
+	if st := srv.SLOStatus(); st.Enabled {
+		fmt.Println()
+		fmt.Printf("slo audit (windows %d/%d rounds, burn threshold %.1fx):\n",
+			st.FastWindow, st.SlowWindow, st.BurnThreshold)
+		for _, t := range st.Targets {
+			fmt.Printf("  %-7s budget %10.3e  state %-8s  fired %d  resolved %d",
+				t.Target, t.Budget, t.State, t.FiredTotal, t.ResolvedTotal)
+			for _, w := range t.Windows {
+				fmt.Printf("  %s %.3e (burn %.2fx)", w.Window, w.Measured, w.Burn)
+			}
+			fmt.Println()
 		}
 	}
 	mt := model.Telemetry()

@@ -20,6 +20,7 @@ import (
 	"mzqos/internal/model"
 	"mzqos/internal/server"
 	"mzqos/internal/sim"
+	"mzqos/internal/slo"
 	"mzqos/internal/trace"
 	"mzqos/internal/workload"
 )
@@ -240,6 +241,8 @@ func Suite() []Case {
 				}
 			}
 		}},
+		{Name: "SLOObserve/4disks/steady", Bench: benchSLOObserve},
+		{Name: "SLOEvaluate/4disks/steady", Bench: benchSLOEvaluate},
 		{Name: "ServerStep/paperLoad/trace-off", Bench: func(b *testing.B) {
 			benchServerStep(b, true)
 		}},
@@ -308,6 +311,54 @@ func benchClusterAdmit(b *testing.B, route string, parallel bool) {
 			b.Fatal(err)
 		}
 		c.Release(t)
+	}
+}
+
+// newWarmAuditor builds a 4-disk SLO auditor with both windows fully
+// populated, so the timed region measures the steady state: ring slots
+// recycling in place with no growth anywhere.
+func newWarmAuditor(b *testing.B) *slo.Auditor {
+	b.Helper()
+	aud, err := slo.New(slo.Config{}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aud.SetBudgets(1e-3, 1e-4)
+	for r := 0; r < slo.DefaultSlowWindow+8; r++ {
+		for d := 0; d < 4; d++ {
+			aud.ObserveDisk(d, true, false, 26, 0)
+		}
+		aud.EndRound()
+	}
+	return aud
+}
+
+// benchSLOObserve measures the per-sweep observe path of the SLO audit —
+// the call Step makes once per loaded disk per round. The observability
+// PR's budget: under 200 ns/op and zero allocations, gated by
+// mzbench -quick.
+func benchSLOObserve(b *testing.B) {
+	aud := newWarmAuditor(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aud.ObserveDisk(i&3, true, false, 26, 0)
+	}
+}
+
+// benchSLOEvaluate measures one full audited round: four disk
+// observations plus the end-of-round evaluation (window rotation, burn
+// rates, alert state machines for both targets). Budget: zero
+// allocations in steady state.
+func benchSLOEvaluate(b *testing.B) {
+	aud := newWarmAuditor(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for d := 0; d < 4; d++ {
+			aud.ObserveDisk(d, true, false, 26, 0)
+		}
+		aud.EndRound()
 	}
 }
 

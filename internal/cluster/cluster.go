@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"mzqos/internal/engine"
+	"mzqos/internal/slo"
 	"mzqos/internal/telemetry"
 )
 
@@ -174,13 +175,21 @@ type clusterTelemetry struct {
 	tickets    *telemetry.Gauge
 	capacity   *telemetry.Gauge
 	degraded   *telemetry.Gauge
+	viewAge    *telemetry.Gauge
+
+	// Cluster SLO roll-up series, indexed [target][window] like the
+	// per-shard mzqos_slo_* set (target 0 late / 1 glitch, window 0 fast
+	// / 1 slow).
+	sloBudget [2]*telemetry.Gauge
+	sloBurn   [2][2]*telemetry.Gauge
+	sloFiring *telemetry.Gauge
 }
 
 func newClusterTelemetry(reg *telemetry.Registry) *clusterTelemetry {
 	if reg == nil {
 		return nil
 	}
-	return &clusterTelemetry{
+	tel := &clusterTelemetry{
 		admitted: reg.Counter("mzqos_cluster_admitted_total",
 			"Cluster admissions reserved (tickets granted)."),
 		rejected: reg.Counter("mzqos_cluster_rejected_total",
@@ -195,7 +204,35 @@ func newClusterTelemetry(reg *telemetry.Registry) *clusterTelemetry {
 			"Cluster-wide admission capacity in the current view (Σ D·N_max)."),
 		degraded: reg.Gauge("mzqos_cluster_degraded_shards",
 			"Shards degraded in the current view."),
+		viewAge: reg.Gauge("mzqos_cluster_view_age_rounds",
+			"Staleness of the admission view: coordinator rounds since the last heartbeat published it."),
+		sloFiring: reg.Gauge("mzqos_cluster_slo_firing_shards",
+			"Shards with at least one SLO alert Firing in the current view."),
 	}
+	windows := [2]string{"fast", "slow"}
+	for i := 0; i < 2; i++ {
+		target := telemetry.L("target", slo.TargetName(i))
+		tel.sloBudget[i] = reg.Gauge("mzqos_cluster_slo_budget",
+			"Capacity-weighted cluster error budget per target (Σ cap·bound / Σ cap over audited shards).",
+			target)
+		for w := 0; w < 2; w++ {
+			tel.sloBurn[i][w] = reg.Gauge("mzqos_cluster_slo_burn_rate",
+				"Cluster burn rate per target and window: capacity-weighted measured over capacity-weighted budget.",
+				target, telemetry.L("window", windows[w]))
+		}
+	}
+	return tel
+}
+
+// publishSLO pushes a roll-up into the cluster SLO gauges.
+func (t *clusterTelemetry) publishSLO(r *clusterSLORollup) {
+	for i := range r.Targets {
+		tgt := &r.Targets[i]
+		t.sloBudget[i].Set(tgt.Budget)
+		t.sloBurn[i][0].Set(tgt.BurnFast)
+		t.sloBurn[i][1].Set(tgt.BurnSlow)
+	}
+	t.sloFiring.Set(float64(r.FiringShards))
 }
 
 // New builds a Coordinator over the given shard engines and publishes the
@@ -528,6 +565,9 @@ func (c *Coordinator) Step() RoundReport {
 		c.refreshView()
 	} else if c.tel != nil {
 		c.tel.tickets.Set(float64(c.Tickets()))
+		if v := c.view.Load(); v != nil {
+			c.tel.viewAge.Set(float64(int(round) - v.round))
+		}
 	}
 	return rep
 }

@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/engine"
+	"mzqos/internal/model"
+	"mzqos/internal/server"
+	"mzqos/internal/slo"
+	"mzqos/internal/telemetry"
+	"mzqos/internal/workload"
+)
+
+// serverFleet builds n real server shards on a shared registry (shard
+// instance labels keep the series distinct), the way cluster mode runs.
+func serverFleet(t testing.TB, n int, reg *telemetry.Registry) []engine.Engine {
+	t.Helper()
+	engines := make([]engine.Engine, n)
+	for i := range engines {
+		srv, err := server.New(server.Config{
+			Disk:        disk.QuantumViking21(),
+			NumDisks:    2,
+			RoundLength: 1,
+			Sizes:       workload.PaperSizes(),
+			Guarantee:   model.Guarantee{Threshold: 0.01},
+			Seed:        uint64(i) + 1,
+			Registry:    reg,
+			InstanceLabels: []telemetry.Label{
+				telemetry.L("shard", fmt.Sprintf("%d", i)),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = srv
+	}
+	return engines
+}
+
+// sloHealth builds a shard health snapshot for roll-up tests.
+func sloHealth(capacity int, budget, fast, slow float64, state slo.State) engine.Health {
+	return engine.Health{
+		Capacity: capacity,
+		SLO: engine.SLOHealth{
+			Enabled:      true,
+			BudgetLate:   budget,
+			BudgetGlitch: budget / 10,
+			LateFast:     fast,
+			LateSlow:     slow,
+			LateState:    int(state),
+		},
+	}
+}
+
+// TestRollupSLOCapacityWeighting: the cluster budget and measured tails
+// weight each audited shard by its capacity — a shard serving 3x the
+// streams moves the cluster estimate 3x as far.
+func TestRollupSLOCapacityWeighting(t *testing.T) {
+	shards := []engine.Health{
+		sloHealth(10, 0.01, 0.00, 0.00, slo.Inactive),
+		sloHealth(30, 0.02, 0.04, 0.02, slo.Firing),
+		{Capacity: 50}, // unaudited (e.g. a statistical engine): no weight
+	}
+	r := rollupSLO(shards)
+	if r.AuditedShards != 2 || r.FiringShards != 1 {
+		t.Fatalf("audited=%d firing=%d, want 2/1", r.AuditedShards, r.FiringShards)
+	}
+	late := r.Targets[0]
+	if late.Target != slo.TargetLate {
+		t.Fatalf("target[0] = %q", late.Target)
+	}
+	// Weighted over capacities 10 and 30.
+	wantBudget := (10*0.01 + 30*0.02) / 40
+	wantFast := (10*0.00 + 30*0.04) / 40
+	if !approxEq(late.Budget, wantBudget) || !approxEq(late.MeasuredFast, wantFast) {
+		t.Errorf("budget=%v fast=%v, want %v/%v", late.Budget, late.MeasuredFast, wantBudget, wantFast)
+	}
+	if !approxEq(late.BurnFast, wantFast/wantBudget) {
+		t.Errorf("burn fast = %v, want %v", late.BurnFast, wantFast/wantBudget)
+	}
+	if late.FiringShards != 1 || late.PendingShards != 0 {
+		t.Errorf("late firing=%d pending=%d, want 1/0", late.FiringShards, late.PendingShards)
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}
+
+// TestRollupSLOZeroBudgetCapsBurn: a positive measured tail against a
+// zero weighted budget caps at slo.MaxBurn instead of producing +Inf
+// (which would break JSON exposition).
+func TestRollupSLOZeroBudgetCapsBurn(t *testing.T) {
+	r := rollupSLO([]engine.Health{sloHealth(10, 0, 0.5, 0.5, slo.Firing)})
+	if r.Targets[0].BurnFast != slo.MaxBurn {
+		t.Errorf("burn = %v, want capped at %v", r.Targets[0].BurnFast, slo.MaxBurn)
+	}
+}
+
+// TestClusterSLOStatusOverServerShards: the heartbeat piggybacks each
+// server shard's audit snapshot, and the cluster /slo payload rolls them
+// up with named alert states; the shared registry carries the
+// mzqos_cluster_slo_* and view-age series.
+func TestClusterSLOStatusOverServerShards(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	engines := serverFleet(t, 2, reg)
+	c := newCoordinator(t, Config{Engines: engines, Registry: reg})
+	c.Run(10)
+
+	st := c.SLOStatus()
+	if st.AuditedShards != 2 || st.FiringShards != 0 {
+		t.Fatalf("audited=%d firing=%d, want 2/0", st.AuditedShards, st.FiringShards)
+	}
+	if len(st.Targets) != 2 || len(st.Shards) != 2 {
+		t.Fatalf("targets=%d shards=%d, want 2/2", len(st.Targets), len(st.Shards))
+	}
+	for _, row := range st.Shards {
+		if !row.SLO.Enabled {
+			t.Errorf("shard %d audit not enabled in view", row.Shard)
+		}
+		if row.LateState == "" || row.GlitchState == "" {
+			t.Errorf("shard %d states unnamed: %+v", row.Shard, row)
+		}
+		if !(row.SLO.BudgetLate > 0) {
+			t.Errorf("shard %d late budget = %v", row.Shard, row.SLO.BudgetLate)
+		}
+	}
+	if !(st.Targets[0].Budget > 0) {
+		t.Errorf("cluster late budget = %v, want > 0 (capacity-weighted)", st.Targets[0].Budget)
+	}
+	if st.ViewAgeRounds < 0 {
+		t.Errorf("view age = %d", st.ViewAgeRounds)
+	}
+
+	snap := reg.Snapshot()
+	if v, ok := snap.Gauge("mzqos_cluster_slo_budget", telemetry.L("target", "late")); !ok || !(v > 0) {
+		t.Errorf("cluster budget gauge = %v (%v), want > 0", v, ok)
+	}
+	if _, ok := snap.Gauge("mzqos_cluster_slo_burn_rate",
+		telemetry.L("target", "late"), telemetry.L("window", "fast")); !ok {
+		t.Error("cluster burn-rate gauge missing")
+	}
+	if v, ok := snap.Gauge("mzqos_cluster_slo_firing_shards"); !ok || v != 0 {
+		t.Errorf("firing-shards gauge = %v (%v), want 0", v, ok)
+	}
+	if _, ok := snap.Gauge("mzqos_cluster_view_age_rounds"); !ok {
+		t.Error("view-age gauge missing")
+	}
+	// The per-shard series carry the shard instance label.
+	if v, ok := snap.Gauge("mzqos_slo_budget",
+		telemetry.L("shard", "0"), telemetry.L("target", "late")); !ok || !(v > 0) {
+		t.Errorf("shard-labeled slo budget = %v (%v), want > 0", v, ok)
+	}
+}
+
+// TestClusterTightnessReportMixedFleet: TightnessReport audits every
+// shard whose engine can report bound tightness and marks the rest
+// unaudited, so the exit table and /report work with -shards across
+// engine kinds.
+func TestClusterTightnessReportMixedFleet(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	engines := serverFleet(t, 2, reg)
+	engines = append(engines, simFleet(t, 1, 2, 4)...)
+	c := newCoordinator(t, Config{Engines: engines, Registry: reg})
+
+	// Load the server shards and run sweeps so the tightness report has
+	// empirical mass.
+	for i := 0; i < 20; i++ {
+		if err := c.AddObject(fmt.Sprintf("clip-%d", i), []float64{200e3, 200e3, 200e3}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Open(fmt.Sprintf("clip-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run(5)
+
+	rep := c.TightnessReport()
+	if len(rep.Shards) != 3 || rep.AuditedShards != 2 {
+		t.Fatalf("shards=%d audited=%d, want 3/2", len(rep.Shards), rep.AuditedShards)
+	}
+	if !rep.Shards[0].Audited || !rep.Shards[1].Audited || rep.Shards[2].Audited {
+		t.Errorf("audited flags = %v/%v/%v, want true/true/false",
+			rep.Shards[0].Audited, rep.Shards[1].Audited, rep.Shards[2].Audited)
+	}
+	if !rep.WithinBounds {
+		t.Errorf("healthy run outside bounds: %+v", rep.Shards)
+	}
+	for _, row := range rep.Shards[:2] {
+		if len(row.Report.Disks) != 2 {
+			t.Errorf("shard %d report has %d disks, want 2", row.Shard, len(row.Report.Disks))
+		}
+	}
+}
+
+// TestViewAgeTracksHeartbeatCadence: between heartbeats the view-age
+// gauge and Status field grow round by round; a heartbeat resets both to
+// zero. This is what makes admission-view staleness observable.
+func TestViewAgeTracksHeartbeatCadence(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := newCoordinator(t, Config{Engines: simFleet(t, 2, 2, 4), Registry: reg, HeartbeatEvery: 100})
+
+	c.Run(5) // well under the heartbeat cadence
+	if got := c.Status().ViewAgeRounds; got != 5 {
+		t.Errorf("view age after 5 rounds = %d, want 5", got)
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap.Gauge("mzqos_cluster_view_age_rounds"); !ok || v != 5 {
+		t.Errorf("view-age gauge = %v (%v), want 5", v, ok)
+	}
+	if got := c.SLOStatus().ViewAgeRounds; got != 5 {
+		t.Errorf("slo view age = %d, want 5", got)
+	}
+
+	c.Heartbeat()
+	if got := c.Status().ViewAgeRounds; got != 0 {
+		t.Errorf("view age after heartbeat = %d, want 0", got)
+	}
+	snap = reg.Snapshot()
+	if v, _ := snap.Gauge("mzqos_cluster_view_age_rounds"); v != 0 {
+		t.Errorf("view-age gauge after heartbeat = %v, want 0", v)
+	}
+
+	// Shard lag: every sim shard stepped every round, so its view entry
+	// trails the coordinator by exactly the view age.
+	for _, row := range c.Status().Shards {
+		if row.LagRounds != 0 {
+			t.Errorf("shard %d lag = %d after heartbeat, want 0", row.Shard, row.LagRounds)
+		}
+	}
+}

@@ -9,6 +9,12 @@ import "mzqos/internal/engine"
 // the analytic model uses for its cached bound chains.
 type view struct {
 	shards []engine.Health
+	// round is the coordinator round the view was published at; the gap
+	// to the current round is the view's staleness in rounds.
+	round int
+	// slo is the capacity-weighted cluster SLO roll-up over the shard
+	// snapshots, precomputed at publish time so readers share one copy.
+	slo clusterSLORollup
 }
 
 // capacity returns the admission capacity of a shard in this view
@@ -43,9 +49,13 @@ func (v *view) leastLoaded(shards []*shard, cands []int) int {
 }
 
 // refreshView collects every shard's atomic Health snapshot into a fresh
-// view and publishes it.
+// view (including the capacity-weighted SLO roll-up piggybacked on the
+// heartbeats) and publishes it.
 func (c *Coordinator) refreshView() {
-	v := &view{shards: make([]engine.Health, len(c.shards))}
+	v := &view{
+		shards: make([]engine.Health, len(c.shards)),
+		round:  int(c.round.Load()),
+	}
 	capacity, degraded := 0, 0
 	for i, s := range c.shards {
 		h := s.eng.Health()
@@ -55,12 +65,15 @@ func (c *Coordinator) refreshView() {
 			degraded++
 		}
 	}
+	v.slo = rollupSLO(v.shards)
 	c.view.Store(v)
 	if c.tel != nil {
 		c.tel.heartbeats.Inc()
 		c.tel.capacity.Set(float64(capacity))
 		c.tel.degraded.Set(float64(degraded))
 		c.tel.tickets.Set(float64(c.Tickets()))
+		c.tel.viewAge.Set(0)
+		c.tel.publishSLO(&v.slo)
 	}
 }
 
@@ -78,6 +91,11 @@ type ShardStatus struct {
 	Health engine.Health `json:"health"`
 	// Tickets is the shard's outstanding reserved slots.
 	Tickets int `json:"tickets"`
+	// LagRounds is how many coordinator rounds the shard's view entry
+	// trails the coordinator: view age for a healthy shard, and growing
+	// without bound for a wedged shard whose Round has stopped advancing
+	// even while heartbeats continue.
+	LagRounds int `json:"lag_rounds"`
 }
 
 // Status is the coordinator's externally visible state (the /cluster
@@ -96,6 +114,10 @@ type Status struct {
 	Capacity int `json:"capacity"`
 	Tickets  int `json:"tickets"`
 	Round    int `json:"round"`
+	// ViewAgeRounds is the staleness of the admission view: coordinator
+	// rounds since the last heartbeat published it. Admission decisions
+	// are made against a view this many rounds old.
+	ViewAgeRounds int `json:"view_age_rounds"`
 }
 
 // Status snapshots the current view, reservations, and placement counts.
@@ -107,13 +129,20 @@ func (c *Coordinator) Status() Status {
 		Replicas: c.reps,
 		Round:    int(c.round.Load()),
 	}
+	if v != nil {
+		st.ViewAgeRounds = st.Round - v.round
+	}
 	for i, s := range c.shards {
 		var h engine.Health
 		if v != nil && i < len(v.shards) {
 			h = v.shards[i]
 		}
+		lag := st.Round - h.Round
+		if lag < 0 {
+			lag = 0
+		}
 		t := int(s.tickets.Load())
-		st.Shards[i] = ShardStatus{Shard: i, Health: h, Tickets: t}
+		st.Shards[i] = ShardStatus{Shard: i, Health: h, Tickets: t, LagRounds: lag}
 		st.Capacity += h.Capacity
 		st.Tickets += t
 	}

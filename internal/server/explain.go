@@ -127,6 +127,11 @@ type AdmissionStatus struct {
 	// Decisions is the process-wide ring of recent N_max evaluations
 	// (shared across models — see model.RecentDecisions).
 	Decisions []model.AdmissionDecision `json:"recent_decisions"`
+	// SLOHints lists the active recalibration hints: one per SLO target
+	// currently Firing, naming the violated bound, the measured-vs-
+	// analytic numbers, and the binding admission constraint. Empty when
+	// the measured behaviour respects the quoted guarantee.
+	SLOHints []SLOHint `json:"slo_hints,omitempty"`
 }
 
 // AdmissionStatus assembles the admission-explanation report. Safe to
@@ -153,6 +158,7 @@ func (s *Server) AdmissionStatus() AdmissionStatus {
 	}
 	s.admMu.Lock()
 	st.Classes = append([]int(nil), s.classesView...)
+	st.SLOHints = append([]SLOHint(nil), s.sloHints...)
 	s.admMu.Unlock()
 	return st
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"mzqos/internal/engine"
+	"mzqos/internal/slo"
 	"mzqos/internal/telemetry"
 )
 
@@ -35,7 +37,21 @@ type Telemetry struct {
 	degradeTransitions *telemetry.Counter
 	evictions          *telemetry.Counter
 
+	slo   sloTelemetry
 	disks []diskTelemetry
+}
+
+// sloTelemetry is the mzqos_slo_* series of the guarantee audit, indexed
+// [target][window] with target 0 = late, 1 = glitch and window 0 = fast,
+// 1 = slow (matching internal/slo's ordering). Registered even when the
+// audit is disabled so the series are always present and simply stay 0.
+type sloTelemetry struct {
+	budget   [2]*telemetry.Gauge
+	measured [2][2]*telemetry.Gauge
+	burn     [2][2]*telemetry.Gauge
+	state    [2]*telemetry.Gauge
+	fired    [2]*telemetry.Counter
+	resolved [2]*telemetry.Counter
 }
 
 // diskTelemetry holds one disk's series, captured once at setup so the
@@ -115,6 +131,31 @@ func newTelemetry(reg *telemetry.Registry, instance []telemetry.Label, disks int
 		evictions: reg.Counter("mzqos_server_fault_evictions_total",
 			"Streams shed by the degraded-mode controller.", labels()...),
 	}
+	windows := [2]string{"fast", "slow"}
+	for i := 0; i < 2; i++ {
+		target := telemetry.L("target", slo.TargetName(i))
+		tl.slo.budget[i] = reg.Gauge("mzqos_slo_budget",
+			"Error budget per target: the analytic bound (b_late or b_glitch) at the admission limit in force.",
+			labels(target)...)
+		tl.slo.state[i] = reg.Gauge("mzqos_slo_alert_state",
+			"Alert state ordinal per target: 0 inactive, 1 pending, 2 firing, 3 resolved.",
+			labels(target)...)
+		tl.slo.fired[i] = reg.Counter("mzqos_slo_alerts_fired_total",
+			"Alerts that reached Firing (both windows over the burn threshold).",
+			labels(target)...)
+		tl.slo.resolved[i] = reg.Counter("mzqos_slo_alerts_resolved_total",
+			"Fired alerts that resolved after the hold period below the exit threshold.",
+			labels(target)...)
+		for w := 0; w < 2; w++ {
+			wl := telemetry.L("window", windows[w])
+			tl.slo.measured[i][w] = reg.Gauge("mzqos_slo_measured",
+				"Windowed measured rate per target: P[T_N > t] over loaded rounds (late) or glitches per fragment (glitch).",
+				labels(target, wl)...)
+			tl.slo.burn[i][w] = reg.Gauge("mzqos_slo_burn_rate",
+				"Error-budget burn rate per target and window: measured/budget, 1.0 = consuming exactly the quoted bound.",
+				labels(target, wl)...)
+		}
+	}
 	for d := 0; d < disks; d++ {
 		dl := telemetry.L("disk", fmt.Sprintf("%d", d))
 		lbl := labels(dl)
@@ -183,20 +224,23 @@ func (s *Server) Telemetry() *Telemetry { return s.tel }
 // the honest reading of "the deadline was missed by the whole round".
 const downRoundSentinel = 16
 
-// observeSweep records one disk's finished sweep into the metric set and
-// the phase recorder. Called once per loaded disk per round from Step.
+// observeSweep records one disk's finished sweep into the metric set,
+// the phase recorder, and the SLO audit's window estimators. Called once
+// per loaded disk per round from Step.
 func (s *Server) observeSweep(d int, dr *DiskRoundReport) {
 	dt := &s.tel.disks[d]
+	late := dr.Down || dr.Busy > s.cfg.RoundLength
 	if dr.Down {
 		dt.roundTime.Observe(downRoundSentinel * s.cfg.RoundLength)
 		dt.lateRounds.Inc()
 		dt.downRounds.Inc()
 	} else {
 		dt.roundTime.Observe(dr.Busy)
-		if dr.Busy > s.cfg.RoundLength {
+		if late {
 			dt.lateRounds.Inc()
 		}
 	}
+	s.sloAud.ObserveDisk(d, true, late, dr.Requests, dr.Late+dr.Lost)
 	dt.fragments.Add(int64(dr.Requests))
 	dt.glitches.Add(int64(dr.Late + dr.Lost))
 	dt.peakLoad.SetMax(float64(dr.Requests))
@@ -218,56 +262,17 @@ func (s *Server) observeSweep(d int, dr *DiskRoundReport) {
 	})
 }
 
-// DiskTightness compares one disk's measured service quality against the
-// analytic bounds it was admitted under: the paper's guarantee, checked
-// live. Bounds are evaluated at the disk's peak observed per-round load,
-// which dominates every lighter round because b_late and b_glitch are
-// non-decreasing in N.
-type DiskTightness struct {
-	// Disk indexes the drive; Geometry names its profile.
-	Disk     int    `json:"disk"`
-	Geometry string `json:"geometry"`
-	// Sweeps is the number of loaded rounds measured (the histogram
-	// population); Requests and Glitches are fragment totals.
-	Sweeps   int64 `json:"sweeps"`
-	Requests int64 `json:"requests"`
-	Glitches int64 `json:"glitches"`
-	// PeakLoad is the largest per-round request count observed.
-	PeakLoad int `json:"peak_load"`
-	// EmpiricalPLate is the measured P̂[T_N > t] over loaded rounds;
-	// BoundPLate is the analytic b_late(PeakLoad, t) it must stay under.
-	EmpiricalPLate float64 `json:"empirical_p_late"`
-	BoundPLate     float64 `json:"bound_p_late"`
-	// EmpiricalGlitchRate is glitches/requests; BoundGlitch is the
-	// analytic b_glitch(PeakLoad, t) (eq. 3.3.3).
-	EmpiricalGlitchRate float64 `json:"empirical_glitch_rate"`
-	BoundGlitch         float64 `json:"bound_glitch"`
-}
-
-// WithinBounds reports whether both measured rates respect their bounds.
-func (d DiskTightness) WithinBounds() bool {
-	return d.EmpiricalPLate <= d.BoundPLate && d.EmpiricalGlitchRate <= d.BoundGlitch
-}
-
-// TightnessReport is the server-wide bound-vs-measured comparison.
-type TightnessReport struct {
-	// RoundLength is the deadline t the tail is measured against.
-	RoundLength float64 `json:"round_length_s"`
-	// PerDiskLimit is the admission limit N_max in force.
-	PerDiskLimit int `json:"per_disk_limit"`
-	// Disks holds one comparison per drive.
-	Disks []DiskTightness `json:"disks"`
-}
-
-// WithinBounds reports whether every disk respects its bounds.
-func (r TightnessReport) WithinBounds() bool {
-	for _, d := range r.Disks {
-		if !d.WithinBounds() {
-			return false
-		}
-	}
-	return true
-}
+// The bound-tightness vocabulary moved to internal/engine so the cluster
+// coordinator can aggregate per-shard reports (Coordinator.
+// TightnessReport) without importing a concrete engine; the historical
+// server names remain as aliases.
+type (
+	// DiskTightness compares one disk's measured service quality against
+	// the analytic bounds it was admitted under.
+	DiskTightness = engine.DiskTightness
+	// TightnessReport is the server-wide bound-vs-measured comparison.
+	TightnessReport = engine.TightnessReport
+)
 
 // BoundTightness builds the live bound-vs-measured report: for each disk
 // the empirical late-round tail and glitch rate beside the analytic

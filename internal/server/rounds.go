@@ -227,6 +227,9 @@ func (s *Server) Step() RoundReport {
 	}
 	slices.Sort(rep.Completed)
 	rep.Evicted = s.adaptToFaults(effs)
+	// Close the round for the SLO audit after fault adaptation so a
+	// degraded round is already measured against its re-derived budgets.
+	s.auditSLO()
 	s.round++
 	return rep
 }

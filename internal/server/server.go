@@ -27,14 +27,19 @@ import (
 	"mzqos/internal/engine"
 	"mzqos/internal/fault"
 	"mzqos/internal/model"
+	"mzqos/internal/slo"
 	"mzqos/internal/telemetry"
 	"mzqos/internal/trace"
 	"mzqos/internal/workload"
 )
 
 // Server implements the shared round-engine contract, so a cluster
-// coordinator can treat it as one shard among many.
-var _ engine.Engine = (*Server)(nil)
+// coordinator can treat it as one shard among many — including the
+// optional tightness-reporting capability the cluster aggregates.
+var (
+	_ engine.Engine            = (*Server)(nil)
+	_ engine.TightnessReporter = (*Server)(nil)
+)
 
 // Errors reported by the server. The admission and catalog conditions
 // wrap the engine-level sentinels, so errors.Is matches either identity.
@@ -94,6 +99,12 @@ type Config struct {
 	// value enables it at the default ring capacity; set Trace.Disabled
 	// to run without tracing. RoundLength is filled in from the server's.
 	Trace trace.Config
+	// SLO configures the live guarantee audit (see internal/slo): the
+	// analytic bounds become error budgets tracked over sliding windows,
+	// with burn-rate alerting that freezes the flight recorder and emits
+	// recalibration hints. The zero value enables the audit at the
+	// package defaults; set SLO.Disabled to run without one.
+	SLO slo.Config
 	// Logger optionally receives structured lifecycle events (admission
 	// limits, degrade transitions, recalibrations, flight-recorder
 	// freezes) via log/slog. Nil disables logging; the round loop never
@@ -194,6 +205,10 @@ type Server struct {
 	explains []model.AdmissionExplanation // per-disk decision traces, under limitMu
 	bindDisk int                          // disk whose model binds nmax, under limitMu
 
+	// SLO audit: sliding-window bound-vs-measured estimators plus
+	// burn-rate alerting (nil = disabled; see internal/slo).
+	sloAud *slo.Auditor
+
 	// Admission rejection history: a small ring written by Open and read
 	// concurrently by the /admission endpoint, under its own mutex (Open
 	// runs on the loop thread, readers do not).
@@ -201,7 +216,8 @@ type Server struct {
 	rejections  []RejectionEvent
 	rejectAt    int
 	rejectSeq   int64
-	classesView []int // copy of classes for concurrent readers
+	classesView []int     // copy of classes for concurrent readers
+	sloHints    []SLOHint // active recalibration hints, one per firing target
 
 	// Retired-stream stats: a bounded FIFO ring so glitch counts stay
 	// queryable after Close without the finished set growing forever.
@@ -280,6 +296,10 @@ func New(cfg Config) (*Server, error) {
 		tcfg := cfg.Trace
 		tcfg.RoundLength = cfg.RoundLength
 		s.trc = trace.NewRecorder(tcfg)
+	}
+	s.sloAud, err = slo.New(cfg.SLO, len(geoms))
+	if err != nil {
+		return nil, fmt.Errorf("server: building slo audit: %w", err)
 	}
 	s.deg = degradeState{
 		enabled:        cfg.Degrade.Enabled,
@@ -360,20 +380,30 @@ func evaluateDisks(geoms []*disk.Geometry, sizes workload.SizeModel, roundLength
 }
 
 // publishLimits refreshes the admission-limit gauges and the analytic
-// bounds at N_max from the binding model.
+// bounds at N_max from the binding model, and re-installs those bounds
+// as the SLO audit's error budgets — the single choke point every
+// limit change (New, Recalibrate, degrade, restore) flows through, so
+// the audit always measures against the guarantee currently quoted.
 func (s *Server) publishLimits() {
 	s.tel.nmax.Set(float64(s.nmax))
 	if s.nmax <= 0 {
 		s.tel.boundLate.Set(0)
 		s.tel.boundGlitch.Set(0)
+		s.sloAud.SetBudgets(0, 0)
 		return
 	}
+	var budgetLate, budgetGlitch float64
 	if bl, err := s.mdl.LateBound(s.nmax); err == nil {
+		budgetLate = bl
 		s.tel.boundLate.Set(bl)
 	}
 	if bg, err := s.mdl.GlitchBound(s.nmax); err == nil {
+		budgetGlitch = bg
 		s.tel.boundGlitch.Set(bg)
 	}
+	s.sloAud.SetBudgets(budgetLate, budgetGlitch)
+	s.tel.slo.budget[0].Set(budgetLate)
+	s.tel.slo.budget[1].Set(budgetGlitch)
 }
 
 // NumDisks returns the array width D.
@@ -400,13 +430,35 @@ func (s *Server) Round() int { return s.round }
 // the round loop — which is exactly what a heartbeat collector does.
 func (s *Server) Health() engine.Health {
 	nmax := int(s.tel.nmax.Value())
-	return engine.Health{
+	h := engine.Health{
 		Active:       int(s.tel.active.Value()),
 		PerDiskLimit: nmax,
 		Capacity:     nmax * len(s.geoms),
 		Round:        int(s.tel.rounds.Value()),
 		Degraded:     s.tel.degraded.Value() > 0,
 	}
+	if s.sloAud != nil {
+		// The SLO snapshot is mirrored from the audit's atomic gauges —
+		// the round loop publishes them in auditSLO — so piggybacking it
+		// on the heartbeat keeps Health race-free.
+		st := &s.tel.slo
+		h.SLO = engine.SLOHealth{
+			Enabled:        true,
+			BudgetLate:     st.budget[0].Value(),
+			BudgetGlitch:   st.budget[1].Value(),
+			LateFast:       st.measured[0][0].Value(),
+			LateSlow:       st.measured[0][1].Value(),
+			GlitchFast:     st.measured[1][0].Value(),
+			GlitchSlow:     st.measured[1][1].Value(),
+			BurnLateFast:   st.burn[0][0].Value(),
+			BurnLateSlow:   st.burn[0][1].Value(),
+			BurnGlitchFast: st.burn[1][0].Value(),
+			BurnGlitchSlow: st.burn[1][1].Value(),
+			LateState:      int(st.state[0].Value()),
+			GlitchState:    int(st.state[1].Value()),
+		}
+	}
+	return h
 }
 
 // AddObject stores a continuous object with the given fragment sizes

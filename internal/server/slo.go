@@ -1,0 +1,186 @@
+package server
+
+import (
+	"fmt"
+
+	"mzqos/internal/slo"
+)
+
+// SLO audit wiring: the round loop feeds every sweep into the auditor
+// (observeSweep → ObserveDisk) and evaluates both targets once per round
+// (Step → auditSLO). A Firing alert freezes the flight recorder, bumps
+// the mzqos_slo_* series, and publishes a recalibration hint through
+// AdmissionStatus — the measured tail persistently exceeding the
+// analytic bound means the model the limits were derived from no longer
+// matches the hardware or the workload.
+
+// Flight-recorder freeze reasons for SLO transitions (constants so the
+// trigger path stays allocation-free).
+const (
+	freezeSLOLate   = "slo_late"
+	freezeSLOGlitch = "slo_glitch"
+)
+
+// SLOHint is a recalibration hint: one target's bound was violated over
+// an audit window, with the binding admission constraint alongside the
+// measured-vs-analytic numbers, so an operator (or a future cluster
+// recalibration scheduler) can see exactly which quoted quantity broke.
+type SLOHint struct {
+	// Target is the violated target (slo.TargetLate or slo.TargetGlitch);
+	// Round the round the alert fired in.
+	Target string `json:"target"`
+	Round  int    `json:"round"`
+	// WindowRounds is the fast window the measurement comes from.
+	WindowRounds int `json:"window_rounds"`
+	// Measured is the windowed estimate; Budget the analytic bound it
+	// exceeded; Burn their ratio.
+	Measured float64 `json:"measured"`
+	Budget   float64 `json:"budget"`
+	Burn     float64 `json:"burn"`
+	// BindingDisk and BindingK locate the admission constraint the limit
+	// came from (k = N_max+1 on the binding disk); BindingBound names the
+	// bound ("late" or "glitch") that capped it.
+	BindingDisk  int    `json:"binding_disk"`
+	BindingK     int    `json:"binding_k"`
+	BindingBound string `json:"binding_bound"`
+	// Message is the rendered operator-facing hint.
+	Message string `json:"message"`
+}
+
+// SLOStatus returns the audit snapshot served at /slo. Safe to call
+// concurrently with the round loop; a disabled audit reports
+// Enabled=false.
+func (s *Server) SLOStatus() slo.Status { return s.sloAud.Status() }
+
+// SLOAuditor exposes the auditor (nil when disabled) for tests and
+// integrations.
+func (s *Server) SLOAuditor() *slo.Auditor { return s.sloAud }
+
+// SLOHints returns the active recalibration hints, one per target whose
+// alert is currently Firing. Safe for concurrent use with the round loop.
+func (s *Server) SLOHints() []SLOHint {
+	s.admMu.Lock()
+	defer s.admMu.Unlock()
+	return append([]SLOHint(nil), s.sloHints...)
+}
+
+// auditSLO closes the round for the audit: finalize every disk's window,
+// evaluate burn rates, update the mzqos_slo_* series, and react to alert
+// transitions. Runs on the loop thread at the end of Step; steady state
+// allocates nothing (gauge stores are atomic, transitions are rare).
+func (s *Server) auditSLO() {
+	if s.sloAud == nil {
+		return
+	}
+	ev := s.sloAud.EndRound()
+	for i, te := range ev.Targets() {
+		st := &s.tel.slo
+		st.budget[i].Set(te.Budget)
+		st.measured[i][0].Set(te.MeasuredFast)
+		st.measured[i][1].Set(te.MeasuredSlow)
+		st.burn[i][0].Set(te.BurnFast)
+		st.burn[i][1].Set(te.BurnSlow)
+		st.state[i].Set(float64(te.State))
+		if te.Transition {
+			s.onSLOTransition(i, te)
+		}
+	}
+}
+
+// onSLOTransition reacts to one target's alert state change on the loop
+// thread.
+func (s *Server) onSLOTransition(idx int, te slo.TargetEval) {
+	target := slo.TargetName(idx)
+	switch te.State {
+	case slo.Firing:
+		s.tel.slo.fired[idx].Inc()
+		// Preserve the rounds that violated the bound: freeze the flight
+		// recorder (first trigger latches; later triggers only count).
+		reason := freezeSLOLate
+		if idx != 0 {
+			reason = freezeSLOGlitch
+		}
+		s.trc.Freeze(reason, s.round)
+		s.setSLOHint(s.buildSLOHint(target, te))
+		if s.log != nil {
+			s.log.Warn("slo alert firing",
+				"target", target,
+				"round", s.round,
+				"measured_fast", te.MeasuredFast,
+				"budget", te.Budget,
+				"burn_fast", te.BurnFast,
+				"burn_slow", te.BurnSlow,
+			)
+		}
+	case slo.Resolved:
+		s.tel.slo.resolved[idx].Inc()
+		s.clearSLOHint(target)
+		if s.log != nil {
+			s.log.Info("slo alert resolved",
+				"target", target,
+				"round", s.round,
+				"burn_fast", te.BurnFast,
+				"burn_slow", te.BurnSlow,
+			)
+		}
+	case slo.Pending:
+		if s.log != nil {
+			s.log.Info("slo alert pending",
+				"target", target,
+				"round", s.round,
+				"burn_fast", te.BurnFast,
+				"burn_slow", te.BurnSlow,
+			)
+		}
+	}
+}
+
+// buildSLOHint assembles the recalibration hint for a fired target. Runs
+// on the loop thread, which owns explains/bindDisk (limitMu only guards
+// them against concurrent readers).
+func (s *Server) buildSLOHint(target string, te slo.TargetEval) SLOHint {
+	h := SLOHint{
+		Target:       target,
+		Round:        s.round,
+		WindowRounds: s.sloAud.Config().FastWindow,
+		Measured:     te.MeasuredFast,
+		Budget:       te.Budget,
+		Burn:         te.BurnFast,
+		BindingDisk:  s.bindDisk,
+	}
+	if s.bindDisk < len(s.explains) {
+		exp := s.explains[s.bindDisk]
+		h.BindingK = exp.BindingK
+		h.BindingBound = exp.Bound
+	}
+	h.Message = fmt.Sprintf(
+		"measured %s rate %.3g exceeds analytic bound %.3g (burn %.3gx) over the last %d rounds; binding k=%d (%s bound, disk %d) — model may be miscalibrated, consider Recalibrate",
+		target, h.Measured, h.Budget, h.Burn, h.WindowRounds, h.BindingK, h.BindingBound, h.BindingDisk)
+	return h
+}
+
+// setSLOHint publishes a hint for its target (replacing any previous
+// one), under the admission mutex so /admission readers never race.
+func (s *Server) setSLOHint(h SLOHint) {
+	s.admMu.Lock()
+	defer s.admMu.Unlock()
+	for i := range s.sloHints {
+		if s.sloHints[i].Target == h.Target {
+			s.sloHints[i] = h
+			return
+		}
+	}
+	s.sloHints = append(s.sloHints, h)
+}
+
+// clearSLOHint withdraws a target's hint once its alert resolves.
+func (s *Server) clearSLOHint(target string) {
+	s.admMu.Lock()
+	defer s.admMu.Unlock()
+	for i := range s.sloHints {
+		if s.sloHints[i].Target == target {
+			s.sloHints = append(s.sloHints[:i], s.sloHints[i+1:]...)
+			return
+		}
+	}
+}

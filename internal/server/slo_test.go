@@ -1,0 +1,254 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mzqos/internal/disk"
+	"mzqos/internal/fault"
+	"mzqos/internal/model"
+	"mzqos/internal/slo"
+	"mzqos/internal/telemetry"
+	"mzqos/internal/workload"
+)
+
+// sloServer builds a paper-parameter server with the given fault plan and
+// audit config, loaded to capacity with independent streams.
+func sloServer(t testing.TB, disks int, plan *fault.Plan, cfg slo.Config) *Server {
+	t.Helper()
+	s, err := New(Config{
+		Disk:        disk.QuantumViking21(),
+		NumDisks:    disks,
+		RoundLength: 1,
+		Sizes:       workload.PaperSizes(),
+		Guarantee:   model.Guarantee{Threshold: 0.01},
+		Seed:        42,
+		Faults:      plan,
+		SLO:         cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Capacity(); i++ {
+		if err := s.AddSyntheticObject(fmt.Sprintf("v%d", i), 600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < s.Capacity(); i++ {
+		if _, _, err := s.Open(fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+	}
+	return s
+}
+
+// targetStatus pulls one target's status row out of the audit snapshot.
+func targetStatus(t *testing.T, st slo.Status, name string) slo.TargetStatus {
+	t.Helper()
+	for _, ts := range st.Targets {
+		if ts.Target == name {
+			return ts
+		}
+	}
+	t.Fatalf("no target %q in status %+v", name, st)
+	return slo.TargetStatus{}
+}
+
+// TestSLOAlertLifecycleUnderFault is the PR's acceptance scenario: a
+// zone-degrading fault plan drives the measured late tail past the
+// analytic bound, the b_late alert reaches Firing within the fast
+// window, firing freezes the flight recorder and publishes a
+// recalibration hint, and after the fault clears the alert resolves and
+// the hint is withdrawn.
+func TestSLOAlertLifecycleUnderFault(t *testing.T) {
+	const faultFrom, faultUntil = 50, 90
+	plan := &fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Latency, Disk: 0, From: faultFrom, Until: faultUntil, Factor: 3},
+	}}
+	cfg := slo.Config{FastWindow: 16, SlowWindow: 64, Burn: 2, Hold: 4, ResolvedFor: 8}
+	s := sloServer(t, 1, plan, cfg)
+
+	triggersBefore := s.Trace().Stats().Triggers
+	firedAt := -1
+	hintSeen := false
+	for r := 0; r < 250; r++ {
+		s.Step()
+		ts := targetStatus(t, s.SLOStatus(), slo.TargetLate)
+		if ts.State == slo.Firing && firedAt < 0 {
+			firedAt = r
+			// The recorder froze on the alert (an earlier glitch freeze
+			// may hold the latch; the trigger count still moves).
+			st := s.Trace().Stats()
+			if !st.Frozen || st.Triggers <= triggersBefore {
+				t.Errorf("round %d: recorder not frozen on firing (stats %+v)", r, st)
+			}
+			// The recalibration hint names the violated quantity and the
+			// binding admission constraint.
+			hints := s.SLOHints()
+			for _, h := range hints {
+				if h.Target != slo.TargetLate {
+					continue
+				}
+				hintSeen = true
+				if h.Burn < cfg.Burn || h.Measured <= h.Budget || h.Budget <= 0 {
+					t.Errorf("hint numbers inconsistent: %+v", h)
+				}
+				if h.BindingK != 27 || h.BindingBound != "b_late" {
+					t.Errorf("hint binding = k=%d bound=%q, want 27/b_late", h.BindingK, h.BindingBound)
+				}
+				if !strings.Contains(h.Message, "Recalibrate") {
+					t.Errorf("hint message lacks the recalibration pointer: %q", h.Message)
+				}
+			}
+			if !hintSeen {
+				t.Errorf("no late hint while firing: %+v", hints)
+			}
+		}
+	}
+	if firedAt < 0 {
+		t.Fatal("late alert never fired under a 3x latency fault")
+	}
+	// Firing must happen within the fast window of the fault starting.
+	if firedAt < faultFrom || firedAt > faultFrom+cfg.FastWindow {
+		t.Errorf("fired at round %d, want within (%d, %d]", firedAt, faultFrom, faultFrom+cfg.FastWindow)
+	}
+
+	// After 160 clean rounds the alert has resolved and aged to Inactive,
+	// and the hint is withdrawn.
+	final := targetStatus(t, s.SLOStatus(), slo.TargetLate)
+	if final.State != slo.Inactive {
+		t.Errorf("final late state = %v, want inactive", final.State)
+	}
+	if final.FiredTotal != 1 || final.ResolvedTotal != 1 {
+		t.Errorf("fired=%d resolved=%d, want 1/1", final.FiredTotal, final.ResolvedTotal)
+	}
+	for _, h := range s.SLOHints() {
+		if h.Target == slo.TargetLate {
+			t.Errorf("late hint still published after resolution: %+v", h)
+		}
+	}
+	// The transition history recorded the full firing → resolved →
+	// inactive arc.
+	var arc []string
+	for _, tr := range s.SLOStatus().History {
+		if tr.Target == slo.TargetLate {
+			arc = append(arc, tr.To.String())
+		}
+	}
+	joined := strings.Join(arc, ",")
+	if !strings.HasSuffix(joined, "firing,resolved,inactive") {
+		t.Errorf("late transition arc = %q, want suffix firing,resolved,inactive", joined)
+	}
+
+	// The metric surface agrees.
+	snap := s.Telemetry().Snapshot()
+	if v, ok := snap.Counter("mzqos_slo_alerts_fired_total", telemetry.L("target", "late")); !ok || v != 1 {
+		t.Errorf("fired counter = %v (%v), want 1", v, ok)
+	}
+	if v, ok := snap.Counter("mzqos_slo_alerts_resolved_total", telemetry.L("target", "late")); !ok || v != 1 {
+		t.Errorf("resolved counter = %v (%v), want 1", v, ok)
+	}
+	if v, ok := snap.Gauge("mzqos_slo_alert_state", telemetry.L("target", "late")); !ok || v != float64(slo.Inactive) {
+		t.Errorf("state gauge = %v (%v), want inactive (%d)", v, ok, slo.Inactive)
+	}
+}
+
+// TestSLONoFalseAlertsAtFullLoad is the false-positive guard: at full
+// admitted load with no faults, the default audit must not fire over 500+
+// rounds — the loose Chernoff budgets leave ample burn headroom for the
+// empirical tails the admitted load actually produces.
+func TestSLONoFalseAlertsAtFullLoad(t *testing.T) {
+	s := sloServer(t, 2, nil, slo.Config{})
+	for r := 0; r < 520; r++ {
+		s.Step()
+	}
+	st := s.SLOStatus()
+	if !st.Enabled || st.Round != 520 {
+		t.Fatalf("audit enabled=%v round=%d, want true/520", st.Enabled, st.Round)
+	}
+	for _, ts := range st.Targets {
+		if ts.FiredTotal != 0 {
+			t.Errorf("target %s fired %d times over 520 clean rounds", ts.Target, ts.FiredTotal)
+		}
+		if ts.State == slo.Firing {
+			t.Errorf("target %s is firing at full clean load", ts.Target)
+		}
+		if !(ts.Budget > 0) {
+			t.Errorf("target %s budget = %v, want > 0", ts.Target, ts.Budget)
+		}
+	}
+	if len(s.SLOHints()) != 0 {
+		t.Errorf("hints published with no violation: %+v", s.SLOHints())
+	}
+}
+
+// TestSLOHealthSnapshot: the engine Health contract carries the audit
+// state for heartbeat piggybacking, read from atomic gauges only.
+func TestSLOHealthSnapshot(t *testing.T) {
+	s := sloServer(t, 2, nil, slo.Config{})
+	for r := 0; r < 30; r++ {
+		s.Step()
+	}
+	h := s.Health()
+	if !h.SLO.Enabled {
+		t.Fatal("health SLO snapshot not enabled")
+	}
+	if !(h.SLO.BudgetLate > 0) || !(h.SLO.BudgetGlitch > 0) {
+		t.Errorf("health budgets = %v/%v, want > 0", h.SLO.BudgetLate, h.SLO.BudgetGlitch)
+	}
+	if h.SLO.LateState != int(slo.Inactive) && h.SLO.LateState != int(slo.Pending) {
+		t.Errorf("late state ordinal = %d on a clean run", h.SLO.LateState)
+	}
+	st := targetStatus(t, s.SLOStatus(), slo.TargetLate)
+	if h.SLO.BudgetLate != st.Budget {
+		t.Errorf("health budget %v != status budget %v", h.SLO.BudgetLate, st.Budget)
+	}
+}
+
+// TestSLODisabled: a disabled audit is a true no-op — nil auditor,
+// Enabled=false everywhere, rounds run unaffected.
+func TestSLODisabled(t *testing.T) {
+	s := sloServer(t, 1, nil, slo.Config{Disabled: true})
+	for r := 0; r < 20; r++ {
+		s.Step()
+	}
+	if s.SLOAuditor() != nil {
+		t.Error("disabled audit still built an auditor")
+	}
+	if st := s.SLOStatus(); st.Enabled {
+		t.Error("disabled audit reports enabled")
+	}
+	if h := s.Health(); h.SLO.Enabled {
+		t.Error("disabled audit enabled in health")
+	}
+	if hints := s.SLOHints(); len(hints) != 0 {
+		t.Errorf("disabled audit published hints: %+v", hints)
+	}
+}
+
+// TestSLOBudgetsFollowRecalibration: budgets re-publish through the same
+// choke point as the admission limits, so a recalibrated model is also
+// the one the audit measures against.
+func TestSLOBudgetsFollowRecalibration(t *testing.T) {
+	s := sloServer(t, 1, nil, slo.Config{})
+	before := targetStatus(t, s.SLOStatus(), slo.TargetLate).Budget
+	for r := 0; r < 60; r++ {
+		s.Step()
+	}
+	if _, _, err := s.Recalibrate(10); err != nil {
+		t.Fatalf("recalibrate: %v", err)
+	}
+	s.Step()
+	after := targetStatus(t, s.SLOStatus(), slo.TargetLate).Budget
+	if !(before > 0) || !(after > 0) {
+		t.Fatalf("budgets before=%v after=%v, want both > 0", before, after)
+	}
+	// The synthetic workload matches the declared one, so the recalibrated
+	// budget stays in the same regime (the point is republication, not a
+	// specific value).
+	snap := s.Telemetry().Snapshot()
+	if v, ok := snap.Gauge("mzqos_slo_budget", telemetry.L("target", "late")); !ok || v != after {
+		t.Errorf("budget gauge = %v (%v), want %v", v, ok, after)
+	}
+}

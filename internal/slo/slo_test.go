@@ -1,0 +1,442 @@
+package slo
+
+import (
+	"encoding/json"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+// brute recomputes the window estimates from a retained full history —
+// the specification the ring-buffered estimators must match.
+type obs struct {
+	loaded, late       bool
+	requests, glitches int
+}
+
+func bruteEstimate(history [][]obs, window int) (pLate, glitchRate float64) {
+	var loaded, late, reqs, gl int64
+	from := len(history) - window
+	if from < 0 {
+		from = 0
+	}
+	for _, round := range history[from:] {
+		for _, o := range round {
+			if o.loaded {
+				loaded++
+				if o.late {
+					late++
+				}
+			}
+			reqs += int64(o.requests)
+			gl += int64(o.glitches)
+		}
+	}
+	if loaded > 0 {
+		pLate = float64(late) / float64(loaded)
+	}
+	if reqs > 0 {
+		glitchRate = float64(gl) / float64(reqs)
+	}
+	return pLate, glitchRate
+}
+
+func windowByName(t *testing.T, ts TargetStatus, name string) WindowEstimate {
+	t.Helper()
+	for _, w := range ts.Windows {
+		if w.Window == name {
+			return w
+		}
+	}
+	t.Fatalf("target %s has no %q window: %+v", ts.Target, name, ts.Windows)
+	return WindowEstimate{}
+}
+
+func targetByName(t *testing.T, st Status, name string) TargetStatus {
+	t.Helper()
+	for _, ts := range st.Targets {
+		if ts.Target == name {
+			return ts
+		}
+	}
+	t.Fatalf("status has no target %q", name)
+	return TargetStatus{}
+}
+
+// TestWindowRotationMatchesBruteForce drives a randomized multi-disk
+// observation sequence through the ring estimators and checks after
+// every round that both windows' estimates equal a brute-force
+// recomputation over exactly the in-window rounds — the property that
+// estimates depend only on in-window history.
+func TestWindowRotationMatchesBruteForce(t *testing.T) {
+	const disks = 3
+	aud, err := New(Config{FastWindow: 7, SlowWindow: 23}, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud.SetBudgets(0.01, 0.001)
+	rng := rand.New(rand.NewPCG(7, 9))
+
+	var history [][]obs
+	for round := 0; round < 200; round++ {
+		rd := make([]obs, disks)
+		for d := 0; d < disks; d++ {
+			o := obs{loaded: rng.Float64() < 0.8}
+			if o.loaded {
+				o.requests = 1 + rng.IntN(20)
+				o.late = rng.Float64() < 0.3
+				o.glitches = rng.IntN(o.requests + 1)
+				aud.ObserveDisk(d, true, o.late, o.requests, o.glitches)
+			}
+			rd[d] = o
+		}
+		history = append(history, rd)
+		aud.EndRound()
+
+		st := aud.Status()
+		for _, wname := range []string{"fast", "slow"} {
+			span := st.FastWindow
+			if wname == "slow" {
+				span = st.SlowWindow
+			}
+			wantLate, wantGlitch := bruteEstimate(history, span)
+			late := windowByName(t, targetByName(t, st, TargetLate), wname)
+			glitch := windowByName(t, targetByName(t, st, TargetGlitch), wname)
+			if late.Measured != wantLate {
+				t.Fatalf("round %d %s window: late estimate %v, brute force %v",
+					round, wname, late.Measured, wantLate)
+			}
+			if glitch.Measured != wantGlitch {
+				t.Fatalf("round %d %s window: glitch estimate %v, brute force %v",
+					round, wname, glitch.Measured, wantGlitch)
+			}
+		}
+	}
+}
+
+// TestWindowForgetsOutOfWindowRounds: after SlowWindow clean rounds, a
+// violent past must have aged out of both windows entirely.
+func TestWindowForgetsOutOfWindowRounds(t *testing.T) {
+	aud, err := New(Config{FastWindow: 8, SlowWindow: 32}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud.SetBudgets(0.01, 0.001)
+	for r := 0; r < 20; r++ { // a disastrous prefix: every round late
+		aud.ObserveDisk(0, true, true, 10, 10)
+		aud.ObserveDisk(1, true, true, 10, 10)
+		aud.EndRound()
+	}
+	for r := 0; r < 32; r++ { // one full slow window of clean rounds
+		aud.ObserveDisk(0, true, false, 10, 0)
+		aud.ObserveDisk(1, true, false, 10, 0)
+		aud.EndRound()
+	}
+	st := aud.Status()
+	for _, ts := range st.Targets {
+		for _, w := range ts.Windows {
+			if w.Violations != 0 || w.Measured != 0 || w.Burn != 0 {
+				t.Errorf("target %s %s window still remembers out-of-window rounds: %+v",
+					ts.Target, w.Window, w)
+			}
+		}
+	}
+}
+
+// TestBurnMonotoneInViolationRate: injecting a higher violation rate
+// must never produce a lower steady-state burn rate.
+func TestBurnMonotoneInViolationRate(t *testing.T) {
+	rates := []float64{0, 0.1, 0.25, 0.5, 0.75, 1}
+	var prevFast, prevSlow float64
+	for i, p := range rates {
+		aud, err := New(Config{FastWindow: 20, SlowWindow: 100}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aud.SetBudgets(0.01, 0.001)
+		var ev Evaluation
+		for r := 0; r < 100; r++ {
+			late := float64(int(float64(r+1)*p))-float64(int(float64(r)*p)) >= 1
+			gl := 0
+			if late {
+				gl = 5
+			}
+			aud.ObserveDisk(0, true, late, 10, gl)
+			ev = aud.EndRound()
+		}
+		if i > 0 {
+			if ev.Late.BurnFast < prevFast {
+				t.Errorf("rate %v: fast burn %v fell below rate %v's %v",
+					p, ev.Late.BurnFast, rates[i-1], prevFast)
+			}
+			if ev.Late.BurnSlow < prevSlow {
+				t.Errorf("rate %v: slow burn %v fell below rate %v's %v",
+					p, ev.Late.BurnSlow, rates[i-1], prevSlow)
+			}
+		}
+		prevFast, prevSlow = ev.Late.BurnFast, ev.Late.BurnSlow
+	}
+}
+
+// TestAlertLifecycle walks the machine through its full path: clean →
+// violation (Firing) → recovery (Resolved) → Inactive, and checks the
+// transition history records each leg.
+func TestAlertLifecycle(t *testing.T) {
+	aud, err := New(Config{
+		FastWindow: 8, SlowWindow: 24, Burn: 2, ResolveRatio: 0.5,
+		Hold: 3, ResolvedFor: 5,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud.SetBudgets(0.01, 0.001)
+
+	step := func(late bool) Evaluation {
+		gl := 0
+		if late {
+			gl = 3
+		}
+		aud.ObserveDisk(0, true, late, 10, gl)
+		return aud.EndRound()
+	}
+
+	for r := 0; r < 30; r++ { // clean warm-up
+		if ev := step(false); ev.Late.State != Inactive {
+			t.Fatalf("round %d: clean load but state %v", r, ev.Late.State)
+		}
+	}
+	var ev Evaluation
+	sawFiring := false
+	for r := 0; r < 30; r++ { // sustained violation
+		ev = step(true)
+		if ev.Late.State == Firing {
+			sawFiring = true
+		}
+	}
+	if !sawFiring || ev.Late.State != Firing {
+		t.Fatalf("sustained violation never reached Firing (end state %v)", ev.Late.State)
+	}
+	// Recovery: the fast window clears after FastWindow clean rounds,
+	// then Hold rounds below the exit threshold resolve the alert, and
+	// ResolvedFor rounds later it returns to Inactive.
+	sawResolved := false
+	for r := 0; r < 8+3+5+5; r++ {
+		ev = step(false)
+		if ev.Late.State == Resolved {
+			sawResolved = true
+		}
+	}
+	if !sawResolved {
+		t.Fatal("recovered load never reached Resolved")
+	}
+	if ev.Late.State != Inactive {
+		t.Fatalf("state %v after full recovery, want Inactive", ev.Late.State)
+	}
+
+	st := aud.Status()
+	ts := targetByName(t, st, TargetLate)
+	if ts.FiredTotal != 1 || ts.ResolvedTotal != 1 {
+		t.Fatalf("fired=%d resolved=%d, want 1 and 1", ts.FiredTotal, ts.ResolvedTotal)
+	}
+	var path []string
+	for _, tr := range st.History {
+		if tr.Target == TargetLate {
+			path = append(path, tr.To.String())
+		}
+	}
+	want := "firing,resolved,inactive"
+	if got := strings.Join(path, ","); !strings.HasSuffix(got, want) {
+		t.Fatalf("transition path %q does not end with %q", got, want)
+	}
+}
+
+// TestAlertHysteresisNoFlap oscillates the fast burn between just above
+// the firing threshold and just above the exit threshold. Hysteresis
+// must hold the alert in Firing with exactly one fired transition — no
+// flapping across the Pending/Firing boundary.
+func TestAlertHysteresisNoFlap(t *testing.T) {
+	// Budget 0.25 with a 2.0 burn threshold: firing needs measured ≥ 0.5,
+	// the exit threshold is 0.25. Alternating late/clean rounds keep the
+	// fast-window measured rate near 0.5 — hovering at the boundary.
+	aud, err := New(Config{
+		FastWindow: 4, SlowWindow: 16, Burn: 2, ResolveRatio: 0.5, Hold: 3,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud.SetBudgets(0.25, 0.25)
+	step := func(late bool) Evaluation {
+		aud.ObserveDisk(0, true, late, 4, 2)
+		return aud.EndRound()
+	}
+	for r := 0; r < 20; r++ { // drive to Firing: every round late
+		step(true)
+	}
+	if st := aud.Status(); targetByName(t, st, TargetLate).State != Firing {
+		t.Fatalf("setup: not Firing: %+v", st.Targets)
+	}
+	// Oscillate: measured fast rate alternates between 0.5 and 0.75 —
+	// above exit, around the enter threshold.
+	for r := 0; r < 100; r++ {
+		step(r%2 == 0)
+	}
+	ts := targetByName(t, aud.Status(), TargetLate)
+	if ts.State != Firing {
+		t.Fatalf("oscillation drove the alert out of Firing: %v", ts.State)
+	}
+	if ts.FiredTotal != 1 {
+		t.Fatalf("alert flapped: fired %d times, want 1", ts.FiredTotal)
+	}
+}
+
+// TestMultiWindowSuppressesSingleRoundNoise: one late round spikes the
+// fast window but not the slow one, so the alert must reach at most
+// Pending, never Firing.
+func TestMultiWindowSuppressesSingleRoundNoise(t *testing.T) {
+	aud, err := New(Config{FastWindow: 4, SlowWindow: 64, Burn: 2, Hold: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud.SetBudgets(0.01, 0.001)
+	for r := 0; r < 64; r++ {
+		aud.ObserveDisk(0, true, false, 10, 0)
+		aud.EndRound()
+	}
+	aud.ObserveDisk(0, true, true, 10, 5) // one bad round
+	ev := aud.EndRound()
+	if ev.Late.State == Firing {
+		t.Fatalf("a single late round fired the alert (burn fast %v slow %v)",
+			ev.Late.BurnFast, ev.Late.BurnSlow)
+	}
+	for r := 0; r < 20; r++ {
+		aud.ObserveDisk(0, true, false, 10, 0)
+		ev = aud.EndRound()
+	}
+	ts := targetByName(t, aud.Status(), TargetLate)
+	if ts.FiredTotal != 0 {
+		t.Fatalf("single-round noise fired the alert %d times", ts.FiredTotal)
+	}
+	if ts.State != Inactive {
+		t.Fatalf("state %v after noise cleared, want Inactive", ts.State)
+	}
+}
+
+// TestBurnCapIsFinite: violations against a zero budget must report the
+// finite MaxBurn cap, and the status must marshal to JSON (no ±Inf).
+func TestBurnCapIsFinite(t *testing.T) {
+	aud, err := New(Config{FastWindow: 2, SlowWindow: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud.SetBudgets(0, 0) // no budget at all
+	aud.ObserveDisk(0, true, true, 5, 5)
+	ev := aud.EndRound()
+	if ev.Late.BurnFast != MaxBurn || ev.Glitch.BurnFast != MaxBurn {
+		t.Fatalf("zero-budget violation burns = %v/%v, want the %v cap",
+			ev.Late.BurnFast, ev.Glitch.BurnFast, MaxBurn)
+	}
+	if _, err := json.Marshal(aud.Status()); err != nil {
+		t.Fatalf("status does not marshal: %v", err)
+	}
+}
+
+// TestDisabledAuditorIsNoOp: a nil auditor (Disabled config) ignores
+// every call and reports a disabled status.
+func TestDisabledAuditorIsNoOp(t *testing.T) {
+	aud, err := New(Config{Disabled: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aud != nil {
+		t.Fatalf("disabled config built an auditor")
+	}
+	aud.SetBudgets(1, 1)
+	aud.ObserveDisk(0, true, true, 1, 1)
+	if ev := aud.EndRound(); ev.Round != -1 {
+		t.Fatalf("nil EndRound round = %d, want -1", ev.Round)
+	}
+	if aud.Enabled() {
+		t.Fatal("nil auditor reports enabled")
+	}
+	if st := aud.Status(); st.Enabled {
+		t.Fatal("nil auditor reports an enabled status")
+	}
+}
+
+// TestStateTextRoundTrip: the state names survive a JSON round trip.
+func TestStateTextRoundTrip(t *testing.T) {
+	for _, s := range []State{Inactive, Pending, Firing, Resolved} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back State
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != s {
+			t.Fatalf("state %v round-tripped to %v (json %s)", s, back, b)
+		}
+	}
+	var bad State
+	if err := bad.UnmarshalText([]byte("exploded")); err == nil {
+		t.Fatal("unknown state name parsed")
+	}
+}
+
+// TestHistoryRingBounded: the transition ring keeps only the most
+// recent History entries, oldest first.
+func TestHistoryRingBounded(t *testing.T) {
+	aud, err := New(Config{
+		FastWindow: 2, SlowWindow: 4, Burn: 1, ResolveRatio: 0.9,
+		Hold: 1, ResolvedFor: 1, History: 6,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud.SetBudgets(0.5, 0.5)
+	// Flip between violation and recovery to generate many transitions.
+	for cycle := 0; cycle < 10; cycle++ {
+		for r := 0; r < 6; r++ {
+			aud.ObserveDisk(0, true, true, 2, 2)
+			aud.EndRound()
+		}
+		for r := 0; r < 8; r++ {
+			aud.ObserveDisk(0, true, false, 2, 0)
+			aud.EndRound()
+		}
+	}
+	st := aud.Status()
+	if len(st.History) != 6 {
+		t.Fatalf("history holds %d entries, want the cap 6", len(st.History))
+	}
+	for i := 1; i < len(st.History); i++ {
+		if st.History[i].Round < st.History[i-1].Round {
+			t.Fatalf("history out of order: %+v", st.History)
+		}
+	}
+}
+
+// TestConfigDefaults: zero fields take the documented defaults and fast
+// is clamped to slow.
+func TestConfigDefaults(t *testing.T) {
+	aud, err := New(Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := aud.Config()
+	if cfg.FastWindow != DefaultFastWindow || cfg.SlowWindow != DefaultSlowWindow ||
+		cfg.Burn != DefaultBurn || cfg.Hold != DefaultHold {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	aud, err = New(Config{FastWindow: 100, SlowWindow: 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := aud.Config().FastWindow; got != 10 {
+		t.Fatalf("fast window not clamped to slow: %d", got)
+	}
+	if _, err := New(Config{}, 0); err == nil {
+		t.Fatal("zero disks accepted")
+	}
+}

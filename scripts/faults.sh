@@ -3,8 +3,12 @@
 # slowdown (2x latency on disk 0 for rounds 100..300) with graceful
 # degradation enabled, then assert the degraded-mode lifecycle happened —
 # the limit dropped and was restored, streams were shed, and the fault
-# telemetry and /faults endpoint expose the schedule. Exits non-zero on
-# any miss.
+# telemetry and /faults endpoint expose the schedule. The SLO audit rides
+# the same scenario: the late rounds before shedding kicks in must push
+# the b_late burn rate over threshold (alert fires), and the clean tail
+# of the run must resolve it. -degrade-after 8 holds shedding off long
+# enough for the fast window to see the violation. Exits non-zero on any
+# miss.
 set -eu
 
 ADDR="${FAULTS_ADDR:-127.0.0.1:19098}"
@@ -15,6 +19,7 @@ go build -o "$BIN" ./cmd/mzserver
 
 "$BIN" -disks 2 -rounds 400 -arrivals 2 -report 0 \
     -faults "latency:disk=0,from=100,until=300,factor=2" -degrade \
+    -degrade-after 8 \
     -listen "$ADDR" -linger 120s >"$LOG" &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true' EXIT INT TERM
@@ -78,5 +83,14 @@ expect /metrics '^mzqos_server_phase_seconds_total{disk="0",phase="seek"}' "phas
 expect_log 'entering degraded mode' "degraded-mode entry"
 expect_log 'healthy limit .*/disk restored' "healthy-limit restoration"
 expect_log 'shed [1-9][0-9]* streams' "stream shedding"
+
+# The guarantee audit saw the violation: the b_late alert fired while the
+# fault outran the bound, resolved on the clean tail, and the transition
+# history on /slo records the full arc.
+expect /slo '"to": "firing"' "a firing transition in the audit history"
+expect /slo '"to": "resolved"' "a resolved transition in the audit history"
+expect /metrics '^mzqos_slo_alerts_fired_total{target="late"} [1-9]' "late alert fired under fault"
+expect /metrics '^mzqos_slo_alerts_resolved_total{target="late"} [1-9]' "late alert resolved after recovery"
+expect /metrics '^mzqos_slo_alert_state{target="late"} 0$' "late alert back to inactive by scenario end"
 
 exit "$fail"

@@ -52,11 +52,17 @@ expect /trace '"spans"' "flight-recorder span history"
 expect /trace '"capacity"' "recorder ring stats"
 expect '/trace?format=chrome' '"traceEvents"' "Chrome trace-event export"
 expect '/trace?format=chrome' '"sweep"' "sweep slices in the export"
+expect /slo '"burn_threshold"' "guarantee-audit configuration"
+expect /slo '"target": "late"' "late-target audit row"
+expect /slo '"target": "glitch"' "glitch-target audit row"
+expect /metrics '^mzqos_slo_budget{target="late"} ' "SLO budget gauge"
+expect /metrics '^mzqos_slo_alerts_fired_total{target="late"} 0$' "no alert fired on a clean run"
+expect /metrics '^mzqos_slo_burn_rate{target="late",window="fast"} ' "SLO burn-rate gauge"
 
 # The JSON observability surfaces must parse, not merely contain the
 # expected keys.
 if command -v python3 >/dev/null 2>&1; then
-    for path in /admission /trace '/trace?format=chrome'; do
+    for path in /admission /trace '/trace?format=chrome' /slo; do
         if curl -sf "http://$ADDR$path" | python3 -m json.tool >/dev/null 2>&1; then
             echo "smoke: ok   $path is valid JSON"
         else
@@ -67,12 +73,14 @@ if command -v python3 >/dev/null 2>&1; then
 fi
 
 # On failure, preserve the flight recorder (frozen snapshot if latched,
-# else the live ring) so CI can upload it as a debugging artifact.
+# else the live ring) and the SLO audit snapshot so CI can upload both as
+# debugging artifacts.
 if [ "$fail" -ne 0 ]; then
     ARTDIR="${SMOKE_ARTIFACT_DIR:-${TMPDIR:-/tmp}}"
     mkdir -p "$ARTDIR"
     curl -s "http://$ADDR/trace" >"$ARTDIR/flight-recorder.json" || true
-    echo "smoke: saved flight recorder to $ARTDIR/flight-recorder.json" >&2
+    curl -s "http://$ADDR/slo" >"$ARTDIR/slo.json" || true
+    echo "smoke: saved flight recorder and SLO snapshot to $ARTDIR/" >&2
 fi
 
 kill "$PID" 2>/dev/null || true
@@ -118,6 +126,15 @@ cexpect /metrics '^mzqos_cluster_capacity ' "cluster capacity gauge"
 cexpect /cluster '"route": "least-loaded"' "routing policy"
 cexpect /cluster '"per_disk_limit"' "shard health rows"
 cexpect /cluster '"tickets"' "outstanding reservations"
+cexpect /cluster '"view_age_rounds"' "admission-view staleness"
+cexpect /cluster '"lag_rounds"' "per-shard heartbeat lag"
+cexpect /slo '"audited_shards": 3' "cluster audit covering all shards"
+cexpect /slo '"target": "late"' "cluster late-target roll-up"
+cexpect /report '"within_bounds"' "cluster bound-tightness verdict"
+cexpect /metrics '^mzqos_cluster_view_age_rounds ' "view-age gauge"
+cexpect /metrics '^mzqos_cluster_slo_budget{target="late"} ' "cluster SLO budget roll-up"
+cexpect /metrics '^mzqos_cluster_slo_firing_shards 0$' "no shard firing on a clean run"
+cexpect /metrics '^mzqos_slo_budget{shard="0",target="late"} ' "shard-labeled SLO budget"
 
 # Every admitted stream names its shard in the /admission explanations.
 if command -v python3 >/dev/null 2>&1; then
@@ -145,6 +162,13 @@ print(f"smoke: ok   cluster /admission names a shard on all {len(adm)} admission
         echo "smoke: FAIL cluster /cluster is not valid JSON" >&2
         fail=1
     fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+    ARTDIR="${SMOKE_ARTIFACT_DIR:-${TMPDIR:-/tmp}}"
+    mkdir -p "$ARTDIR"
+    curl -s "http://$CADDR/slo" >"$ARTDIR/cluster-slo.json" || true
+    echo "smoke: saved cluster SLO snapshot to $ARTDIR/cluster-slo.json" >&2
 fi
 
 exit "$fail"
