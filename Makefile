@@ -17,8 +17,10 @@ vet:
 test:
 	$(GO) test ./...
 
+# -shuffle=on randomizes test order so accidental inter-test state
+# dependencies surface under the same pass that catches data races.
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Runs the admission benchmark suite and appends the measurements
 # (op, ns/op, allocs/op, git rev, date, solver telemetry) to
@@ -27,9 +29,10 @@ bench:
 	$(GO) run ./cmd/mzbench -v -out BENCH_admission.json
 
 # CI smoke for the cluster-admission hot path: runs the ClusterAdmit
-# benchmarks, gates the warm path at its latency/allocation budget, and
-# validates the existing BENCH_admission.json trajectory against
-# BENCH_SCHEMA.md without appending a run.
+# (with migration enabled) and ClusterMigrate benchmarks, gates the warm
+# admit path at its latency/0-alloc budget, and validates the existing
+# BENCH_admission.json trajectory against BENCH_SCHEMA.md without
+# appending a run.
 bench-quick:
 	$(GO) run ./cmd/mzbench -quick -v -out BENCH_admission.json
 

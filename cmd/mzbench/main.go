@@ -251,9 +251,13 @@ const schemaVersion = "mzbench/v4"
 
 // Cluster-admission budget the quick smoke gates on (the cluster PR's
 // acceptance criterion: reservations stay a microsecond-scale hot path).
+// The suite builds its admit coordinators with Migrate enabled, so the
+// warm budget doubles as the migration PR's criterion: migration support
+// must add nothing — no time, no allocations — to the admission fast path.
 const (
 	clusterWarmOp       = "ClusterAdmit/16shards/warm"
 	clusterWarmBudgetNs = 10_000 // 10 µs
+	clusterMigrateOp    = "ClusterMigrate/2shards/failover"
 )
 
 // SLO-audit budgets the quick smoke gates on (the observability PR's
@@ -288,16 +292,21 @@ func sloSummary(benchmarks []opResult) *sloBlock {
 	return &blk
 }
 
-// quickSmoke is the CI `make bench-quick` entry: run just the ClusterAdmit
-// and SLO-audit benchmarks (seconds, not the full suite's minutes), fail
-// if the warm reservation path or the audit's observe/evaluate paths blow
-// their latency or allocation budgets, then validate the recorded
-// trajectory file against BENCH_SCHEMA.md so schema drift fails the build
-// instead of corrupting the trajectory. Nothing is appended to the file.
+// quickSmoke is the CI `make bench-quick` entry: run just the
+// ClusterAdmit, ClusterMigrate, and SLO-audit benchmarks (seconds, not
+// the full suite's minutes), fail if the warm reservation path — measured
+// with Migrate enabled — or the audit's observe/evaluate paths blow their
+// latency or allocation budgets, then validate the recorded trajectory
+// file against BENCH_SCHEMA.md so schema drift fails the build instead of
+// corrupting the trajectory. ClusterMigrate has no 0-alloc budget (it
+// runs inside Step and allocates by design); it is here so a regression
+// that breaks failover placement fails the smoke. Nothing is appended to
+// the file.
 func quickSmoke(path string, verbose bool) error {
-	ranWarm, ranObserve, ranEvaluate := false, false, false
+	ranWarm, ranMigrate, ranObserve, ranEvaluate := false, false, false, false
 	for _, c := range benchcases.Suite() {
 		if !strings.HasPrefix(c.Name, "ClusterAdmit/") &&
+			!strings.HasPrefix(c.Name, "ClusterMigrate/") &&
 			c.Name != sloObserveOp && c.Name != sloEvaluateOp {
 			continue
 		}
@@ -319,6 +328,8 @@ func quickSmoke(path string, verbose bool) error {
 			if res.AllocsPerOp() != 0 {
 				return fmt.Errorf("%s allocates %d/op, budget is 0", c.Name, res.AllocsPerOp())
 			}
+		case clusterMigrateOp:
+			ranMigrate = true
 		case sloObserveOp:
 			ranObserve = true
 			if ns >= sloObserveBudgetNs {
@@ -337,6 +348,9 @@ func quickSmoke(path string, verbose bool) error {
 	if !ranWarm {
 		return fmt.Errorf("suite no longer contains %s", clusterWarmOp)
 	}
+	if !ranMigrate {
+		return fmt.Errorf("suite no longer contains %s", clusterMigrateOp)
+	}
 	if !ranObserve || !ranEvaluate {
 		return fmt.Errorf("suite no longer contains the SLO audit ops (%s, %s)", sloObserveOp, sloEvaluateOp)
 	}
@@ -347,7 +361,7 @@ func quickSmoke(path string, verbose bool) error {
 	if err := validateRuns(runs); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	fmt.Printf("mzbench -quick: ClusterAdmit and SLO audit within budget; %s valid (%d runs)\n", path, len(runs))
+	fmt.Printf("mzbench -quick: ClusterAdmit (migrate on), ClusterMigrate, and SLO audit within budget; %s valid (%d runs)\n", path, len(runs))
 	return nil
 }
 

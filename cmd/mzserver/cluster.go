@@ -39,6 +39,9 @@ type clusterOptions struct {
 	plan                         *fault.Plan
 	degrade                      bool
 	degradeAfter                 int
+	migrate                      bool
+	migrateBudget                int
+	faultShard                   int // -1 = plan applies to every shard
 	recalibrateEvery, minSamples int
 	slo                          slo.Config
 }
@@ -52,6 +55,13 @@ func runCluster(o clusterOptions) {
 	reg := telemetry.NewRegistry()
 	engines := make([]engine.Engine, o.shards)
 	for i := range engines {
+		// -fault-shard stages a targeted failure: the plan perturbs only
+		// the named shard while its siblings stay healthy to absorb the
+		// migrated load.
+		shardPlan := o.plan
+		if o.faultShard >= 0 && i != o.faultShard {
+			shardPlan = nil
+		}
 		srv, err := server.New(server.Config{
 			Disk:        disk.QuantumViking21(),
 			NumDisks:    o.disks,
@@ -59,7 +69,7 @@ func runCluster(o clusterOptions) {
 			Sizes:       o.declared,
 			Guarantee:   model.Guarantee{Threshold: o.eps},
 			Seed:        o.seed + uint64(i)*0x9e3779b9,
-			Faults:      o.plan,
+			Faults:      shardPlan,
 			Degrade:     server.DegradeConfig{Enabled: o.degrade, After: o.degradeAfter},
 			Trace:       trace.Config{Disabled: true},
 			SLO:         o.slo,
@@ -72,16 +82,18 @@ func runCluster(o clusterOptions) {
 		engines[i] = srv
 	}
 	coord, err := cluster.New(cluster.Config{
-		Engines:  engines,
-		Route:    o.route,
-		Replicas: o.replicas,
-		Registry: reg,
+		Engines:       engines,
+		Route:         o.route,
+		Replicas:      o.replicas,
+		Registry:      reg,
+		Migrate:       o.migrate,
+		MigrateBudget: o.migrateBudget,
 	})
 	fatal(err)
 
 	st := coord.Status()
-	fmt.Printf("cluster: %d shards x %d disks, capacity %d streams, route %s, %d replicas/object\n",
-		o.shards, o.disks, st.Capacity, coord.Route(), o.replicas)
+	fmt.Printf("cluster: %d shards x %d disks, capacity %d streams, route %s, %d replicas/object, migrate %v\n",
+		o.shards, o.disks, st.Capacity, coord.Route(), o.replicas, o.migrate)
 
 	if o.listen != "" {
 		mux := newClusterMux(coord, reg, o.withPprof)
@@ -110,6 +122,7 @@ func runCluster(o clusterOptions) {
 	fatal(err)
 
 	var admitted, rejected, completed, evicted, glitches int
+	var migrated, migrateFailed, failedOver int
 	for r := 0; r < o.rounds; r++ {
 		for k := poisson(o.arrivals, rng); k > 0; k-- {
 			name := fmt.Sprintf("clip-%04d", pop.Sample(rng))
@@ -123,6 +136,13 @@ func runCluster(o clusterOptions) {
 		glitches += rep.Glitches
 		completed += rep.Completed
 		evicted += rep.Evicted
+		migrated += rep.Migrated
+		migrateFailed += rep.MigrationFailed
+		failedOver += rep.FailedOver
+		if rep.Migrated > 0 || rep.FailedOver > 0 {
+			fmt.Printf("round %4d: migrated %d streams to siblings (%d failed over from failed shards, %d unplaceable)\n",
+				r+1, rep.Migrated, rep.FailedOver, rep.MigrationFailed)
+		}
 		if o.recalibrateEvery > 0 && (r+1)%o.recalibrateEvery == 0 {
 			if _, err := coord.Recalibrate(int64(o.minSamples)); err == nil {
 				fmt.Printf("round %4d: recalibrated all shards\n", r+1)
@@ -145,6 +165,11 @@ func runCluster(o clusterOptions) {
 	fmt.Printf("final: %d streams admitted, %d rejected (%.1f%% block rate), %d completed, %d shed\n",
 		admitted, rejected, 100*float64(rejected)/math.Max(1, float64(admitted+rejected)),
 		completed, evicted)
+	if o.migrate {
+		ms := coord.MigrationStats()
+		fmt.Printf("migration: %d resumed on siblings / %d attempts, %d failed over from failed shards, %d unplaceable, %d still queued\n",
+			ms.Succeeded, ms.Attempted, ms.FailoverStreams, ms.Failed, ms.Pending)
+	}
 	final := coord.Status()
 	for _, row := range final.Shards {
 		fmt.Printf("  shard %d: %4d active / %4d capacity (N_max %d/disk), round %d, degraded %v\n",
@@ -220,7 +245,7 @@ type clusterAdmissionReport struct {
 // while the round loop runs.
 func newClusterMux(coord *cluster.Coordinator, reg *telemetry.Registry, withPprof bool) *http.ServeMux {
 	model.RegisterTelemetry(reg)
-	publishOnce.Do(func() { expvar.Publish("mzqos", reg.ExpvarFunc()) })
+	publishExpvar(reg)
 
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.MetricsHandler())

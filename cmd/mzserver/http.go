@@ -7,17 +7,36 @@ import (
 	"net/http/pprof"
 	"net/url"
 	"sync"
+	"sync/atomic"
 
 	"mzqos/internal/fault"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
 	"mzqos/internal/slo"
+	"mzqos/internal/telemetry"
 	"mzqos/internal/trace"
 )
 
 // publishOnce guards the process-global expvar namespace: expvar panics on
-// duplicate names, and tests build more than one mux per process.
-var publishOnce sync.Once
+// duplicate names, and tests build more than one mux per process. The
+// published var reads publishedReg through an atomic pointer so the
+// "mzqos" key always snapshots the registry of the most recently built
+// mux (in production there is exactly one), not whichever mux happened
+// to be constructed first.
+var (
+	publishOnce  sync.Once
+	publishedReg atomic.Pointer[telemetry.Registry]
+)
+
+// publishExpvar points the process-global "mzqos" expvar at reg.
+func publishExpvar(reg *telemetry.Registry) {
+	publishedReg.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("mzqos", expvar.Func(func() any {
+			return publishedReg.Load().ExpvarFunc()()
+		}))
+	})
+}
 
 // newTelemetryMux wires the observability endpoints for a running server:
 //
@@ -44,7 +63,7 @@ var publishOnce sync.Once
 func newTelemetryMux(srv *server.Server, withPprof bool) *http.ServeMux {
 	reg := srv.Telemetry().Registry()
 	model.RegisterTelemetry(reg)
-	publishOnce.Do(func() { expvar.Publish("mzqos", reg.ExpvarFunc()) })
+	publishExpvar(reg)
 
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.MetricsHandler())

@@ -20,7 +20,11 @@
 // registry — every mzqos_server_* series carries a shard label — and the
 // telemetry endpoint serves /cluster (shard health) and /admission
 // (recent placements, each naming its shard) instead of the single-server
-// report surface.
+// report surface. -migrate turns eviction into migration: streams a
+// degrading shard sheds (and the active sets of failed shards) resume on
+// sibling replicas at their playback position, paced by -migrate-budget
+// re-admissions per round. -fault-shard restricts -faults to one shard,
+// which is how a scripted full shard failure is staged.
 //
 // With -listen the process serves live telemetry while the rounds run:
 // Prometheus text on /metrics, expvar JSON on /debug/vars, the
@@ -83,6 +87,9 @@ func main() {
 		faultSpec   = flag.String("faults", "", `fault schedule, e.g. "latency:disk=0,from=100,until=400,factor=2;errors:disk=all,from=0,prob=0.01,retries=2"`)
 		degrade     = flag.Bool("degrade", false, "react to sustained faults: recompute the admission limit against the degraded disks and shed newest streams to fit")
 		degradeWait = flag.Int("degrade-after", 0, "consecutive faulty (or clean) rounds before degrading (or restoring); 0 = default")
+		migrate     = flag.Bool("migrate", false, "cluster mode: resume evicted streams (and failed shards' active sets) on sibling replicas instead of dropping them")
+		migBudget   = flag.Int("migrate-budget", 0, "cluster migration re-admissions per round (0 = default)")
+		faultShard  = flag.Int("fault-shard", -1, "cluster mode: apply -faults to this shard only (-1 = every shard)")
 		logFmt      = flag.String("log", "", "structured lifecycle logging to stderr: 'text' or 'json' (empty = disabled)")
 		traceSpans  = flag.Int("trace-spans", 0, "flight-recorder ring capacity in sweep spans (0 = default)")
 		noTrace     = flag.Bool("no-trace", false, "disable round-level tracing and the flight recorder")
@@ -146,6 +153,9 @@ func main() {
 			plan:             plan,
 			degrade:          *degrade,
 			degradeAfter:     *degradeWait,
+			migrate:          *migrate,
+			migrateBudget:    *migBudget,
+			faultShard:       *faultShard,
 			recalibrateEvery: *recalEvery,
 			minSamples:       500,
 			slo:              sloCfg,

@@ -204,6 +204,7 @@ func Suite() []Case {
 		{Name: "ClusterAdmit/16shards/parallel", Bench: func(b *testing.B) {
 			benchClusterAdmit(b, cluster.RouteRoundRobin, true)
 		}},
+		{Name: "ClusterMigrate/2shards/failover", Bench: benchClusterMigrate},
 		{Name: "BuildTable/grid/seed-cold", Bench: func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				m := mustPaperModel(b)
@@ -281,7 +282,10 @@ func benchClusterAdmit(b *testing.B, route string, parallel bool) {
 		}
 		engines[i] = e
 	}
-	c, err := cluster.New(cluster.Config{Engines: engines, Route: route})
+	// Migrate is enabled so the measurement pins the acceptance criterion
+	// that migration support adds nothing to the admission fast path: all
+	// migration work happens inside Step, never under Admit/Release.
+	c, err := cluster.New(cluster.Config{Engines: engines, Route: route, Migrate: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -290,7 +294,7 @@ func benchClusterAdmit(b *testing.B, route string, parallel bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	c.Release(t)
+	c.Release(&t)
 	b.ReportAllocs()
 	b.ResetTimer()
 	if parallel {
@@ -300,7 +304,7 @@ func benchClusterAdmit(b *testing.B, route string, parallel bool) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				c.Release(t)
+				c.Release(&t)
 			}
 		})
 		return
@@ -310,7 +314,77 @@ func benchClusterAdmit(b *testing.B, route string, parallel bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		c.Release(t)
+		c.Release(&t)
+	}
+}
+
+// benchClusterMigrate measures a full failover round: one shard of a
+// 2-shard fleet fails, Step drains its whole active set (32 streams) and
+// re-admits every stream on the sibling, and Recalibrate restores the
+// failed shard for the next lap. Ops ping-pong the fleet between the two
+// shards so each iteration migrates the same population. This path runs
+// inside Step and is allowed to allocate — the companion criterion
+// (ClusterAdmit/16shards/warm staying 0-alloc with Migrate enabled) is
+// what keeps migration off the admission hot path.
+func benchClusterMigrate(b *testing.B) {
+	const streams = 32
+	engines := make([]engine.Engine, 2)
+	sims := make([]*sim.Engine, 2)
+	for i := range engines {
+		e, err := sim.NewEngine(sim.EngineConfig{
+			Disk:         disk.QuantumViking21(),
+			NumDisks:     2,
+			Sizes:        workload.PaperSizes(),
+			RoundLength:  1,
+			PerDiskLimit: 64,
+			Seed:         uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		engines[i], sims[i] = e, e
+	}
+	c, err := cluster.New(cluster.Config{
+		Engines:       engines,
+		Route:         cluster.RouteLeastLoaded,
+		Replicas:      2,
+		Migrate:       true,
+		MigrateBudget: streams,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One object long enough that no stream completes inside the horizon.
+	sizes := make([]float64, 1<<20)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	if err := c.AddObject("vod", sizes); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < streams; i++ {
+		if _, _, err := c.Open("vod"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm lap parks the whole population on shard 1.
+	sims[0].SetFailed(true)
+	c.Step()
+	if _, err := c.Recalibrate(0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sims[1-i%2].SetFailed(true)
+		c.Step()
+		if _, err := c.Recalibrate(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if ms := c.MigrationStats(); ms.Failed > 0 || ms.Pending > 0 {
+		b.Fatalf("migration stats %+v: failover laps must place every stream", ms)
 	}
 }
 

@@ -68,6 +68,18 @@ const (
 // defaultRingSize bounds the admission explainability ring.
 const defaultRingSize = 256
 
+// DefaultMigrateBudget is the per-round cap on migration re-admissions
+// when Config.MigrateBudget is zero. Bounding the per-round work turns a
+// mass failure into a paced drain instead of a stampede onto siblings;
+// overflow simply waits in the migration queue for the next round.
+const DefaultMigrateBudget = 256
+
+// migrateMaxTries is how many rounds one exported stream is retried
+// before its migration is counted failed. A retry waits for the next
+// round's fresh view, so transient full-view rejections self-correct
+// without the queue pinning unplaceable streams forever.
+const migrateMaxTries = 3
+
 // Config assembles a Coordinator.
 type Config struct {
 	// Engines are the shard engines; shard i is Engines[i]. The
@@ -89,6 +101,14 @@ type Config struct {
 	Registry *telemetry.Registry
 	// RingSize bounds the admission explainability ring (0 means 256).
 	RingSize int
+	// Migrate turns eviction into migration: streams a shard sheds (and
+	// the active sets of failed shards) are exported and re-admitted on
+	// sibling replicas during Step, resuming at their playback position,
+	// instead of silently dying with the eviction.
+	Migrate bool
+	// MigrateBudget caps migration re-admissions per round (0 means
+	// DefaultMigrateBudget); overflow queues for following rounds.
+	MigrateBudget int
 }
 
 // shard pairs an engine with its reservation state.
@@ -112,11 +132,21 @@ type Handle struct {
 }
 
 // Ticket is a reserved admission slot, redeemable with OpenReserved or
-// returnable with Release.
+// returnable with Release. A ticket is single-use: redeeming or releasing
+// it latches the spent flag, so a later Release — a retry loop's deferred
+// cleanup, say — is a no-op instead of a double decrement that would
+// drive the shard's ticket count below its active streams.
 type Ticket struct {
 	// Shard is the shard the slot was reserved on.
 	Shard int
+	// spent latches redemption/release. The flag lives on the ticket (not
+	// behind a pointer) so reserving stays allocation-free; pass the
+	// ticket by pointer to OpenReserved/Release so the latch sticks.
+	spent bool
 }
+
+// Spent reports whether the ticket has been redeemed or released.
+func (t *Ticket) Spent() bool { return t != nil && t.spent }
 
 // AdmissionRecord is one materialized admission, retained in a bounded
 // ring for explainability (the cluster /admission endpoint).
@@ -133,6 +163,15 @@ type AdmissionRecord struct {
 	Round int `json:"round"`
 	// Route is the routing policy that placed the stream.
 	Route string `json:"route"`
+	// Kind distinguishes migration re-admissions from fresh opens: empty
+	// for an Open, "migrate" for an evicted stream resumed on a sibling,
+	// "failover" for a stream drained off a failed shard. From is the
+	// source shard of a migration (meaningful only when Kind is set).
+	Kind string `json:"kind,omitempty"`
+	From int    `json:"from,omitempty"`
+	// Position is the fragment index playback resumed at (migrations
+	// only; fresh opens start at 0).
+	Position int `json:"position,omitempty"`
 }
 
 // Coordinator owns S shards and serves cluster-wide admission over them.
@@ -163,7 +202,48 @@ type Coordinator struct {
 	ring    []AdmissionRecord
 	ringPos int
 
+	// Migration state. pending is the queue of exported stream states
+	// awaiting re-admission; it is owned by the Step loop (single writer
+	// by the engine contract) and needs no lock. The counters are atomic
+	// so Status may read them concurrently.
+	migrate   bool
+	migBudget int
+	pending   []migration
+	migStats  migrationStats
+
 	tel *clusterTelemetry
+}
+
+// migration is one exported stream state queued for re-admission.
+type migration struct {
+	state engine.StreamState
+	from  int  // source shard, excluded from re-admission candidates
+	kind  string
+	tries int
+}
+
+// migrationStats counts migration outcomes, atomically for concurrent
+// Status readers.
+type migrationStats struct {
+	attempted atomic.Int64
+	succeeded atomic.Int64
+	failed    atomic.Int64
+	failover  atomic.Int64
+}
+
+// MigrationStats is the externally visible migration counter snapshot.
+type MigrationStats struct {
+	// Attempted counts re-admission attempts charged against the budget;
+	// Succeeded those that resumed on a sibling; Failed those abandoned
+	// after migrateMaxTries rounds without an admitting sibling.
+	Attempted int64 `json:"attempted"`
+	Succeeded int64 `json:"succeeded"`
+	Failed    int64 `json:"failed"`
+	// FailoverStreams counts streams drained off failed shards into the
+	// migration queue (a subset of Attempted once processed).
+	FailoverStreams int64 `json:"failover_streams"`
+	// Pending is the queue length awaiting re-admission.
+	Pending int `json:"pending"`
 }
 
 // clusterTelemetry is the optional mzqos_cluster_* metric set.
@@ -176,6 +256,11 @@ type clusterTelemetry struct {
 	capacity   *telemetry.Gauge
 	degraded   *telemetry.Gauge
 	viewAge    *telemetry.Gauge
+
+	migAttempted *telemetry.Counter
+	migSucceeded *telemetry.Counter
+	migFailed    *telemetry.Counter
+	migFailover  *telemetry.Counter
 
 	// Cluster SLO roll-up series, indexed [target][window] like the
 	// per-shard mzqos_slo_* set (target 0 late / 1 glitch, window 0 fast
@@ -206,6 +291,14 @@ func newClusterTelemetry(reg *telemetry.Registry) *clusterTelemetry {
 			"Shards degraded in the current view."),
 		viewAge: reg.Gauge("mzqos_cluster_view_age_rounds",
 			"Staleness of the admission view: coordinator rounds since the last heartbeat published it."),
+		migAttempted: reg.Counter("mzqos_cluster_migrations_attempted_total",
+			"Migration re-admission attempts (budgeted per round)."),
+		migSucceeded: reg.Counter("mzqos_cluster_migrations_succeeded_total",
+			"Evicted or failed-over streams resumed on a sibling replica."),
+		migFailed: reg.Counter("mzqos_cluster_migrations_failed_total",
+			"Migrations abandoned after exhausting retries without an admitting sibling."),
+		migFailover: reg.Counter("mzqos_cluster_failover_streams_total",
+			"Streams drained off failed shards into the migration queue."),
 		sloFiring: reg.Gauge("mzqos_cluster_slo_firing_shards",
 			"Shards with at least one SLO alert Firing in the current view."),
 	}
@@ -271,6 +364,13 @@ func New(cfg Config) (*Coordinator, error) {
 	if hb <= 0 {
 		hb = 1
 	}
+	budget := cfg.MigrateBudget
+	if budget == 0 {
+		budget = DefaultMigrateBudget
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("%w: migrate budget %d", ErrConfig, cfg.MigrateBudget)
+	}
 	c := &Coordinator{
 		route:     route,
 		routeN:    name,
@@ -278,6 +378,8 @@ func New(cfg Config) (*Coordinator, error) {
 		hbEach:    hb,
 		placement: make(map[string][]int),
 		ring:      make([]AdmissionRecord, 0, ringSize),
+		migrate:   cfg.Migrate,
+		migBudget: budget,
 		tel:       newClusterTelemetry(cfg.Registry),
 	}
 	for i, eng := range cfg.Engines {
@@ -373,23 +475,11 @@ func (c *Coordinator) Admit(object string) (Ticket, error) {
 	}
 	for i := 0; i < n; i++ {
 		id := cands[(start+i)%n]
-		capa := v.capacity(id)
-		if capa <= 0 {
-			continue // failed or unknown shard: shed to siblings
-		}
-		s := c.shards[id]
-		for {
-			cur := s.tickets.Load()
-			if cur >= capa {
-				break // shard full in this view: try the next candidate
+		if c.reserveOn(id, v) {
+			if c.tel != nil {
+				c.tel.admitted.Inc()
 			}
-			if s.tickets.CompareAndSwap(cur, cur+1) {
-				if c.tel != nil {
-					c.tel.admitted.Inc()
-					c.tel.tickets.Set(float64(c.Tickets()))
-				}
-				return Ticket{Shard: id}, nil
-			}
+			return Ticket{Shard: id}, nil
 		}
 	}
 	if c.tel != nil {
@@ -398,16 +488,53 @@ func (c *Coordinator) Admit(object string) (Ticket, error) {
 	return Ticket{Shard: -1}, ErrRejected
 }
 
-// Release returns an unredeemed ticket's slot.
-func (c *Coordinator) Release(t Ticket) {
-	if t.Shard < 0 || t.Shard >= len(c.shards) {
-		return
+// reserveOn CASes one ticket onto a shard against the current view's
+// capacity. Lock-free and allocation-free — the admit hot path and the
+// migration engine share it. The tickets gauge moves by atomic delta
+// here (and in releaseShard), never by Set-from-total: recomputing the
+// total after the CAS races concurrent reservations and publishes stale
+// sums that the lost update never corrects.
+func (c *Coordinator) reserveOn(id int, v *view) bool {
+	capa := v.capacity(id)
+	if capa <= 0 {
+		return false // failed or unknown shard: shed to siblings
 	}
-	c.shards[t.Shard].tickets.Add(-1)
+	s := c.shards[id]
+	for {
+		cur := s.tickets.Load()
+		if cur >= capa {
+			return false // shard full in this view: try the next candidate
+		}
+		if s.tickets.CompareAndSwap(cur, cur+1) {
+			if c.tel != nil {
+				c.tel.tickets.Add(1)
+			}
+			return true
+		}
+	}
+}
+
+// releaseShard returns one reserved slot to a shard (the unconditional
+// inner decrement; public Release adds the single-use latch on top).
+func (c *Coordinator) releaseShard(id int) {
+	c.shards[id].tickets.Add(-1)
 	if c.tel != nil {
 		c.tel.released.Inc()
-		c.tel.tickets.Set(float64(c.Tickets()))
+		c.tel.tickets.Add(-1)
 	}
+}
+
+// Release returns an unredeemed ticket's slot. Idempotent: a ticket
+// already redeemed by OpenReserved (including its internal error-path
+// release) or already released is left alone, so caller retry loops with
+// deferred cleanup cannot drive a shard's ticket count below its active
+// streams.
+func (c *Coordinator) Release(t *Ticket) {
+	if t == nil || t.spent || t.Shard < 0 || t.Shard >= len(c.shards) {
+		return
+	}
+	t.spent = true
+	c.releaseShard(t.Shard)
 }
 
 // Open admits and materializes one stream of the object: a ticket
@@ -421,7 +548,7 @@ func (c *Coordinator) Open(object string) (Handle, int, error) {
 		if err != nil {
 			return Handle{Shard: -1}, 0, err
 		}
-		h, delay, err := c.OpenReserved(t, object)
+		h, delay, err := c.OpenReserved(&t, object)
 		if err == nil {
 			return h, delay, nil
 		}
@@ -439,10 +566,16 @@ func (c *Coordinator) Open(object string) (Handle, int, error) {
 }
 
 // OpenReserved redeems a ticket: it materializes one stream of the
-// object on the reserved shard. On error the ticket is released.
-func (c *Coordinator) OpenReserved(t Ticket, object string) (Handle, int, error) {
-	if t.Shard < 0 || t.Shard >= len(c.shards) {
+// object on the reserved shard. The ticket is spent either way — on
+// error its slot is released, on success the slot now belongs to the
+// stream (returned by Close or the retiring Step) — so a subsequent
+// Release of the same ticket is a no-op.
+func (c *Coordinator) OpenReserved(t *Ticket, object string) (Handle, int, error) {
+	if t == nil || t.Shard < 0 || t.Shard >= len(c.shards) {
 		return Handle{Shard: -1}, 0, ErrConfig
+	}
+	if t.spent {
+		return Handle{Shard: -1}, 0, fmt.Errorf("%w: ticket already spent", ErrConfig)
 	}
 	s := c.shards[t.Shard]
 	s.mu.Lock()
@@ -452,6 +585,7 @@ func (c *Coordinator) OpenReserved(t Ticket, object string) (Handle, int, error)
 		c.Release(t)
 		return Handle{Shard: -1}, 0, fmt.Errorf("cluster: shard %d: %w", t.Shard, err)
 	}
+	t.spent = true
 	c.recordAdmission(AdmissionRecord{
 		Object: object, Shard: t.Shard, Stream: id, Delay: delay,
 		Round: int(c.round.Load()), Route: c.routeN,
@@ -471,7 +605,7 @@ func (c *Coordinator) Close(h Handle) error {
 	if err != nil {
 		return fmt.Errorf("cluster: shard %d: %w", h.Shard, err)
 	}
-	c.Release(Ticket{Shard: h.Shard})
+	c.releaseShard(h.Shard)
 	return nil
 }
 
@@ -521,6 +655,13 @@ type RoundReport struct {
 	Glitches  int
 	Completed int
 	Evicted   int
+	// Migrated counts evicted or failed-over streams re-admitted on a
+	// sibling this round; MigrationFailed those abandoned after
+	// exhausting retries; FailedOver streams drained off failed shards
+	// into the migration queue. All zero unless Config.Migrate is set.
+	Migrated        int
+	MigrationFailed int
+	FailedOver      int
 }
 
 // Step executes one round on every shard — shards sweep in parallel,
@@ -559,12 +700,15 @@ func (c *Coordinator) Step() RoundReport {
 	}
 	if c.tel != nil && released > 0 {
 		c.tel.released.Add(int64(released))
+		c.tel.tickets.Add(-float64(released))
+	}
+	if c.migrate {
+		rep.Migrated, rep.MigrationFailed, rep.FailedOver = c.migrateRound(&rep)
 	}
 	round := c.round.Add(1)
 	if int(round)%c.hbEach == 0 {
 		c.refreshView()
 	} else if c.tel != nil {
-		c.tel.tickets.Set(float64(c.Tickets()))
 		if v := c.view.Load(); v != nil {
 			c.tel.viewAge.Set(float64(int(round) - v.round))
 		}

@@ -280,8 +280,11 @@ func TestFailedShardShedsLoadToSiblings(t *testing.T) {
 	if st.Shards[0].Tickets != 0 {
 		t.Errorf("failed shard holds %d tickets, want 0", st.Shards[0].Tickets)
 	}
-	if !st.Shards[0].Health.Failed() {
-		t.Error("view should report the failed shard's capacity as 0")
+	if st.Shards[0].Health.Capacity != 0 {
+		t.Error("view should report the degraded shard's capacity as 0")
+	}
+	if st.Shards[0].Health.Failed {
+		t.Error("a shard degraded to zero capacity must not be reported failed")
 	}
 
 	// Recovery: Recalibrate restores the configured limit and the next

@@ -71,7 +71,9 @@ func (c *Coordinator) refreshView() {
 		c.tel.heartbeats.Inc()
 		c.tel.capacity.Set(float64(capacity))
 		c.tel.degraded.Set(float64(degraded))
-		c.tel.tickets.Set(float64(c.Tickets()))
+		// The tickets gauge moves only by atomic deltas at each
+		// reserve/release — a Set-from-total here would race concurrent
+		// reservations and publish a stale sum the deltas never correct.
 		c.tel.viewAge.Set(0)
 		c.tel.publishSLO(&v.slo)
 	}
@@ -118,6 +120,10 @@ type Status struct {
 	// rounds since the last heartbeat published it. Admission decisions
 	// are made against a view this many rounds old.
 	ViewAgeRounds int `json:"view_age_rounds"`
+	// Migrate reports whether eviction-to-migration is enabled;
+	// Migrations the cumulative migration counters.
+	Migrate    bool           `json:"migrate"`
+	Migrations MigrationStats `json:"migrations"`
 }
 
 // Status snapshots the current view, reservations, and placement counts.
@@ -149,5 +155,7 @@ func (c *Coordinator) Status() Status {
 	c.pmu.RLock()
 	st.Objects = len(c.placement)
 	c.pmu.RUnlock()
+	st.Migrate = c.migrate
+	st.Migrations = c.MigrationStats()
 	return st
 }

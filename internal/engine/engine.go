@@ -40,6 +40,31 @@ var (
 // to the engine: a cluster-wide stream is the (shard, StreamID) pair.
 type StreamID int64
 
+// StreamState is the resumable state of one stream: everything a sibling
+// replica needs to continue playback where the exporting engine left off.
+// Fragment k of an object denotes the same display round on every replica
+// (replicas are placed from identical size vectors), so Position is
+// portable across engines even though each replica stripes and places its
+// fragments independently.
+type StreamState struct {
+	// Object is the catalog name of the object being played.
+	Object string `json:"object"`
+	// Position is the index of the next fragment to consume (how many
+	// display rounds of the object have been served so far).
+	Position int `json:"position"`
+	// Delay is the accumulated startup-delay credit in rounds: the
+	// admission-time slotting delays this stream has been charged so far,
+	// including by previous engines. An importing engine adds its own
+	// slotting delay on top, so the paper's per-stream startup-delay
+	// accounting (§2.3) survives migration.
+	Delay int `json:"delay"`
+	// Served and Glitches carry the stream's service-quality history so
+	// the per-stream glitch guarantee is still measured over the whole
+	// playback, not restarted by the move.
+	Served   int `json:"served"`
+	Glitches int `json:"glitches"`
+}
+
 // Engine is one admission-controlled round engine. Mutating operations
 // (AddObject, Open, Close, Step, Recalibrate) are not safe for concurrent
 // use; drive them from one goroutine per engine — the shard loop. The
@@ -75,6 +100,22 @@ type Engine interface {
 	// Health returns a concurrent-safe load/limit snapshot for heartbeat
 	// collectors (read from atomic state, never the loop's own fields).
 	Health() Health
+
+	// ExportStream captures a stream's resumable state and removes the
+	// stream from this engine: an active stream is withdrawn (its slot
+	// freed, nothing recorded as finished — it continues elsewhere), and a
+	// recently evicted stream's buffered state is surrendered. Engines
+	// retain evicted-stream state in a bounded buffer precisely so a
+	// coordinator can turn the eviction into a migration one round later.
+	ExportStream(id StreamID) (StreamState, error)
+	// ImportStream re-admits a stream mid-playback: admission control
+	// applies as in Open, but playback resumes at state.Position and the
+	// reported startupDelay is only the *additional* slotting delay this
+	// engine charges (the state's accumulated credit is carried forward).
+	ImportStream(state StreamState) (id StreamID, startupDelay int, err error)
+	// ActiveStreams returns the open-stream ids in ascending order — the
+	// drain list a coordinator walks when failing over an entire shard.
+	ActiveStreams() []StreamID
 }
 
 // Health is the heartbeat view of one engine: the load and limits a
@@ -91,6 +132,13 @@ type Health struct {
 	Round int `json:"round"`
 	// Degraded marks fault-degraded limits in force.
 	Degraded bool `json:"degraded"`
+	// Failed marks admission closed by disk failure: the engine cannot
+	// serve its streams at all, so a coordinator should fail its active
+	// set over to sibling replicas. Distinct from a capacity that merely
+	// degraded to zero (Capacity 0, Failed false), where existing streams
+	// still ride out the fault on their own shard and only new admissions
+	// are shed to siblings.
+	Failed bool `json:"failed"`
 	// SLO is the engine's windowed guarantee-audit snapshot, piggybacked
 	// on the heartbeat so a cluster coordinator can roll per-shard error
 	// budgets up to a cluster SLO without extra collection machinery.
@@ -125,10 +173,6 @@ type SLOHealth struct {
 	LateState   int `json:"late_state"`
 	GlitchState int `json:"glitch_state"`
 }
-
-// Failed reports whether the engine is accepting no load at all
-// (capacity zero: overload, or a failed disk closed admission).
-func (h Health) Failed() bool { return h.Capacity <= 0 }
 
 // DiskRoundReport is the outcome of one disk's sweep in one round.
 type DiskRoundReport struct {

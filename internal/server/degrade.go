@@ -177,6 +177,11 @@ func (s *Server) applyDegraded(effs []fault.Effects, sig string) []StreamID {
 		s.tel.degraded.Set(1)
 	}
 	s.deg.appliedSig = sig
+	if failed {
+		s.tel.failed.Set(1)
+	} else {
+		s.tel.failed.Set(0)
+	}
 	s.limitMu.Lock()
 	s.mdl, s.mdls, s.nmax = ev.binding, ev.mdls, ev.nmax
 	s.explains, s.bindDisk = ev.explains, ev.bindDisk
@@ -220,6 +225,7 @@ func (s *Server) shedToLimit() []StreamID {
 			if !ok || st.offset != class {
 				continue
 			}
+			s.rememberEvicted(st)
 			s.retire(st, false)
 			s.tel.evictions.Inc()
 			evicted = append(evicted, id)
@@ -241,6 +247,7 @@ func (s *Server) restoreHealthy() {
 	s.deg.appliedSig = ""
 	s.deg.baseMdl, s.deg.baseMdls, s.deg.baseExplains = nil, nil, nil
 	s.tel.degraded.Set(0)
+	s.tel.failed.Set(0)
 	s.tel.degradeTransitions.Inc()
 	s.trc.Freeze("restore", s.round)
 	if s.log != nil {

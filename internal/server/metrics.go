@@ -34,6 +34,7 @@ type Telemetry struct {
 
 	faultActive        *telemetry.Gauge
 	degraded           *telemetry.Gauge
+	failed             *telemetry.Gauge
 	degradeTransitions *telemetry.Counter
 	evictions          *telemetry.Counter
 
@@ -126,6 +127,8 @@ func newTelemetry(reg *telemetry.Registry, instance []telemetry.Label, disks int
 			"Disks with an active fault effect in the latest round.", labels()...),
 		degraded: reg.Gauge("mzqos_server_degraded",
 			"1 while degraded admission limits are in force, else 0.", labels()...),
+		failed: reg.Gauge("mzqos_server_failed",
+			"1 while a full disk failure holds admission closed (distinct from a limit merely degraded to 0), else 0.", labels()...),
 		degradeTransitions: reg.Counter("mzqos_server_degraded_transitions_total",
 			"Entries into and exits from degraded mode.", labels()...),
 		evictions: reg.Counter("mzqos_server_fault_evictions_total",

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"fmt"
+	"slices"
+
+	"mzqos/internal/engine"
+)
+
+// Stream migration: the server side of the cluster's evict-to-migrate
+// contract (engine.Engine's ExportStream/ImportStream/ActiveStreams).
+// Eviction and failure no longer have to end a playback — the coordinator
+// exports the stream's resumable state and re-admits it on a sibling
+// replica, so the viewer pays at most the importing shard's slotting
+// delay instead of losing the stream.
+
+// exportCap bounds the evicted-stream state buffer: how many shed
+// streams stay exportable after the round that evicted them. Sized to the
+// retired-history default — an eviction wave can never outrun it by more
+// than the coordinator's own per-round migration budget.
+func (s *Server) exportCap() int { return s.retiredCap }
+
+// rememberEvicted buffers a shed stream's resumable state (bounded FIFO,
+// oldest dropped) so a coordinator can still export it after eviction.
+func (s *Server) rememberEvicted(st *stream) {
+	if len(s.evictedQ) == s.exportCap() {
+		delete(s.evictedStates, s.evictedQ[s.evictedAt])
+		s.evictedQ[s.evictedAt] = st.id
+		s.evictedAt++
+		if s.evictedAt == s.exportCap() {
+			s.evictedAt = 0
+		}
+	} else {
+		s.evictedQ = append(s.evictedQ, st.id)
+	}
+	s.evictedStates[st.id] = streamState(st)
+}
+
+// streamState captures a stream's resumable state.
+func streamState(st *stream) engine.StreamState {
+	return engine.StreamState{
+		Object:   st.obj.name,
+		Position: st.next,
+		Delay:    st.delay,
+		Served:   st.served,
+		Glitches: st.glitches,
+	}
+}
+
+// ExportStream captures and removes a stream's resumable state: an active
+// stream is withdrawn from the server (slot freed, nothing recorded as
+// finished — it continues on another shard), and a recently evicted
+// stream's buffered state is surrendered.
+func (s *Server) ExportStream(id StreamID) (engine.StreamState, error) {
+	if st, ok := s.active[id]; ok {
+		state := streamState(st)
+		delete(s.active, id)
+		s.classes[st.offset]--
+		s.syncClassesView()
+		s.tel.active.Set(float64(len(s.active)))
+		return state, nil
+	}
+	if state, ok := s.evictedStates[id]; ok {
+		delete(s.evictedStates, id)
+		return state, nil
+	}
+	return engine.StreamState{}, fmt.Errorf("%w: %d", ErrUnknownStream, id)
+}
+
+// ImportStream re-admits a stream mid-playback. Admission control applies
+// exactly as in Open — the least-loaded admissible offset class within the
+// next D rounds, rejection when every class is at N_max — but the class
+// arithmetic accounts for the resume position: starting fragment P in
+// round r puts the stream in offset class (base+P−r) mod D, so the stream
+// reads fragment P from the disk that actually stores it. The returned
+// startupDelay is only the additional slotting delay charged here; the
+// state's accumulated delay credit is carried into the stream's stats.
+func (s *Server) ImportStream(state engine.StreamState) (StreamID, int, error) {
+	obj, ok := s.catalog[state.Object]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownObject, state.Object)
+	}
+	if state.Position < 0 || state.Position >= len(obj.frags) {
+		return 0, 0, fmt.Errorf("%w: import position %d outside %q (%d fragments)",
+			ErrConfig, state.Position, state.Object, len(obj.frags))
+	}
+	if s.nmax == 0 {
+		s.tel.rejected.Inc()
+		s.recordRejection(state.Object, RejectOverload)
+		return 0, 0, ErrRejected
+	}
+	d := len(s.geoms)
+	bestDelay := -1
+	bestCount := s.nmax
+	for delay := 0; delay < d; delay++ {
+		class := mod(obj.base+state.Position-(s.round+delay), d)
+		if s.classes[class] < bestCount {
+			bestCount = s.classes[class]
+			bestDelay = delay
+		}
+	}
+	if bestDelay < 0 {
+		s.tel.rejected.Inc()
+		s.recordRejection(state.Object, RejectClassesFull)
+		return 0, 0, ErrRejected
+	}
+	class := mod(obj.base+state.Position-(s.round+bestDelay), d)
+	s.nextID++
+	st := &stream{
+		id:       s.nextID,
+		obj:      obj,
+		offset:   class,
+		next:     state.Position,
+		start:    s.round + bestDelay,
+		delay:    state.Delay + bestDelay,
+		served:   state.Served,
+		glitches: state.Glitches,
+	}
+	s.active[st.id] = st
+	s.classes[class]++
+	s.syncClassesView()
+	s.tel.admitted.Inc()
+	s.tel.active.Set(float64(len(s.active)))
+	return st.id, bestDelay, nil
+}
+
+// ActiveStreams returns the open-stream ids, ascending — the drain list a
+// coordinator walks when failing this shard's whole active set over to
+// sibling replicas.
+func (s *Server) ActiveStreams() []StreamID {
+	ids := make([]StreamID, 0, len(s.active))
+	for id := range s.active {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}

@@ -226,6 +226,14 @@ type Server struct {
 	finishedAt int
 	retiredCap int
 
+	// Evicted-stream states: a bounded FIFO ring mirroring the retired
+	// ring, so a cluster coordinator can still ExportStream a stream the
+	// degraded-mode controller shed this round (turning the eviction into
+	// a migration instead of a dropped playback).
+	evictedStates map[StreamID]engine.StreamState
+	evictedQ      []StreamID
+	evictedAt     int
+
 	observed dist.Welford // served fragment sizes, for recalibration
 }
 
@@ -289,6 +297,8 @@ func New(cfg Config) (*Server, error) {
 		tel:        tel,
 		finished:   make(map[StreamID]StreamStats),
 		retiredCap: retiredCap,
+
+		evictedStates: make(map[StreamID]engine.StreamState),
 		inj:        inj,
 		log:        cfg.Logger,
 	}
@@ -436,6 +446,7 @@ func (s *Server) Health() engine.Health {
 		Capacity:     nmax * len(s.geoms),
 		Round:        int(s.tel.rounds.Value()),
 		Degraded:     s.tel.degraded.Value() > 0,
+		Failed:       s.tel.failed.Value() > 0,
 	}
 	if s.sloAud != nil {
 		// The SLO snapshot is mirrored from the audit's atomic gauges —

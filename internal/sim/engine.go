@@ -53,6 +53,12 @@ type EngineConfig struct {
 	// Faults optionally perturbs service with a deterministic fault plan,
 	// resolved per (disk, round) exactly as the live server resolves it.
 	Faults *fault.Plan
+	// ShedOnDegrade makes Step evict the newest streams of any offset
+	// class whose occupancy exceeds the in-force limit (mirroring the live
+	// server's ShedNewest policy) instead of letting over-limit classes
+	// drain by attrition. Evicted streams are reported in the round's
+	// Evicted set and stay exportable for one migration window.
+	ShedOnDegrade bool
 }
 
 func (c EngineConfig) validate() error {
@@ -65,10 +71,13 @@ func (c EngineConfig) validate() error {
 
 // simStream is one admitted simulated stream.
 type simStream struct {
-	class  int // offset class: reads disk (class+round) mod D
-	start  int // first service round
-	next   int // fragments consumed
-	length int // playback length in rounds
+	name     string // catalog object, kept so the stream is exportable
+	class    int    // offset class: reads disk (class+round) mod D
+	start    int    // first service round
+	next     int    // fragments consumed
+	length   int    // playback length in rounds
+	delay    int    // accumulated startup-delay credit (import slotting)
+	glitches int    // late or lost fragments seen by this stream
 }
 
 // Engine is the lightweight simulated implementation of engine.Engine: a
@@ -97,6 +106,13 @@ type Engine struct {
 	hLimit    atomic.Int64
 	hRound    atomic.Int64
 	hDegraded atomic.Bool
+	hFailed   atomic.Bool
+
+	// Evicted-stream states: bounded FIFO ring so a coordinator can still
+	// export (and so migrate) a stream shed by ShedOnDegrade.
+	evicted   map[engine.StreamID]engine.StreamState
+	evictedQ  []engine.StreamID
+	evictedAt int
 
 	sc      roundScratch
 	lateFor []bool
@@ -124,6 +140,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		objects: make(map[string]int),
 		streams: make(map[engine.StreamID]*simStream),
 		classes: make([][]engine.StreamID, cfg.NumDisks),
+		evicted: make(map[engine.StreamID]engine.StreamState),
 	}
 	e.hLimit.Store(int64(cfg.PerDiskLimit))
 	return e, nil
@@ -187,7 +204,7 @@ func (e *Engine) Open(name string) (id engine.StreamID, startupDelay int, err er
 	// The stream starts in the next round its class's disk comes around —
 	// immediately, since class c reads disk (c+round) mod D every round.
 	e.nextID++
-	st := &simStream{class: bestClass, start: e.round, length: length}
+	st := &simStream{name: name, class: bestClass, start: e.round, length: length}
 	e.streams[e.nextID] = st
 	e.classes[bestClass] = append(e.classes[bestClass], e.nextID)
 	e.hActive.Store(int64(len(e.streams)))
@@ -225,6 +242,7 @@ func (e *Engine) removeFromClass(class int, id engine.StreamID) {
 func (e *Engine) Step() engine.RoundReport {
 	d := e.cfg.NumDisks
 	rep := engine.RoundReport{Round: e.round, Disks: make([]engine.DiskRoundReport, d)}
+	rep.Evicted = e.shedToLimit()
 	base := Config{
 		Disk:        e.cfg.Disk,
 		Sizes:       e.cfg.Sizes,
@@ -273,6 +291,7 @@ func (e *Engine) Step() engine.RoundReport {
 			st := e.streams[id]
 			if late[i] {
 				glitched++
+				st.glitches++
 			}
 			st.next++
 			if st.next >= st.length {
@@ -317,6 +336,7 @@ func (e *Engine) Recalibrate(minSamples int64) (oldLimit, newLimit int, err erro
 	old := int(e.hLimit.Load())
 	e.hLimit.Store(int64(e.cfg.PerDiskLimit))
 	e.hDegraded.Store(false)
+	e.hFailed.Store(false)
 	return old, e.cfg.PerDiskLimit, nil
 }
 
@@ -332,6 +352,20 @@ func (e *Engine) Degrade(perDisk int) {
 	}
 	e.hLimit.Store(int64(perDisk))
 	e.hDegraded.Store(true)
+}
+
+// SetFailed marks (or clears) full shard failure: admission closes
+// (limit 0) and Health reports Failed, telling a cluster coordinator to
+// fail the active set over to sibling replicas — the simulated analogue
+// of a disk failure closing the live server's admission. Distinct from
+// Degrade(0), which merely zeroes capacity while streams ride out the
+// fault. Recalibrate clears both.
+func (e *Engine) SetFailed(failed bool) {
+	e.hFailed.Store(failed)
+	if failed {
+		e.hLimit.Store(0)
+		e.hDegraded.Store(true)
+	}
 }
 
 // NumDisks returns the array width D.
@@ -371,5 +405,6 @@ func (e *Engine) Health() engine.Health {
 		Capacity:     limit * e.cfg.NumDisks,
 		Round:        int(e.hRound.Load()),
 		Degraded:     e.hDegraded.Load(),
+		Failed:       e.hFailed.Load(),
 	}
 }

@@ -135,6 +135,12 @@ type (
 	ClusterStatus = cluster.Status
 	// ClusterAdmissionRecord is one retained admission, naming its shard.
 	ClusterAdmissionRecord = cluster.AdmissionRecord
+	// ClusterMigrationStats counts eviction-to-migration and failover
+	// outcomes (see README "Cluster serving" and DESIGN.md §9).
+	ClusterMigrationStats = cluster.MigrationStats
+	// StreamState is one stream's resumable state — the payload of the
+	// export/import contract cross-shard migration rides on.
+	StreamState = engine.StreamState
 )
 
 // Routing policies for ClusterConfig.Route.

@@ -1,5 +1,7 @@
 #!/bin/sh
-# Fault-injection smoke test: drive mzserver through a scripted disk
+# Fault-injection smoke test, two phases.
+#
+# Phase 1 (single server): drive mzserver through a scripted disk
 # slowdown (2x latency on disk 0 for rounds 100..300) with graceful
 # degradation enabled, then assert the degraded-mode lifecycle happened —
 # the limit dropped and was restored, streams were shed, and the fault
@@ -7,13 +9,22 @@
 # the same scenario: the late rounds before shedding kicks in must push
 # the b_late burn rate over threshold (alert fires), and the clean tail
 # of the run must resolve it. -degrade-after 8 holds shedding off long
-# enough for the fast window to see the violation. Exits non-zero on any
-# miss.
+# enough for the fast window to see the violation.
+#
+# Phase 2 (cluster failover): run a 3-shard cluster with -migrate, fail
+# every disk of shard 0 mid-run (-fault-shard scopes the plan), and
+# assert the failed shard's streams resumed on its siblings — at least
+# 90% of migration attempts succeed, failover streams were drained, and
+# the SLO auditors on the surviving shards never fire.
+#
+# Exits non-zero on any miss.
 set -eu
 
 ADDR="${FAULTS_ADDR:-127.0.0.1:19098}"
+CADDR="${FAULTS_CLUSTER_ADDR:-127.0.0.1:19099}"
 BIN="${TMPDIR:-/tmp}/mzserver-faults"
 LOG="${TMPDIR:-/tmp}/mzserver-faults.log"
+CLOG="${TMPDIR:-/tmp}/mzserver-faults-cluster.log"
 
 go build -o "$BIN" ./cmd/mzserver
 
@@ -22,7 +33,8 @@ go build -o "$BIN" ./cmd/mzserver
     -degrade-after 8 \
     -listen "$ADDR" -linger 120s >"$LOG" &
 PID=$!
-trap 'kill "$PID" 2>/dev/null || true' EXIT INT TERM
+CPID=""
+trap 'kill "$PID" 2>/dev/null || true; [ -n "$CPID" ] && kill "$CPID" 2>/dev/null || true' EXIT INT TERM
 
 up=0
 i=0
@@ -92,5 +104,117 @@ expect /slo '"to": "resolved"' "a resolved transition in the audit history"
 expect /metrics '^mzqos_slo_alerts_fired_total{target="late"} [1-9]' "late alert fired under fault"
 expect /metrics '^mzqos_slo_alerts_resolved_total{target="late"} [1-9]' "late alert resolved after recovery"
 expect /metrics '^mzqos_slo_alert_state{target="late"} 0$' "late alert back to inactive by scenario end"
+
+kill "$PID" 2>/dev/null || true
+PID=""
+trap '[ -n "$CPID" ] && kill "$CPID" 2>/dev/null || true' EXIT INT TERM
+
+# --- Phase 2: cluster failover ------------------------------------------
+# Three shards, every object replicated on all of them. Shard 0 loses all
+# of its disks for rounds 100..250; the shard-local degrade controller
+# closes its admission and reports Failed, and the coordinator drains the
+# whole active set onto shards 1 and 2 through the migration path.
+
+# -arrivals/-cliplen keep steady-state occupancy near half the cluster's
+# 156 slots so the siblings have headroom to absorb the failed shard.
+"$BIN" -shards 3 -disks 2 -replicas 3 -rounds 400 -arrivals 1.2 -cliplen 60 \
+    -report 0 -migrate -fault-shard 0 \
+    -faults "failure:disk=all,from=100,until=250" \
+    -degrade -listen "$CADDR" -linger 120s >"$CLOG" &
+CPID=$!
+
+up=0
+i=0
+while [ "$i" -lt 100 ]; do
+    if curl -sf "http://$CADDR/healthz" >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ "$up" -ne 1 ]; then
+    echo "faults: FAIL cluster endpoint on $CADDR never became healthy" >&2
+    exit 1
+fi
+
+# The admission ring is bounded (256 records), so the failover records
+# from the failure round get recycled by the steady admissions that
+# follow — catch them mid-run while waiting for the scenario to finish.
+done=0
+failover_ring=0
+i=0
+while [ "$i" -lt 300 ]; do
+    if [ "$failover_ring" -eq 0 ] &&
+        curl -sf "http://$CADDR/admission" | grep -Eq '"kind":[[:space:]]*"failover"'; then
+        failover_ring=1
+    fi
+    if curl -sf "http://$CADDR/metrics" | grep -q '^mzqos_server_rounds_total{shard="1"} 400$'; then
+        done=1
+        break
+    fi
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ "$done" -ne 1 ]; then
+    echo "faults: FAIL cluster scenario never reached round 400" >&2
+    exit 1
+fi
+
+cexpect() { # cexpect <path> <grep-E-pattern> <label>
+    if curl -sf "http://$CADDR$1" | grep -Eq "$2"; then
+        echo "faults: ok   cluster $1 serves $3"
+    else
+        echo "faults: FAIL cluster $1 lacks $3 (pattern: $2)" >&2
+        fail=1
+    fi
+}
+cexpect_absent() { # cexpect_absent <path> <grep-E-pattern> <label>
+    if curl -sf "http://$CADDR$1" | grep -Eq "$2"; then
+        echo "faults: FAIL cluster $1 shows $3 (pattern: $2)" >&2
+        fail=1
+    else
+        echo "faults: ok   cluster $1 free of $3"
+    fi
+}
+
+# Streams were failed over and re-admitted on siblings via the ticket path.
+cexpect /metrics '^mzqos_cluster_failover_streams_total [1-9]' "failover-drained streams"
+cexpect /metrics '^mzqos_cluster_migrations_attempted_total [1-9]' "migration attempts"
+cexpect /metrics '^mzqos_cluster_migrations_succeeded_total [1-9]' "migration successes"
+# The failed shard closed as a failure (not a mere degrade-to-zero) and
+# reopened by scenario end: the health snapshot carries the failed bit
+# (false again after restore) and the gauge is back to 0.
+cexpect /cluster '"failed":[[:space:]]*false' "the health failed bit after restore"
+cexpect /metrics '^mzqos_server_failed\{shard="0"\} 0$' "failed gauge cleared after restore"
+# The admission ring explained the migrations while they were in the
+# retention window: failover records carrying their kind were observed
+# mid-run before steady admissions recycled the ring.
+if [ "$failover_ring" -eq 1 ]; then
+    echo "faults: ok   cluster /admission served failover records mid-run"
+else
+    echo "faults: FAIL cluster /admission never showed failover records" >&2
+    fail=1
+fi
+grep -q 'failed over' "$CLOG" \
+    && echo "faults: ok   cluster log shows failover rounds" \
+    || { echo "faults: FAIL cluster log lacks failover rounds" >&2; fail=1; }
+
+# >= 90% of the failed shard's streams resumed on siblings: the acceptance
+# ratio read straight off the migration counters.
+metrics=$(curl -sf "http://$CADDR/metrics")
+att=$(printf '%s\n' "$metrics" | awk '$1 == "mzqos_cluster_migrations_attempted_total" {print $2}')
+suc=$(printf '%s\n' "$metrics" | awk '$1 == "mzqos_cluster_migrations_succeeded_total" {print $2}')
+if [ -n "$att" ] && [ -n "$suc" ] && [ "$att" -gt 0 ] && [ $((suc * 10)) -ge $((att * 9)) ]; then
+    echo "faults: ok   migration success ratio $suc/$att >= 90%"
+else
+    echo "faults: FAIL migration success ratio $suc/$att below 90%" >&2
+    fail=1
+fi
+
+# The surviving shards absorbed the load without their guarantee audits
+# firing: no fired alerts and an inactive alert state on shards 1 and 2.
+cexpect_absent /metrics 'mzqos_slo_alerts_fired_total\{[^}]*shard="[12]"[^}]*\} [1-9]' "fired alerts on surviving shards"
+cexpect_absent /metrics 'mzqos_slo_alert_state\{[^}]*shard="[12]"[^}]*\} [1-9]' "active alert state on surviving shards"
 
 exit "$fail"
