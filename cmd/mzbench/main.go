@@ -269,6 +269,14 @@ const (
 	sloObserveBudgetNs = 200
 )
 
+// Event-journal budget the quick smoke gates on (the forensics PR's
+// acceptance criterion: appending a timeline event is cheap enough to sit
+// on the per-glitch path of Step).
+const (
+	journalAppendOp       = "JournalAppend/ring/steady"
+	journalAppendBudgetNs = 100
+)
+
 // sloSummary pulls the v4 slo block out of the measured benchmark list;
 // nil when the suite no longer contains the audit ops.
 func sloSummary(benchmarks []opResult) *sloBlock {
@@ -303,11 +311,12 @@ func sloSummary(benchmarks []opResult) *sloBlock {
 // that breaks failover placement fails the smoke. Nothing is appended to
 // the file.
 func quickSmoke(path string, verbose bool) error {
-	ranWarm, ranMigrate, ranObserve, ranEvaluate := false, false, false, false
+	ranWarm, ranMigrate, ranObserve, ranEvaluate, ranJournal := false, false, false, false, false
 	for _, c := range benchcases.Suite() {
 		if !strings.HasPrefix(c.Name, "ClusterAdmit/") &&
 			!strings.HasPrefix(c.Name, "ClusterMigrate/") &&
-			c.Name != sloObserveOp && c.Name != sloEvaluateOp {
+			c.Name != sloObserveOp && c.Name != sloEvaluateOp &&
+			c.Name != journalAppendOp {
 			continue
 		}
 		res := testing.Benchmark(c.Bench)
@@ -343,6 +352,14 @@ func quickSmoke(path string, verbose bool) error {
 			if res.AllocsPerOp() != 0 {
 				return fmt.Errorf("%s allocates %d/op, budget is 0", c.Name, res.AllocsPerOp())
 			}
+		case journalAppendOp:
+			ranJournal = true
+			if ns >= journalAppendBudgetNs {
+				return fmt.Errorf("%s measured %.1f ns/op, budget is <%d ns/op", c.Name, ns, journalAppendBudgetNs)
+			}
+			if res.AllocsPerOp() != 0 {
+				return fmt.Errorf("%s allocates %d/op, budget is 0", c.Name, res.AllocsPerOp())
+			}
 		}
 	}
 	if !ranWarm {
@@ -354,6 +371,9 @@ func quickSmoke(path string, verbose bool) error {
 	if !ranObserve || !ranEvaluate {
 		return fmt.Errorf("suite no longer contains the SLO audit ops (%s, %s)", sloObserveOp, sloEvaluateOp)
 	}
+	if !ranJournal {
+		return fmt.Errorf("suite no longer contains %s", journalAppendOp)
+	}
 	runs, err := readTrajectory(path)
 	if err != nil {
 		return err
@@ -361,7 +381,7 @@ func quickSmoke(path string, verbose bool) error {
 	if err := validateRuns(runs); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	fmt.Printf("mzbench -quick: ClusterAdmit (migrate on), ClusterMigrate, and SLO audit within budget; %s valid (%d runs)\n", path, len(runs))
+	fmt.Printf("mzbench -quick: ClusterAdmit (migrate on), ClusterMigrate, SLO audit, and JournalAppend within budget; %s valid (%d runs)\n", path, len(runs))
 	return nil
 }
 

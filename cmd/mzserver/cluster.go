@@ -13,6 +13,7 @@ import (
 	"mzqos/internal/dist"
 	"mzqos/internal/engine"
 	"mzqos/internal/fault"
+	"mzqos/internal/journal"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
 	"mzqos/internal/slo"
@@ -53,6 +54,11 @@ type clusterOptions struct {
 // Zipf catalog) drives the coordinator instead of one server.
 func runCluster(o clusterOptions) {
 	reg := telemetry.NewRegistry()
+	// One journal and one ledger span the whole cluster: every shard's
+	// emitters share the same sequence space, so /timeline reads as one
+	// causally ordered incident narrative.
+	jnl := journal.New(journal.Config{Registry: reg})
+	ledger := journal.NewLedger(journal.LedgerConfig{})
 	engines := make([]engine.Engine, o.shards)
 	for i := range engines {
 		// -fault-shard stages a targeted failure: the plan perturbs only
@@ -74,6 +80,9 @@ func runCluster(o clusterOptions) {
 			Trace:       trace.Config{Disabled: true},
 			SLO:         o.slo,
 			Registry:    reg,
+			Journal:     jnl,
+			Ledger:      ledger,
+			Shard:       i,
 			InstanceLabels: []telemetry.Label{
 				telemetry.L("shard", fmt.Sprintf("%d", i)),
 			},
@@ -88,6 +97,8 @@ func runCluster(o clusterOptions) {
 		Registry:      reg,
 		Migrate:       o.migrate,
 		MigrateBudget: o.migrateBudget,
+		Journal:       jnl,
+		Ledger:        ledger,
 	})
 	fatal(err)
 
@@ -183,8 +194,9 @@ func runCluster(o clusterOptions) {
 		fmt.Println()
 		fmt.Printf("bound tightness (measured vs analytic, %d/%d shards audited, within bounds: %v):\n",
 			ct.AuditedShards, len(ct.Shards), ct.WithinBounds)
-		fmt.Printf("  %-5s %-4s %-8s %8s %6s %14s %14s %14s %14s\n",
-			"shard", "disk", "sweeps", "peak N", "ok", "P^[T>t]", "b_late", "glitch rate", "b_glitch")
+		fmt.Printf("  %-5s %-4s %-8s %8s %6s %14s %14s %14s %14s %9s %9s %9s\n",
+			"shard", "disk", "sweeps", "peak N", "ok", "P^[T>t]", "b_late", "glitch rate", "b_glitch",
+			"T p50", "T p99", "T p999")
 		for _, row := range ct.Shards {
 			if !row.Audited {
 				continue
@@ -194,9 +206,10 @@ func runCluster(o clusterOptions) {
 				if !d.WithinBounds() {
 					ok = "NO"
 				}
-				fmt.Printf("  %-5d %-4d %-8d %8d %6s %14.3e %14.3e %14.3e %14.3e\n",
+				fmt.Printf("  %-5d %-4d %-8d %8d %6s %14.3e %14.3e %14.3e %14.3e %9.3f %9.3f %9.3f\n",
 					row.Shard, d.Disk, d.Sweeps, d.PeakLoad, ok,
-					d.EmpiricalPLate, d.BoundPLate, d.EmpiricalGlitchRate, d.BoundGlitch)
+					d.EmpiricalPLate, d.BoundPLate, d.EmpiricalGlitchRate, d.BoundGlitch,
+					d.TP50, d.TP99, d.TP999)
 			}
 		}
 	}
@@ -237,6 +250,11 @@ type clusterAdmissionReport struct {
 //	/slo         the cluster guarantee audit: capacity-weighted error
 //	             budget roll-up plus each shard's alert state
 //	/report      per-shard bound-vs-measured tightness reports
+//	/timeline    the cluster-wide event journal (one sequence across every
+//	             shard plus the coordinator's migrate/failover events)
+//	/streams     the QoS ledger: promised-vs-delivered per stream, with
+//	             migration lineage across shards
+//	/debug/bundle one-shot incident snapshot of every surface above
 //	/debug/vars  expvar JSON
 //	/healthz     liveness probe
 //	/debug/pprof runtime profiling, only when withPprof is set
@@ -245,6 +263,7 @@ type clusterAdmissionReport struct {
 // while the round loop runs.
 func newClusterMux(coord *cluster.Coordinator, reg *telemetry.Registry, withPprof bool) *http.ServeMux {
 	model.RegisterTelemetry(reg)
+	telemetry.RegisterRuntimeMetrics(reg)
 	publishExpvar(reg)
 
 	mux := http.NewServeMux()
@@ -265,6 +284,9 @@ func newClusterMux(coord *cluster.Coordinator, reg *telemetry.Registry, withPpro
 	mux.HandleFunc("/report", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, coord.TightnessReport())
 	})
+	mux.HandleFunc("/timeline", timelineHandler(coord.Journal()))
+	mux.HandleFunc("/streams", streamsHandler(coord.QoSLedger()))
+	mux.HandleFunc("/debug/bundle", clusterBundleHandler(coord, reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))

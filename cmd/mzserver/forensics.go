@@ -1,0 +1,234 @@
+package main
+
+// Incident-forensics endpoints shared by the single-server and cluster
+// muxes: the /timeline event journal, the /streams promised-vs-delivered
+// ledger, and the one-shot /debug/bundle that freezes everything an
+// incident writeup needs into a single JSON document.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"mzqos/internal/cluster"
+	"mzqos/internal/journal"
+	"mzqos/internal/server"
+	"mzqos/internal/telemetry"
+)
+
+// timelineReport is the default /timeline payload.
+type timelineReport struct {
+	Enabled bool            `json:"enabled"`
+	Stats   journal.Stats   `json:"stats"`
+	Kinds   []string        `json:"kinds"`
+	Events  []journal.Event `json:"events"`
+}
+
+// parseTimelineFilter builds a journal filter from /timeline query
+// parameters: since (seq), kind (comma-separated names), shard, disk,
+// stream, object, limit. Unknown kind names error so a typo doesn't
+// silently match nothing.
+func parseTimelineFilter(q url.Values) (journal.Filter, error) {
+	f := journal.MatchAll()
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return f, err
+		}
+		f.SinceSeq = n
+	}
+	if v := q.Get("kind"); v != "" {
+		for _, name := range strings.Split(v, ",") {
+			k, ok := journal.KindFromString(strings.TrimSpace(name))
+			if !ok {
+				return f, &badKindError{name}
+			}
+			f.Kinds = append(f.Kinds, k)
+		}
+	}
+	for _, dim := range []struct {
+		key string
+		dst *int
+	}{{"shard", &f.Shard}, {"disk", &f.Disk}} {
+		if v := q.Get(dim.key); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return f, err
+			}
+			*dim.dst = n
+		}
+	}
+	if v := q.Get("stream"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return f, err
+		}
+		f.Stream = n
+	}
+	f.Object = q.Get("object")
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return f, err
+		}
+		f.Limit = n
+	}
+	return f, nil
+}
+
+type badKindError struct{ name string }
+
+func (e *badKindError) Error() string { return "unknown event kind " + strconv.Quote(e.name) }
+
+// timelineHandler serves the journal: filterable JSON by default,
+// newline-delimited JSON (one event per line, for jq/grep pipelines and
+// archival) with ?format=ndjson.
+func timelineHandler(jnl *journal.Journal) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		f, err := parseTimelineFilter(r.URL.Query())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		events := jnl.Events(f)
+		if r.URL.Query().Get("format") == "ndjson" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			for i := range events {
+				line, err := json.Marshal(&events[i])
+				if err != nil {
+					continue
+				}
+				_, _ = w.Write(line)
+				_, _ = w.Write([]byte{'\n'})
+			}
+			return
+		}
+		writeJSON(w, timelineReport{
+			Enabled: jnl != nil,
+			Stats:   jnl.Stats(),
+			Kinds:   journal.Kinds(),
+			Events:  events,
+		})
+	}
+}
+
+// streamsHandler serves the QoS ledger: one promised-vs-delivered record
+// per stream plus the fleet-level delivered-tail summaries.
+func streamsHandler(ledger *journal.Ledger) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, ledger.Report())
+	}
+}
+
+// bundleSchema versions the /debug/bundle document.
+const bundleSchema = "mzqos/bundle/v1"
+
+// debugBundle is the one-shot incident snapshot: every observability
+// surface frozen into a single document so a failing smoke run (or an
+// operator mid-incident) saves one URL instead of six.
+type debugBundle struct {
+	Schema string `json:"schema"`
+	Kind   string `json:"kind"` // "server" or "cluster"
+	Round  int    `json:"round"`
+	Config any    `json:"config"`
+
+	Admission any `json:"admission"`
+	SLO       any `json:"slo"`
+	Report    any `json:"report,omitempty"`
+	Faults    any `json:"faults,omitempty"`
+	Trace     any `json:"trace,omitempty"`
+	Cluster   any `json:"cluster,omitempty"`
+	Migration any `json:"migration,omitempty"`
+
+	Timeline timelineReport `json:"timeline"`
+	Streams  journal.Report `json:"streams"`
+	Metrics  any            `json:"metrics"`
+}
+
+// bundleGeometry is the bundle's config section: the admission geometry
+// in force at snapshot time.
+type bundleGeometry struct {
+	Disks        int    `json:"disks,omitempty"`
+	Shards       int    `json:"shards,omitempty"`
+	PerDiskLimit int    `json:"per_disk_limit,omitempty"`
+	Capacity     int    `json:"capacity"`
+	Route        string `json:"route,omitempty"`
+	Degraded     bool   `json:"degraded,omitempty"`
+}
+
+// serverBundleHandler assembles the single-server /debug/bundle.
+func serverBundleHandler(srv *server.Server, reg *telemetry.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		jnl := srv.Journal()
+		b := debugBundle{
+			Schema: bundleSchema,
+			Kind:   "server",
+			Round:  int(mustCounter(reg, "mzqos_server_rounds_total")),
+			Config: bundleGeometry{
+				Disks:        srv.NumDisks(),
+				PerDiskLimit: srv.PerDiskLimit(),
+				Capacity:     srv.Capacity(),
+				Degraded:     srv.Degraded(),
+			},
+			Admission: srv.AdmissionStatus(),
+			SLO:       sloReport{Status: srv.SLOStatus(), Hints: srv.SLOHints()},
+			Faults:    faultStatus(srv),
+			Trace:     traceStatus(srv, url.Values{"source": {"frozen"}}),
+			Timeline: timelineReport{
+				Enabled: jnl != nil,
+				Stats:   jnl.Stats(),
+				Kinds:   journal.Kinds(),
+				Events:  jnl.Events(journal.MatchAll()),
+			},
+			Streams: srv.QoSLedger().Report(),
+			Metrics: reg.ExpvarFunc()(),
+		}
+		if rep, err := srv.BoundTightness(); err == nil {
+			b.Report = rep
+		}
+		writeJSON(w, b)
+	}
+}
+
+// clusterBundleHandler assembles the cluster /debug/bundle.
+func clusterBundleHandler(coord *cluster.Coordinator, reg *telemetry.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		jnl := coord.Journal()
+		st := coord.Status()
+		b := debugBundle{
+			Schema: bundleSchema,
+			Kind:   "cluster",
+			Round:  coord.Round(),
+			Config: bundleGeometry{
+				Shards:   coord.NumShards(),
+				Capacity: st.Capacity,
+				Route:    coord.Route(),
+			},
+			Admission: clusterAdmissionReport{
+				Route:      coord.Route(),
+				Admissions: coord.Admissions(),
+			},
+			SLO:       coord.SLOStatus(),
+			Report:    coord.TightnessReport(),
+			Cluster:   st,
+			Migration: coord.MigrationStats(),
+			Timeline: timelineReport{
+				Enabled: jnl != nil,
+				Stats:   jnl.Stats(),
+				Kinds:   journal.Kinds(),
+				Events:  jnl.Events(journal.MatchAll()),
+			},
+			Streams: coord.QoSLedger().Report(),
+			Metrics: reg.ExpvarFunc()(),
+		}
+		writeJSON(w, b)
+	}
+}
+
+// mustCounter reads a counter from the registry snapshot, 0 when absent.
+func mustCounter(reg *telemetry.Registry, name string) int64 {
+	v, _ := reg.Snapshot().Counter(name)
+	return v
+}

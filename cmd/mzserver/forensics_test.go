@@ -1,0 +1,426 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mzqos/internal/cluster"
+	"mzqos/internal/disk"
+	"mzqos/internal/engine"
+	"mzqos/internal/fault"
+	"mzqos/internal/journal"
+	"mzqos/internal/model"
+	"mzqos/internal/server"
+	"mzqos/internal/slo"
+	"mzqos/internal/telemetry"
+	"mzqos/internal/workload"
+)
+
+// journaledServerMux builds a single-server mux with the journal and QoS
+// ledger wired (testServer leaves them nil to exercise the disabled path).
+func journaledServerMux(t *testing.T) *http.ServeMux {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	jnl := journal.New(journal.Config{Registry: reg})
+	led := journal.NewLedger(journal.LedgerConfig{})
+	srv, err := server.New(server.Config{
+		Disk:        disk.QuantumViking21(),
+		NumDisks:    2,
+		RoundLength: 1,
+		Sizes:       workload.PaperSizes(),
+		Guarantee:   model.Guarantee{Threshold: 0.01},
+		Seed:        42,
+		Registry:    reg,
+		Journal:     jnl,
+		Ledger:      led,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddSyntheticObject("v", 100); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, _, err := srv.Open("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 20; r++ {
+		srv.Step()
+	}
+	return newTelemetryMux(srv, false)
+}
+
+func getJSON(t *testing.T, mux *http.ServeMux, path string, dst any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET %s: status %d: %s", path, rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), dst); err != nil {
+		t.Fatalf("GET %s: not JSON: %v", path, err)
+	}
+}
+
+func TestTimelineEndpoint(t *testing.T) {
+	mux := journaledServerMux(t)
+
+	var rep timelineReport
+	getJSON(t, mux, "/timeline", &rep)
+	if !rep.Enabled {
+		t.Fatal("/timeline reports journal disabled on a journaled server")
+	}
+	if len(rep.Kinds) != len(journal.Kinds()) {
+		t.Fatalf("kinds list has %d entries, want %d", len(rep.Kinds), len(journal.Kinds()))
+	}
+	if len(rep.Events) == 0 {
+		t.Fatal("/timeline has no events after 8 admits")
+	}
+	for i := 1; i < len(rep.Events); i++ {
+		if rep.Events[i].Seq <= rep.Events[i-1].Seq {
+			t.Fatalf("seq not strictly increasing: %d then %d",
+				rep.Events[i-1].Seq, rep.Events[i].Seq)
+		}
+	}
+	if rep.Stats.HeadSeq != rep.Events[len(rep.Events)-1].Seq {
+		t.Fatalf("head seq %d != last event seq %d",
+			rep.Stats.HeadSeq, rep.Events[len(rep.Events)-1].Seq)
+	}
+
+	// Kind filter: only admits, and exactly the 8 opens.
+	var admits timelineReport
+	getJSON(t, mux, "/timeline?kind=admit", &admits)
+	if len(admits.Events) != 8 {
+		t.Fatalf("kind=admit returned %d events, want 8", len(admits.Events))
+	}
+	for _, e := range admits.Events {
+		if e.Kind != journal.KindAdmit {
+			t.Fatalf("kind filter leaked a %s event", e.Kind)
+		}
+	}
+
+	// Since-seq filter composes with the full view.
+	mid := rep.Events[len(rep.Events)/2].Seq
+	var since timelineReport
+	getJSON(t, mux, fmt.Sprintf("/timeline?since=%d", mid), &since)
+	for _, e := range since.Events {
+		if e.Seq <= mid {
+			t.Fatalf("since=%d returned seq %d", mid, e.Seq)
+		}
+	}
+
+	// Unknown kind names are a client error, not an empty match.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/timeline?kind=bogus", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bogus kind: status %d, want 400", rec.Code)
+	}
+
+	// NDJSON export: one parseable event per line, same count as JSON.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/timeline?format=ndjson", nil))
+	if rec.Code != 200 {
+		t.Fatalf("ndjson status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Fatalf("ndjson content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != len(rep.Events) {
+		t.Fatalf("ndjson has %d lines, JSON had %d events", len(lines), len(rep.Events))
+	}
+	var e journal.Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("ndjson line does not parse: %v", err)
+	}
+}
+
+func TestTimelineAndStreamsDisabledWithoutJournal(t *testing.T) {
+	// testServer wires no journal or ledger; the endpoints must still
+	// serve (empty) rather than panic on the nil receivers.
+	mux := newTelemetryMux(testServer(t), false)
+
+	var rep timelineReport
+	getJSON(t, mux, "/timeline", &rep)
+	if rep.Enabled || len(rep.Events) != 0 {
+		t.Fatalf("nil journal served enabled=%v with %d events", rep.Enabled, len(rep.Events))
+	}
+	var led journal.Report
+	getJSON(t, mux, "/streams", &led)
+	if led.ActiveStreams != 0 || led.RetiredTotal != 0 {
+		t.Fatalf("nil ledger served %+v", led)
+	}
+	var bundle map[string]json.RawMessage
+	getJSON(t, mux, "/debug/bundle", &bundle)
+	if _, ok := bundle["schema"]; !ok {
+		t.Fatal("nil-journal bundle lacks schema")
+	}
+}
+
+func TestStreamsEndpoint(t *testing.T) {
+	mux := journaledServerMux(t)
+	var rep journal.Report
+	getJSON(t, mux, "/streams", &rep)
+	if rep.ActiveStreams != 8 || len(rep.Active) != 8 {
+		t.Fatalf("active streams %d (%d records), want 8", rep.ActiveStreams, len(rep.Active))
+	}
+	for _, rec := range rep.Active {
+		if rec.AdmitSeq == 0 || rec.Promised.BindingK <= 0 || rec.Promised.BoundLate <= 0 {
+			t.Fatalf("record missing promise fields: %+v", rec)
+		}
+		if rec.Object != "v" {
+			t.Fatalf("record object %q, want v", rec.Object)
+		}
+	}
+}
+
+func TestServerDebugBundle(t *testing.T) {
+	mux := journaledServerMux(t)
+	var b struct {
+		Schema    string          `json:"schema"`
+		Kind      string          `json:"kind"`
+		Round     int             `json:"round"`
+		Config    bundleGeometry  `json:"config"`
+		Timeline  timelineReport  `json:"timeline"`
+		Streams   journal.Report  `json:"streams"`
+		Admission json.RawMessage `json:"admission"`
+		SLO       json.RawMessage `json:"slo"`
+		Metrics   json.RawMessage `json:"metrics"`
+	}
+	getJSON(t, mux, "/debug/bundle", &b)
+	if b.Schema != bundleSchema || b.Kind != "server" {
+		t.Fatalf("bundle header %q/%q", b.Schema, b.Kind)
+	}
+	if b.Round != 20 {
+		t.Fatalf("bundle round %d, want 20", b.Round)
+	}
+	if b.Config.Disks != 2 || b.Config.Capacity <= 0 {
+		t.Fatalf("bundle geometry %+v", b.Config)
+	}
+	if !b.Timeline.Enabled || len(b.Timeline.Events) == 0 {
+		t.Fatal("bundle timeline empty")
+	}
+	if b.Streams.ActiveStreams != 8 {
+		t.Fatalf("bundle streams %+v", b.Streams)
+	}
+	for name, raw := range map[string]json.RawMessage{
+		"admission": b.Admission, "slo": b.SLO, "metrics": b.Metrics,
+	} {
+		if len(raw) == 0 || string(raw) == "null" {
+			t.Fatalf("bundle section %q missing", name)
+		}
+	}
+}
+
+// journaledTestCluster builds a 3-shard cluster sharing one journal and
+// ledger, with a latency fault pinned to shard 0, degraded mode, stream
+// migration, and fast SLO windows so a full incident arc fits in a short
+// test run.
+func journaledTestCluster(t *testing.T) (*cluster.Coordinator, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	jnl := journal.New(journal.Config{Registry: reg})
+	led := journal.NewLedger(journal.LedgerConfig{})
+	const shards = 3
+	engines := make([]engine.Engine, shards)
+	for i := range engines {
+		cfg := server.Config{
+			Disk:        disk.QuantumViking21(),
+			NumDisks:    2,
+			RoundLength: 1,
+			Sizes:       workload.PaperSizes(),
+			Guarantee:   model.Guarantee{Threshold: 0.01},
+			Seed:        uint64(i) + 7,
+			Registry:    reg,
+			InstanceLabels: []telemetry.Label{
+				telemetry.L("shard", fmt.Sprintf("%d", i)),
+			},
+			Journal: jnl,
+			Ledger:  led,
+			Shard:   i,
+			Degrade: server.DegradeConfig{Enabled: true},
+			SLO: slo.Config{
+				FastWindow: 8, SlowWindow: 16,
+				Burn: 1.5, Hold: 2, ResolvedFor: 8,
+			},
+		}
+		if i == 0 {
+			cfg.Faults = &fault.Plan{
+				Seed: 3,
+				Faults: []fault.Fault{
+					{Kind: fault.Latency, Disk: fault.AllDisks, From: 10, Until: 40, Factor: 3},
+				},
+			}
+		}
+		srv, err := server.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = srv
+	}
+	coord, err := cluster.New(cluster.Config{
+		Engines:  engines,
+		Registry: reg,
+		Replicas: shards,
+		Migrate:  true,
+		Journal:  jnl,
+		Ledger:   led,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, reg
+}
+
+// TestClusterIncidentArcFromTimeline is the acceptance check on the
+// journal: a latency fault on shard 0 must leave a reconstructable arc —
+// fault_inject, SLO firing, evictions, migrations to sibling shards,
+// fault_clear, restore, SLO resolution — purely from /timeline, in strict
+// sequence order, with valid migration endpoints and the binding bound
+// quoted on every firing.
+func TestClusterIncidentArcFromTimeline(t *testing.T) {
+	coord, reg := journaledTestCluster(t)
+
+	// Fill the cluster to ~60% so shard 0's shed streams find room on
+	// the siblings (replicas=3 places every clip on all shards).
+	sizes := make([]float64, 300)
+	for i := range sizes {
+		sizes[i] = 200e3
+	}
+	opened := 0
+	for i := 0; i < 90; i++ {
+		name := fmt.Sprintf("clip-%d", i)
+		if err := coord.AddObject(name, sizes); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := coord.Open(name); err == nil {
+			opened++
+		}
+	}
+	if opened < 60 {
+		t.Fatalf("only %d of 90 opens admitted; cluster too small for the arc", opened)
+	}
+	coord.Run(80)
+
+	mux := newClusterMux(coord, reg, false)
+	var rep timelineReport
+	getJSON(t, mux, "/timeline", &rep)
+	if !rep.Enabled || len(rep.Events) == 0 {
+		t.Fatal("cluster timeline empty")
+	}
+	for i := 1; i < len(rep.Events); i++ {
+		if rep.Events[i].Seq <= rep.Events[i-1].Seq {
+			t.Fatalf("seq not strictly increasing at %d: %d then %d",
+				i, rep.Events[i-1].Seq, rep.Events[i].Seq)
+		}
+	}
+
+	first := map[journal.Kind]uint64{}
+	count := map[journal.Kind]int{}
+	for _, e := range rep.Events {
+		if _, ok := first[e.Kind]; !ok {
+			first[e.Kind] = e.Seq
+		}
+		count[e.Kind]++
+	}
+	for _, k := range []journal.Kind{
+		journal.KindFaultInject, journal.KindSLOFiring, journal.KindDegrade,
+		journal.KindEvict, journal.KindMigrate, journal.KindFaultClear,
+		journal.KindRestore, journal.KindSLOResolved,
+	} {
+		if count[k] == 0 {
+			t.Fatalf("arc incomplete: no %s events (have %v)", k, count)
+		}
+	}
+
+	// The causal chain, by first occurrence: the fault lands before the
+	// alert fires and before anything is shed; the first migration
+	// follows the first eviction; recovery events follow the clear.
+	order := []struct {
+		before, after journal.Kind
+	}{
+		{journal.KindFaultInject, journal.KindSLOFiring},
+		{journal.KindFaultInject, journal.KindDegrade},
+		{journal.KindDegrade, journal.KindEvict},
+		{journal.KindEvict, journal.KindMigrate},
+		{journal.KindFaultClear, journal.KindRestore},
+		{journal.KindSLOFiring, journal.KindSLOResolved},
+	}
+	for _, o := range order {
+		if first[o.before] >= first[o.after] {
+			t.Fatalf("arc out of order: first %s (seq %d) not before first %s (seq %d)",
+				o.before, first[o.before], o.after, first[o.after])
+		}
+	}
+
+	// Every migration names a valid source and destination shard.
+	shards := coord.NumShards()
+	for _, e := range rep.Events {
+		if e.Kind != journal.KindMigrate {
+			continue
+		}
+		if e.From < 0 || e.From >= shards || e.To < 0 || e.To >= shards {
+			t.Fatalf("migrate endpoints out of range: %+v", e)
+		}
+		if e.From == e.To {
+			t.Fatalf("migrate to the same shard: %+v", e)
+		}
+		if e.Stream == 0 || e.Object == "" {
+			t.Fatalf("migrate without stream identity: %+v", e)
+		}
+	}
+
+	// Every firing quotes the binding admission constraint it audits.
+	for _, e := range rep.Events {
+		if e.Kind == journal.KindSLOFiring && !strings.Contains(e.Detail, "binding k=") {
+			t.Fatalf("firing without binding bound: %+v", e)
+		}
+	}
+	// Firings come from the faulted shard.
+	var firings timelineReport
+	getJSON(t, mux, "/timeline?kind=slo_firing&shard=0", &firings)
+	if len(firings.Events) != count[journal.KindSLOFiring] {
+		t.Fatalf("%d of %d firings on shard 0", len(firings.Events), count[journal.KindSLOFiring])
+	}
+
+	// The ledger carries the migrations as merged lineages.
+	var led journal.Report
+	getJSON(t, mux, "/streams", &led)
+	migrated := 0
+	for _, rec := range append(led.Active, led.Retired...) {
+		if rec.Migrations > 0 {
+			migrated++
+			if len(rec.ShardsVisited) < 2 {
+				t.Fatalf("migrated record without lineage: %+v", rec)
+			}
+		}
+	}
+	if migrated == 0 {
+		t.Fatalf("no migrated lineages in the ledger (%d migrate events)", count[journal.KindMigrate])
+	}
+
+	// The cluster bundle freezes the same arc in one document.
+	var b struct {
+		Schema    string          `json:"schema"`
+		Kind      string          `json:"kind"`
+		Config    bundleGeometry  `json:"config"`
+		Timeline  timelineReport  `json:"timeline"`
+		Cluster   json.RawMessage `json:"cluster"`
+		Migration json.RawMessage `json:"migration"`
+	}
+	getJSON(t, mux, "/debug/bundle", &b)
+	if b.Schema != bundleSchema || b.Kind != "cluster" {
+		t.Fatalf("cluster bundle header %q/%q", b.Schema, b.Kind)
+	}
+	if b.Config.Shards != shards {
+		t.Fatalf("bundle shards %d, want %d", b.Config.Shards, shards)
+	}
+	if len(b.Timeline.Events) == 0 || len(b.Cluster) == 0 || len(b.Migration) == 0 {
+		t.Fatal("cluster bundle sections missing")
+	}
+}

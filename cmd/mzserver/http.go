@@ -55,6 +55,13 @@ func publishExpvar(reg *telemetry.Registry) {
 //	/slo         the guarantee audit: windowed bound-vs-measured tail
 //	             estimates, burn rates, alert states, transition history,
 //	             and any active recalibration hints
+//	/timeline    the event journal: sequence-ordered admit/reject/evict/
+//	             fault/SLO/freeze events, filterable by since-seq, kind,
+//	             shard, disk, stream; ?format=ndjson for line-JSON export
+//	/streams     the QoS ledger: promised-vs-delivered record per stream
+//	             with fleet-level delivered-tail percentiles
+//	/debug/bundle one-shot incident snapshot: timeline + metrics + slo +
+//	             admission + frozen trace + geometry in one JSON document
 //	/healthz     liveness probe
 //	/debug/pprof runtime profiling, only when withPprof is set
 //
@@ -63,6 +70,7 @@ func publishExpvar(reg *telemetry.Registry) {
 func newTelemetryMux(srv *server.Server, withPprof bool) *http.ServeMux {
 	reg := srv.Telemetry().Registry()
 	model.RegisterTelemetry(reg)
+	telemetry.RegisterRuntimeMetrics(reg)
 	publishExpvar(reg)
 
 	mux := http.NewServeMux()
@@ -91,6 +99,9 @@ func newTelemetryMux(srv *server.Server, withPprof bool) *http.ServeMux {
 	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, sloReport{Status: srv.SLOStatus(), Hints: srv.SLOHints()})
 	})
+	mux.HandleFunc("/timeline", timelineHandler(srv.Journal()))
+	mux.HandleFunc("/streams", streamsHandler(srv.QoSLedger()))
+	mux.HandleFunc("/debug/bundle", serverBundleHandler(srv, reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))

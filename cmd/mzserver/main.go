@@ -55,9 +55,11 @@ import (
 	"mzqos/internal/disk"
 	"mzqos/internal/dist"
 	"mzqos/internal/fault"
+	"mzqos/internal/journal"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
 	"mzqos/internal/slo"
+	"mzqos/internal/telemetry"
 	"mzqos/internal/trace"
 	"mzqos/internal/workload"
 )
@@ -163,6 +165,9 @@ func main() {
 		return
 	}
 
+	reg := telemetry.NewRegistry()
+	jnl := journal.New(journal.Config{Registry: reg})
+	ledger := journal.NewLedger(journal.LedgerConfig{})
 	srv, err := server.New(server.Config{
 		Disk:        disk.QuantumViking21(),
 		NumDisks:    *disks,
@@ -174,6 +179,9 @@ func main() {
 		Degrade:     server.DegradeConfig{Enabled: *degrade, After: *degradeWait},
 		Trace:       trace.Config{Disabled: *noTrace, Spans: *traceSpans},
 		SLO:         sloCfg,
+		Registry:    reg,
+		Journal:     jnl,
+		Ledger:      ledger,
 		Logger:      logger,
 	})
 	fatal(err)
@@ -287,16 +295,18 @@ func main() {
 	if rep, err := srv.BoundTightness(); err == nil {
 		fmt.Println()
 		fmt.Println("bound tightness (measured vs analytic, per disk):")
-		fmt.Printf("  %-4s %-8s %8s %6s %14s %14s %14s %14s\n",
-			"disk", "sweeps", "peak N", "ok", "P^[T>t]", "b_late", "glitch rate", "b_glitch")
+		fmt.Printf("  %-4s %-8s %8s %6s %14s %14s %14s %14s %9s %9s %9s\n",
+			"disk", "sweeps", "peak N", "ok", "P^[T>t]", "b_late", "glitch rate", "b_glitch",
+			"T p50", "T p99", "T p999")
 		for _, d := range rep.Disks {
 			ok := "yes"
 			if !d.WithinBounds() {
 				ok = "NO"
 			}
-			fmt.Printf("  %-4d %-8d %8d %6s %14.3e %14.3e %14.3e %14.3e\n",
+			fmt.Printf("  %-4d %-8d %8d %6s %14.3e %14.3e %14.3e %14.3e %9.3f %9.3f %9.3f\n",
 				d.Disk, d.Sweeps, d.PeakLoad, ok,
-				d.EmpiricalPLate, d.BoundPLate, d.EmpiricalGlitchRate, d.BoundGlitch)
+				d.EmpiricalPLate, d.BoundPLate, d.EmpiricalGlitchRate, d.BoundGlitch,
+				d.TP50, d.TP99, d.TP999)
 		}
 	}
 	// The SLO audit's verdict: windowed measured tails against the bounds

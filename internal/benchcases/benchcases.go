@@ -17,10 +17,12 @@ import (
 	"mzqos/internal/disk"
 	"mzqos/internal/engine"
 	"mzqos/internal/experiments"
+	"mzqos/internal/journal"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
 	"mzqos/internal/sim"
 	"mzqos/internal/slo"
+	"mzqos/internal/telemetry"
 	"mzqos/internal/trace"
 	"mzqos/internal/workload"
 )
@@ -244,6 +246,7 @@ func Suite() []Case {
 		}},
 		{Name: "SLOObserve/4disks/steady", Bench: benchSLOObserve},
 		{Name: "SLOEvaluate/4disks/steady", Bench: benchSLOEvaluate},
+		{Name: "JournalAppend/ring/steady", Bench: benchJournalAppend},
 		{Name: "ServerStep/paperLoad/trace-off", Bench: func(b *testing.B) {
 			benchServerStep(b, true)
 		}},
@@ -433,6 +436,24 @@ func benchSLOEvaluate(b *testing.B) {
 			aud.ObserveDisk(d, true, false, 26, 0)
 		}
 		aud.EndRound()
+	}
+}
+
+// benchJournalAppend measures one event-journal ring append at full
+// wrap-around steady state — the call every emitter on the round path
+// makes (admit, glitch, evict, SLO transitions). Budget: under 100 ns/op
+// with zero allocations, gated by mzbench -quick; anything more would make
+// per-glitch journalling a measurable tax on Step.
+func benchJournalAppend(b *testing.B) {
+	// A registry keeps the measurement honest: production appends also pay
+	// the per-kind counter and head-seq gauge updates.
+	j := journal.New(journal.Config{Capacity: 4096, Registry: telemetry.NewRegistry()})
+	e := journal.Event{Kind: journal.KindGlitch, Disk: -1, From: -1, To: -1, Value: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Round = i
+		j.Append(e)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"mzqos/internal/engine"
+	"mzqos/internal/journal"
 	"mzqos/internal/slo"
 	"mzqos/internal/telemetry"
 )
@@ -109,7 +110,24 @@ type Config struct {
 	// MigrateBudget caps migration re-admissions per round (0 means
 	// DefaultMigrateBudget); overflow queues for following rounds.
 	MigrateBudget int
+	// Journal optionally receives cluster-level timeline events (migrate,
+	// failover, heartbeat-staleness). Shards share the same journal via
+	// their own server configs, so one ring orders the whole cluster.
+	Journal *journal.Journal
+	// Ledger is the shared promised-vs-delivered stream ledger. With
+	// Migrate set the coordinator enables its inflight stage so a
+	// suspended stream's record merges into its sibling re-admission.
+	Ledger *journal.Ledger
+	// StaleAfter is the heartbeat-staleness threshold in coordinator
+	// rounds: a shard whose cached health lags by at least this many
+	// rounds gets a heartbeat_stale event on the rising edge
+	// (0 = DefaultStaleAfter).
+	StaleAfter int
 }
+
+// DefaultStaleAfter is the heartbeat-staleness threshold used when
+// Config.StaleAfter is zero.
+const DefaultStaleAfter = 8
 
 // shard pairs an engine with its reservation state.
 type shard struct {
@@ -211,13 +229,21 @@ type Coordinator struct {
 	pending   []migration
 	migStats  migrationStats
 
+	// Event journal / QoS ledger (nil-safe). stale tracks which shards
+	// are past the staleness threshold, Step-owned like pending.
+	jnl        *journal.Journal
+	ledger     *journal.Ledger
+	staleAfter int
+	stale      []bool
+
 	tel *clusterTelemetry
 }
 
 // migration is one exported stream state queued for re-admission.
 type migration struct {
 	state engine.StreamState
-	from  int  // source shard, excluded from re-admission candidates
+	from  int             // source shard, excluded from re-admission candidates
+	id    engine.StreamID // engine-local id on the source shard (ledger lineage key)
 	kind  string
 	tries int
 }
@@ -371,16 +397,29 @@ func New(cfg Config) (*Coordinator, error) {
 	if budget < 0 {
 		return nil, fmt.Errorf("%w: migrate budget %d", ErrConfig, cfg.MigrateBudget)
 	}
+	staleAfter := cfg.StaleAfter
+	if staleAfter <= 0 {
+		staleAfter = DefaultStaleAfter
+	}
 	c := &Coordinator{
-		route:     route,
-		routeN:    name,
-		reps:      reps,
-		hbEach:    hb,
-		placement: make(map[string][]int),
-		ring:      make([]AdmissionRecord, 0, ringSize),
-		migrate:   cfg.Migrate,
-		migBudget: budget,
-		tel:       newClusterTelemetry(cfg.Registry),
+		route:      route,
+		routeN:     name,
+		reps:       reps,
+		hbEach:     hb,
+		placement:  make(map[string][]int),
+		ring:       make([]AdmissionRecord, 0, ringSize),
+		migrate:    cfg.Migrate,
+		migBudget:  budget,
+		jnl:        cfg.Journal,
+		ledger:     cfg.Ledger,
+		staleAfter: staleAfter,
+		stale:      make([]bool, len(cfg.Engines)),
+		tel:        newClusterTelemetry(cfg.Registry),
+	}
+	if cfg.Migrate {
+		// Suspended streams wait inflight for their sibling re-admission
+		// so each logical stream keeps one lifetime ledger record.
+		c.ledger.EnableInflight()
 	}
 	for i, eng := range cfg.Engines {
 		if eng == nil {
@@ -713,8 +752,52 @@ func (c *Coordinator) Step() RoundReport {
 			c.tel.viewAge.Set(float64(int(round) - v.round))
 		}
 	}
+	c.observeStaleness(int(round))
 	return rep
 }
+
+// observeStaleness journals the rising edge of any shard's cached health
+// falling staleAfter+ rounds behind the coordinator — the dead-shard
+// smell a heartbeat collector watches for. Runs on the Step loop (stale
+// is Step-owned).
+func (c *Coordinator) observeStaleness(round int) {
+	if c.jnl == nil {
+		return
+	}
+	v := c.view.Load()
+	if v == nil {
+		return
+	}
+	for i := range v.shards {
+		if i >= len(c.stale) {
+			break
+		}
+		lag := round - v.shards[i].Round
+		if lag < 0 {
+			lag = 0
+		}
+		stale := lag >= c.staleAfter
+		if stale && !c.stale[i] {
+			c.jnl.Append(journal.Event{
+				Round: round,
+				Kind:  journal.KindHeartbeatStale,
+				Shard: i,
+				Disk:  -1,
+				From:  -1,
+				To:    -1,
+				Value: float64(lag),
+			})
+		}
+		c.stale[i] = stale
+	}
+}
+
+// Journal returns the cluster's shared event journal (nil when disabled).
+func (c *Coordinator) Journal() *journal.Journal { return c.jnl }
+
+// QoSLedger returns the shared promised-vs-delivered stream ledger (nil
+// when disabled).
+func (c *Coordinator) QoSLedger() *journal.Ledger { return c.ledger }
 
 // Run executes n cluster rounds and returns the last round's report.
 func (c *Coordinator) Run(n int) RoundReport {

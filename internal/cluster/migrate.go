@@ -9,6 +9,10 @@ package cluster
 // instead of losing the stream. Per-round work is capped by the migrate
 // budget so a mass failure drains at a configured pace.
 
+import (
+	"mzqos/internal/journal"
+)
+
 // migrateRound runs after the shard sweeps of one Step. It (1) captures
 // this round's evictions as migration work, (2) drains failed shards'
 // active sets into the queue up to the budget's remaining room, and (3)
@@ -33,9 +37,10 @@ func (c *Coordinator) migrateRound(rep *RoundReport) (migrated, failed, failedOv
 				if c.tel != nil {
 					c.tel.migFailed.Inc()
 				}
+				c.ledger.Abandon(s.id, int64(id), rep.Round)
 				continue
 			}
-			c.pending = append(c.pending, migration{state: st, from: s.id, kind: "migrate"})
+			c.pending = append(c.pending, migration{state: st, from: s.id, id: id, kind: "migrate"})
 		}
 		s.mu.Unlock()
 	}
@@ -63,10 +68,22 @@ func (c *Coordinator) migrateRound(rep *RoundReport) (migrated, failed, failedOv
 			if err != nil {
 				continue
 			}
-			c.pending = append(c.pending, migration{state: st, from: s.id, kind: "failover"})
+			c.pending = append(c.pending, migration{state: st, from: s.id, id: id, kind: "failover"})
 			c.releaseShard(s.id) // the drained stream's slot goes back
 			room--
 			failedOver++
+			if c.jnl != nil {
+				c.jnl.Append(journal.Event{
+					Round:  rep.Round,
+					Kind:   journal.KindFailover,
+					Shard:  s.id,
+					Disk:   -1,
+					Stream: int64(id),
+					Object: st.Object,
+					From:   s.id,
+					To:     -1,
+				})
+			}
 		}
 		s.mu.Unlock()
 	}
@@ -112,6 +129,7 @@ func (c *Coordinator) migrateRound(rep *RoundReport) (migrated, failed, failedOv
 			if c.tel != nil {
 				c.tel.migFailed.Inc()
 			}
+			c.ledger.Abandon(m.from, int64(m.id), rep.Round)
 		}
 	}
 	c.pending = append(c.pending, deferred...)
@@ -145,6 +163,21 @@ func (c *Coordinator) importOne(m *migration, v *view) bool {
 			Round: int(c.round.Load()), Route: c.routeN,
 			Kind: m.kind, From: m.from, Position: m.state.Position,
 		})
+		if c.jnl != nil {
+			c.jnl.Append(journal.Event{
+				Round:  int(c.round.Load()),
+				Kind:   journal.KindMigrate,
+				Shard:  id,
+				Disk:   -1,
+				Stream: int64(sid),
+				Object: m.state.Object,
+				From:   m.from,
+				To:     id,
+				Value:  float64(delay),
+				Detail: m.kind,
+			})
+		}
+		c.ledger.Migrated(m.from, int64(m.id), id, int64(sid))
 		return true
 	}
 	return false

@@ -31,6 +31,13 @@ type DiskTightness struct {
 	// analytic b_glitch(PeakLoad, t) (eq. 3.3.3).
 	EmpiricalGlitchRate float64 `json:"empirical_glitch_rate"`
 	BoundGlitch         float64 `json:"bound_glitch"`
+	// TP50/TP99/TP999 are bucket-resolved quantiles of the measured round
+	// service time T_N in seconds — where the mass of the T_N distribution
+	// sits below the tail the bounds control. Zero when no rounds were
+	// measured.
+	TP50  float64 `json:"t_p50_s"`
+	TP99  float64 `json:"t_p99_s"`
+	TP999 float64 `json:"t_p999_s"`
 }
 
 // WithinBounds reports whether both measured rates respect their bounds.

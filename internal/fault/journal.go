@@ -1,0 +1,63 @@
+package fault
+
+import (
+	"strconv"
+	"strings"
+
+	"mzqos/internal/journal"
+)
+
+// JournalTransitions appends fault_inject / fault_clear events for every
+// disk whose effects changed activity between round-1 and round. The
+// injector is a pure function of (disk, round), so the edges are computed
+// statelessly — no per-server fault state to keep in sync — and two
+// shards replaying the same plan journal identical edges.
+//
+// effs must be the injector's effects for this round (the server already
+// computes them once per Step; passing them avoids a second sweep).
+func JournalTransitions(j *journal.Journal, in *Injector, shard, round int, effs []Effects) {
+	if j == nil || in == nil {
+		return
+	}
+	for d := range effs {
+		cur := effs[d].Active()
+		prev := round > 0 && in.EffectsAt(d, round-1).Active()
+		if cur == prev {
+			continue
+		}
+		kind := journal.KindFaultInject
+		detail := describeEffects(effs[d])
+		if !cur {
+			kind = journal.KindFaultClear
+			detail = describeEffects(in.EffectsAt(d, round-1))
+		}
+		j.Append(journal.Event{
+			Round:  round,
+			Kind:   kind,
+			Shard:  shard,
+			Disk:   d,
+			From:   -1,
+			To:     -1,
+			Detail: detail,
+		})
+	}
+}
+
+// describeEffects names the active effect kinds compactly, e.g.
+// "latency x10" or "errors p=0.2+rate x0.5".
+func describeEffects(e Effects) string {
+	var parts []string
+	if e.Failed {
+		parts = append(parts, "fail")
+	}
+	if e.LatencyScale != 1 {
+		parts = append(parts, "latency x"+strconv.FormatFloat(e.LatencyScale, 'g', 3, 64))
+	}
+	if e.RateScale != 1 {
+		parts = append(parts, "rate x"+strconv.FormatFloat(e.RateScale, 'g', 3, 64))
+	}
+	if e.ErrorProb > 0 {
+		parts = append(parts, "errors p="+strconv.FormatFloat(e.ErrorProb, 'g', 3, 64))
+	}
+	return strings.Join(parts, "+")
+}

@@ -1,0 +1,365 @@
+// Package journal is the cluster-wide event timeline: a fixed-capacity
+// ring of typed, sequence-numbered events covering everything that can
+// change a stream's fate — admission and rejection, evictions, per-round
+// glitch totals, degrade/restore/recalibrate limit changes, fault
+// inject/clear edges, SLO alert transitions, flight-recorder freezes,
+// and cross-shard migration/failover/heartbeat-staleness.
+//
+// The paper quotes its guarantee per stream (P[T_N > t] ≤ b_late and the
+// §3.3 glitch bound), but after sharding and migration a stream's life is
+// scattered across engines, alerts, and recorder snapshots. The journal
+// is the single causally ordered record those surfaces share: every event
+// carries one monotonically increasing sequence number, the round it
+// happened in, and shard/disk/stream labels, so an incident reads as one
+// ordered narrative (served by mzserver's /timeline) instead of four
+// disjoint endpoints.
+//
+// Append is zero-allocation in steady state: the Event is passed by
+// value into a preallocated ring under one short mutex, and the metric
+// updates (mzqos_journal_events_total{kind}, mzqos_journal_dropped_total,
+// mzqos_journal_head_seq) hit pre-captured atomic series. A nil *Journal
+// is a disabled journal: every method is a no-op, so emitters need no
+// guards.
+package journal
+
+import (
+	"fmt"
+	"sync"
+
+	"mzqos/internal/telemetry"
+)
+
+// Kind is the event type. The numeric values index the per-kind metric
+// array and never appear on the wire — JSON uses the names.
+type Kind uint8
+
+// Event kinds, grouped by emitter.
+const (
+	// KindAdmit records a stream admitted (Open or ImportStream); Detail
+	// is "import" for migration re-admissions.
+	KindAdmit Kind = iota
+	// KindReject records a stream turned away; Detail is the rejection
+	// reason (overload, classes_full), Value the N_max in force.
+	KindReject
+	// KindEvict records a stream shed by the degraded-mode controller.
+	KindEvict
+	// KindGlitch records a round that glitched: Value is the round's late
+	// or lost fragment count (one event per glitching round, not per
+	// fragment — the per-stream totals live in the QoS ledger).
+	KindGlitch
+	// KindDegrade records degraded admission limits applied: From/To are
+	// the old and new N_max, Detail "disk_failed" when a full failure
+	// forced the limit to zero.
+	KindDegrade
+	// KindRestore records healthy limits restored (From/To as above).
+	KindRestore
+	// KindRecalibrate records a §5 model refit (From/To old/new N_max).
+	KindRecalibrate
+	// KindFaultInject / KindFaultClear are the edges of a disk's fault
+	// timeline; Detail names the active effect kinds.
+	KindFaultInject
+	KindFaultClear
+	// SLO alert transitions; Target names the audited bound, Value the
+	// fast-window measurement, Budget the analytic bound, From/To the
+	// state ordinals. A firing's Detail carries the binding admission
+	// constraint (k, bound family, disk).
+	KindSLOPending
+	KindSLOFiring
+	KindSLOResolved
+	// KindFreeze records a flight-recorder latch; TraceSeq cross-links to
+	// the frozen snapshot's span sequence, Detail is the trigger reason.
+	KindFreeze
+	// KindMigrate records a stream re-admitted on a sibling: From/To are
+	// the source and destination shards, Detail the migration kind
+	// ("migrate" for evictions, "failover" for drained shards).
+	KindMigrate
+	// KindFailover records a stream drained off a failed shard into the
+	// migration queue (From is the failed shard; the later KindMigrate
+	// event names where it landed).
+	KindFailover
+	// KindHeartbeatStale records a shard's health lag crossing the
+	// staleness threshold (rising edge only); Value is the lag in rounds.
+	KindHeartbeatStale
+
+	numKinds
+)
+
+// kindNames are the wire names, index-aligned with the Kind constants.
+var kindNames = [numKinds]string{
+	"admit", "reject", "evict", "glitch", "degrade", "restore",
+	"recalibrate", "fault_inject", "fault_clear", "slo_pending",
+	"slo_firing", "slo_resolved", "freeze", "migrate", "failover",
+	"heartbeat_stale",
+}
+
+// String names the kind (e.g. "fault_inject").
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalText renders the kind as its name in JSON payloads.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a kind name.
+func (k *Kind) UnmarshalText(b []byte) error {
+	kk, ok := KindFromString(string(b))
+	if !ok {
+		return fmt.Errorf("journal: unknown event kind %q", b)
+	}
+	*k = kk
+	return nil
+}
+
+// KindFromString resolves a wire name to its Kind.
+func KindFromString(s string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Kinds returns every event kind name in declaration order (the /timeline
+// filter vocabulary).
+func Kinds() []string { return append([]string(nil), kindNames[:]...) }
+
+// Event is one journal entry. Disk, From, and To use -1 for "not
+// applicable" (0 is a valid disk and shard id); Stream 0 means no stream
+// is involved. The From/To pair is per-kind: source/destination shards
+// for migrations, old/new N_max for limit changes, and alert-state
+// ordinals for SLO transitions.
+type Event struct {
+	// Seq is the cluster-wide monotonic sequence number assigned by
+	// Append (1-based; 0 means "never appended").
+	Seq uint64 `json:"seq"`
+	// Round is the emitting component's round index at append time.
+	Round int `json:"round"`
+	// Kind is the event type (serialized as its name).
+	Kind Kind `json:"kind"`
+	// Shard labels the emitting shard (0 for a standalone server).
+	Shard int `json:"shard"`
+	// Disk is the disk involved, or -1.
+	Disk int `json:"disk"`
+	// Stream is the engine-local stream id, or 0.
+	Stream int64 `json:"stream,omitempty"`
+	// Object names the catalog entry involved, when any.
+	Object string `json:"object,omitempty"`
+	// From and To carry the per-kind transition pair (see above), -1 when
+	// not applicable.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Target names the SLO target for slo_* events.
+	Target string `json:"target,omitempty"`
+	// Value and Budget carry per-kind numbers (glitch count, measured
+	// rate vs analytic bound, heartbeat lag).
+	Value  float64 `json:"value,omitempty"`
+	Budget float64 `json:"budget,omitempty"`
+	// TraceSeq cross-links freeze events to the flight recorder's span
+	// sequence at latch time.
+	TraceSeq uint64 `json:"trace_seq,omitempty"`
+	// Detail is a short free-form annotation (reject reason, fault kinds,
+	// freeze trigger, binding constraint).
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultCapacity is the ring size used when Config.Capacity is zero.
+const DefaultCapacity = 8192
+
+// Config sizes a Journal.
+type Config struct {
+	// Capacity is the ring size in events (0 = DefaultCapacity). Once
+	// full, appends overwrite the oldest event (counted dropped).
+	Capacity int
+	// Registry optionally receives the mzqos_journal_* metric set.
+	Registry *telemetry.Registry
+}
+
+// Journal is the fixed-capacity event ring. Append is safe for
+// concurrent use from every emitter (shard Step loops run in parallel);
+// Events and Stats may be called concurrently with appends.
+type Journal struct {
+	mu      sync.Mutex
+	ring    []Event
+	next    int
+	filled  bool
+	seq     uint64 // last assigned sequence number
+	dropped uint64 // events overwritten after the ring filled
+
+	// Metric series pre-captured at construction so Append does no
+	// registry lookups (and no allocation). All nil when no Registry.
+	kindTotal [numKinds]*telemetry.Counter
+	dropTotal *telemetry.Counter
+	headSeq   *telemetry.Gauge
+}
+
+// New builds a Journal.
+func New(cfg Config) *Journal {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	j := &Journal{ring: make([]Event, capacity)}
+	if reg := cfg.Registry; reg != nil {
+		for k := Kind(0); k < numKinds; k++ {
+			j.kindTotal[k] = reg.Counter("mzqos_journal_events_total",
+				"Journal events appended, by event kind.",
+				telemetry.L("kind", k.String()))
+		}
+		j.dropTotal = reg.Counter("mzqos_journal_dropped_total",
+			"Journal events overwritten after aging out of the ring.")
+		j.headSeq = reg.Gauge("mzqos_journal_head_seq",
+			"Sequence number of the newest journal event.")
+	}
+	return j
+}
+
+// Append assigns the next sequence number to e, stores it in the ring,
+// and returns the assigned sequence. Zero allocations in steady state;
+// a nil journal returns 0 and records nothing.
+func (j *Journal) Append(e Event) uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	overwrote := j.filled
+	if overwrote {
+		j.dropped++
+	}
+	j.ring[j.next] = e
+	j.next++
+	if j.next == len(j.ring) {
+		j.next = 0
+		j.filled = true
+	}
+	j.mu.Unlock()
+	if int(e.Kind) < len(j.kindTotal) {
+		if c := j.kindTotal[e.Kind]; c != nil {
+			c.Inc()
+		}
+	}
+	if overwrote && j.dropTotal != nil {
+		j.dropTotal.Inc()
+	}
+	if j.headSeq != nil {
+		j.headSeq.Set(float64(e.Seq))
+	}
+	return e.Seq
+}
+
+// Filter selects events for Events. The zero value of Shard and Disk is
+// a real id, so construct filters from MatchAll (or set them to -1) when
+// those dimensions should stay open.
+type Filter struct {
+	// SinceSeq selects events with Seq strictly greater (0 = from the
+	// oldest retained).
+	SinceSeq uint64
+	// Kinds restricts to the listed kinds (empty = all).
+	Kinds []Kind
+	// Shard and Disk restrict to one shard/disk; -1 means any.
+	Shard int
+	Disk  int
+	// Stream restricts to one engine-local stream id; 0 means any.
+	Stream int64
+	// Object restricts to one catalog name; empty means any.
+	Object string
+	// Limit keeps only the newest Limit matching events (0 = all).
+	Limit int
+}
+
+// MatchAll is the everything-matches filter (Shard and Disk open).
+func MatchAll() Filter { return Filter{Shard: -1, Disk: -1} }
+
+func (f *Filter) matches(e *Event) bool {
+	if e.Seq <= f.SinceSeq {
+		return false
+	}
+	if f.Shard >= 0 && e.Shard != f.Shard {
+		return false
+	}
+	if f.Disk >= 0 && e.Disk != f.Disk {
+		return false
+	}
+	if f.Stream != 0 && e.Stream != f.Stream {
+		return false
+	}
+	if f.Object != "" && e.Object != f.Object {
+		return false
+	}
+	if len(f.Kinds) > 0 {
+		ok := false
+		for _, k := range f.Kinds {
+			if e.Kind == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Events returns the retained events matching f, oldest first. Readers
+// pay the allocation; the append path never does.
+func (j *Journal) Events(f Filter) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Event
+	scan := func(evs []Event) {
+		for i := range evs {
+			if f.matches(&evs[i]) {
+				out = append(out, evs[i])
+			}
+		}
+	}
+	if j.filled {
+		scan(j.ring[j.next:])
+		scan(j.ring[:j.next])
+	} else {
+		scan(j.ring[:j.next])
+	}
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[len(out)-f.Limit:]
+	}
+	return out
+}
+
+// Stats is the journal's accounting snapshot.
+type Stats struct {
+	// Capacity is the ring size; Retained how many events it holds.
+	Capacity int `json:"capacity"`
+	Retained int `json:"retained"`
+	// HeadSeq is the newest event's sequence number (equals the lifetime
+	// append count); Dropped how many events aged out of the ring.
+	HeadSeq uint64 `json:"head_seq"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// Stats snapshots the accounting (zero value for nil).
+func (j *Journal) Stats() Stats {
+	if j == nil {
+		return Stats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	retained := j.next
+	if j.filled {
+		retained = len(j.ring)
+	}
+	return Stats{
+		Capacity: len(j.ring),
+		Retained: retained,
+		HeadSeq:  j.seq,
+		Dropped:  j.dropped,
+	}
+}

@@ -1,0 +1,163 @@
+package journal
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mzqos/internal/telemetry"
+)
+
+func TestAppendSequencesAndWraps(t *testing.T) {
+	j := New(Config{Capacity: 4})
+	for i := 0; i < 6; i++ {
+		seq := j.Append(Event{Round: i, Kind: KindAdmit, Disk: -1, From: -1, To: -1})
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d: seq %d, want %d", i, seq, i+1)
+		}
+	}
+	st := j.Stats()
+	if st.Capacity != 4 || st.Retained != 4 || st.HeadSeq != 6 || st.Dropped != 2 {
+		t.Fatalf("stats after wrap: %+v", st)
+	}
+	evs := j.Events(MatchAll())
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+3) {
+			t.Fatalf("event %d: seq %d, want %d (oldest first)", i, e.Seq, i+3)
+		}
+	}
+}
+
+func TestNilJournalIsDisabled(t *testing.T) {
+	var j *Journal
+	if seq := j.Append(Event{Kind: KindGlitch}); seq != 0 {
+		t.Fatalf("nil append returned seq %d", seq)
+	}
+	if evs := j.Events(MatchAll()); evs != nil {
+		t.Fatalf("nil Events returned %v", evs)
+	}
+	if st := j.Stats(); st != (Stats{}) {
+		t.Fatalf("nil Stats returned %+v", st)
+	}
+}
+
+func TestFilterDimensions(t *testing.T) {
+	j := New(Config{Capacity: 32})
+	j.Append(Event{Kind: KindAdmit, Shard: 0, Disk: -1, Stream: 1, Object: "a", From: -1, To: -1})
+	j.Append(Event{Kind: KindAdmit, Shard: 1, Disk: -1, Stream: 2, Object: "b", From: -1, To: -1})
+	j.Append(Event{Kind: KindEvict, Shard: 1, Disk: -1, Stream: 2, Object: "b", From: -1, To: -1})
+	j.Append(Event{Kind: KindDegrade, Shard: 0, Disk: 2, From: 5, To: 3})
+
+	cases := []struct {
+		name string
+		f    Filter
+		want int
+	}{
+		{"all", MatchAll(), 4},
+		{"kind", Filter{Shard: -1, Disk: -1, Kinds: []Kind{KindAdmit}}, 2},
+		{"two kinds", Filter{Shard: -1, Disk: -1, Kinds: []Kind{KindAdmit, KindEvict}}, 3},
+		{"shard", Filter{Shard: 1, Disk: -1}, 2},
+		{"shard zero", Filter{Shard: 0, Disk: -1}, 2},
+		{"disk", Filter{Shard: -1, Disk: 2}, 1},
+		{"stream", Filter{Shard: -1, Disk: -1, Stream: 2}, 2},
+		{"object", Filter{Shard: -1, Disk: -1, Object: "a"}, 1},
+		{"since", Filter{Shard: -1, Disk: -1, SinceSeq: 2}, 2},
+		{"limit", Filter{Shard: -1, Disk: -1, Limit: 2}, 2},
+		{"none", Filter{Shard: 7, Disk: -1}, 0},
+	}
+	for _, c := range cases {
+		if got := len(j.Events(c.f)); got != c.want {
+			t.Fatalf("%s: got %d events, want %d", c.name, got, c.want)
+		}
+	}
+	// Limit keeps the newest events.
+	evs := j.Events(Filter{Shard: -1, Disk: -1, Limit: 2})
+	if evs[0].Seq != 3 || evs[1].Seq != 4 {
+		t.Fatalf("limit kept seqs %d,%d; want 3,4", evs[0].Seq, evs[1].Seq)
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	names := Kinds()
+	if len(names) != int(numKinds) {
+		t.Fatalf("Kinds() returned %d names, want %d", len(names), numKinds)
+	}
+	for i, name := range names {
+		k, ok := KindFromString(name)
+		if !ok || k != Kind(i) {
+			t.Fatalf("round trip %q: got %v (ok=%v)", name, k, ok)
+		}
+	}
+	if _, ok := KindFromString("bogus"); ok {
+		t.Fatal("bogus kind resolved")
+	}
+	var k Kind
+	if err := k.UnmarshalText([]byte("migrate")); err != nil || k != KindMigrate {
+		t.Fatalf("UnmarshalText: %v, %v", k, err)
+	}
+	if err := k.UnmarshalText([]byte("nope")); err == nil {
+		t.Fatal("unknown kind unmarshalled")
+	}
+}
+
+func TestEventJSONShape(t *testing.T) {
+	e := Event{Seq: 9, Round: 3, Kind: KindMigrate, Shard: 1, Disk: -1, Stream: 7,
+		Object: "clip", From: 0, To: 1, Detail: "migrate"}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["kind"] != "migrate" {
+		t.Fatalf("kind serialized as %v", m["kind"])
+	}
+	// Disk/From/To always serialize (0 is a real id, -1 the sentinel).
+	for _, key := range []string{"disk", "from", "to", "seq", "round", "shard"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("missing %q in %s", key, raw)
+		}
+	}
+	var back Event
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != e {
+		t.Fatalf("round trip: got %+v, want %+v", back, e)
+	}
+}
+
+func TestJournalMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	j := New(Config{Capacity: 2, Registry: reg})
+	j.Append(Event{Kind: KindAdmit})
+	j.Append(Event{Kind: KindAdmit})
+	j.Append(Event{Kind: KindGlitch}) // overwrites the oldest
+
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("mzqos_journal_events_total", telemetry.L("kind", "admit")); v != 2 {
+		t.Fatalf("admit counter: got %d, want 2", v)
+	}
+	if v, _ := snap.Counter("mzqos_journal_events_total", telemetry.L("kind", "glitch")); v != 1 {
+		t.Fatalf("glitch counter: got %d, want 1", v)
+	}
+	if v, _ := snap.Counter("mzqos_journal_dropped_total"); v != 1 {
+		t.Fatalf("dropped counter: got %d, want 1", v)
+	}
+	if v, _ := snap.Gauge("mzqos_journal_head_seq"); v != 3 {
+		t.Fatalf("head seq gauge: got %v, want 3", v)
+	}
+}
+
+func TestAppendAllocsZero(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	j := New(Config{Capacity: 1024, Registry: reg})
+	e := Event{Round: 1, Kind: KindGlitch, Shard: 0, Disk: -1, From: -1, To: -1, Value: 3}
+	if allocs := testing.AllocsPerRun(1000, func() { j.Append(e) }); allocs != 0 {
+		t.Fatalf("Append allocates %v times per call, want 0", allocs)
+	}
+}

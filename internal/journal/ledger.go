@@ -1,0 +1,385 @@
+// The QoS ledger: one lifetime record per stream, promised vs delivered.
+//
+// At admit the server quotes a stochastic guarantee — P[T_N > t] ≤ b_late
+// and the §3.3 per-stream glitch bound, with the binding constraint (disk,
+// k = N_max+1, bound family, θ) from the admission explanation. The ledger
+// freezes that quote and, when the stream retires, pairs it with what was
+// actually delivered: measured startup delay, served fragments, glitch
+// count, and — after PR 8 — how many times the stream migrated and which
+// shards it visited. Migration makes this non-trivial: an exported stream
+// is re-admitted under a fresh engine-local id on another shard, so the
+// ledger threads a three-state lifecycle (active → inflight → retired,
+// with Migrated merging an inflight record into its successor) to keep
+// exactly one record, and exactly one glitch total, per logical stream.
+package journal
+
+import (
+	"sort"
+	"sync"
+
+	"mzqos/internal/telemetry"
+)
+
+// Promise is the guarantee quoted at admission time.
+type Promise struct {
+	// Object is the catalog entry; Shard the admitting shard; Round the
+	// admission round; SlotDelay the §2.3 startup delay granted (rounds).
+	Object    string `json:"object"`
+	Shard     int    `json:"shard"`
+	Round     int    `json:"round"`
+	SlotDelay int    `json:"slot_delay"`
+	// BoundLate and BoundGlitch are the analytic tail bounds in force
+	// when the stream was admitted (b_late at N_max; eq. 3.3.3).
+	BoundLate   float64 `json:"b_late"`
+	BoundGlitch float64 `json:"b_glitch"`
+	// BindingDisk/BindingK/BindingBound/Theta describe the binding
+	// admission constraint (from the explanation of the disk that set
+	// N_max): the load level k and Chernoff parameter θ at which the
+	// named bound family went tight.
+	BindingDisk  int     `json:"binding_disk"`
+	BindingK     int     `json:"binding_k"`
+	BindingBound string  `json:"binding_bound,omitempty"`
+	Theta        float64 `json:"theta,omitempty"`
+}
+
+// Delivered is what the stream actually experienced.
+type Delivered struct {
+	// StartupDelay is the realized §2.3 delay in rounds (cumulative
+	// across migrations); Served the fragments delivered; Glitches the
+	// lifetime late/lost fragment total.
+	StartupDelay int `json:"startup_delay"`
+	Served       int `json:"served"`
+	Glitches     int `json:"glitches"`
+	// Done marks natural completion; Evicted a degraded-mode shed;
+	// Abandoned a migration that never found a new home.
+	Done      bool `json:"done"`
+	Evicted   bool `json:"evicted,omitempty"`
+	Abandoned bool `json:"abandoned,omitempty"`
+}
+
+// Record is one stream's lifetime ledger entry.
+type Record struct {
+	// Stream is the newest engine-local id (ids change across
+	// migrations); Shard the shard currently (or last) hosting it.
+	Stream int64 `json:"stream"`
+	Shard  int   `json:"shard"`
+	// Object repeats the catalog name for convenience.
+	Object string `json:"object"`
+	// Promised is the quote frozen at first admission; Delivered the
+	// realized service (interim for active streams, final once retired).
+	Promised  Promise   `json:"promised"`
+	Delivered Delivered `json:"delivered"`
+	// Migrations counts successful cross-shard moves; ShardsVisited
+	// lists every shard that hosted the stream, in order.
+	Migrations    int   `json:"migrations"`
+	ShardsVisited []int `json:"shards_visited"`
+	// AdmitSeq cross-links to the journal's admit event.
+	AdmitSeq uint64 `json:"admit_seq,omitempty"`
+	// RetiredRound is the round the record finalized, -1 while active or
+	// inflight.
+	RetiredRound int `json:"retired_round"`
+}
+
+// ledgerKey identifies a stream while it is attached to a shard. Engine
+// ids are only unique per shard, hence the pair.
+type ledgerKey struct {
+	shard int
+	id    int64
+}
+
+// DefaultRetired is the retired-ring capacity when LedgerConfig leaves it 0.
+const DefaultRetired = 4096
+
+// LedgerConfig sizes a Ledger.
+type LedgerConfig struct {
+	// Retired bounds the retained finalized records (0 = DefaultRetired).
+	// The delivered-tail histograms keep counting past the ring.
+	Retired int
+}
+
+// Ledger tracks every stream's promised-vs-delivered record. All methods
+// are nil-safe no-ops so wiring is unconditional, and safe for concurrent
+// use from parallel shard Step loops.
+type Ledger struct {
+	mu              sync.Mutex
+	active          map[ledgerKey]*Record
+	inflight        map[ledgerKey]*Record // suspended, awaiting re-admission
+	inflightEnabled bool
+
+	retired      []Record // ring, oldest at retPos when full
+	retPos       int
+	retLen       int
+	retiredTotal int64
+
+	// Delivered-tail accumulators over every retirement (not just the
+	// retained ring): startup delay in rounds and lifetime glitch count.
+	delayHist  *telemetry.Histogram
+	glitchHist *telemetry.Histogram
+}
+
+// NewLedger builds a Ledger.
+func NewLedger(cfg LedgerConfig) *Ledger {
+	capacity := cfg.Retired
+	if capacity <= 0 {
+		capacity = DefaultRetired
+	}
+	delayHist, _ := telemetry.NewHistogram([]float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128})
+	glitchHist, _ := telemetry.NewHistogram([]float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
+	return &Ledger{
+		active:     make(map[ledgerKey]*Record),
+		inflight:   make(map[ledgerKey]*Record),
+		retired:    make([]Record, capacity),
+		delayHist:  delayHist,
+		glitchHist: glitchHist,
+	}
+}
+
+// EnableInflight switches suspended streams into the inflight stage
+// instead of finalizing immediately. The cluster coordinator enables it
+// when migration is on, so an evicted or drained stream's record waits
+// for its re-admission and the two halves merge into one lifetime entry.
+func (l *Ledger) EnableInflight() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.inflightEnabled = true
+	l.mu.Unlock()
+}
+
+// Admit opens a ledger record for a newly admitted stream under the
+// promise quoted at admission. admitSeq cross-links the journal event.
+func (l *Ledger) Admit(shard int, id int64, p Promise, admitSeq uint64) {
+	if l == nil {
+		return
+	}
+	rec := &Record{
+		Stream:        id,
+		Shard:         shard,
+		Object:        p.Object,
+		Promised:      p,
+		ShardsVisited: []int{shard},
+		AdmitSeq:      admitSeq,
+		RetiredRound:  -1,
+	}
+	l.mu.Lock()
+	l.active[ledgerKey{shard, id}] = rec
+	l.mu.Unlock()
+}
+
+// Suspend detaches a stream from its shard with the delivered stats as of
+// the detach (eviction or export for migration). With the inflight stage
+// enabled the record waits for Migrated/Abandon; otherwise it finalizes
+// immediately at the given round.
+func (l *Ledger) Suspend(shard int, id int64, d Delivered, round int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := ledgerKey{shard, id}
+	rec, ok := l.active[k]
+	if !ok {
+		return
+	}
+	delete(l.active, k)
+	rec.Delivered = d
+	if l.inflightEnabled {
+		l.inflight[k] = rec
+		return
+	}
+	l.finalizeLocked(rec, round)
+}
+
+// Retire finalizes a stream that ended on its shard (completion or close).
+// A stream already suspended is not re-finalized.
+func (l *Ledger) Retire(shard int, id int64, d Delivered, round int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := ledgerKey{shard, id}
+	rec, ok := l.active[k]
+	if !ok {
+		return
+	}
+	delete(l.active, k)
+	rec.Delivered = d
+	l.finalizeLocked(rec, round)
+}
+
+// Migrated merges a suspended record into its re-admission: the stream
+// suspended as (fromShard, fromID) is now active as (toShard, toID). The
+// original promise, migration count, and shard lineage carry over; the
+// fresh Admit's record (created by the destination server) is replaced.
+func (l *Ledger) Migrated(fromShard int, fromID int64, toShard int, toID int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	from := ledgerKey{fromShard, fromID}
+	to := ledgerKey{toShard, toID}
+	old, okOld := l.inflight[from]
+	cur, okCur := l.active[to]
+	if !okOld || !okCur {
+		// Without both halves there is nothing to merge; keep whichever
+		// exists (the destination Admit already opened a fresh record).
+		return
+	}
+	delete(l.inflight, from)
+	old.Stream = toID
+	old.Shard = toShard
+	old.Migrations++
+	old.ShardsVisited = append(old.ShardsVisited, toShard)
+	old.AdmitSeq = cur.AdmitSeq
+	// The destination server re-imports the carried state, so its stream
+	// resumes with the lifetime served/glitch totals; keep the merged
+	// record's delivered view interim until retirement.
+	l.active[to] = old
+}
+
+// Abandon finalizes a suspended stream whose migration never landed
+// (export failed or no sibling had capacity after the retry budget).
+func (l *Ledger) Abandon(shard int, id int64, round int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := ledgerKey{shard, id}
+	rec, ok := l.inflight[k]
+	if !ok {
+		// An export that failed before Suspend leaves the record active.
+		if rec, ok = l.active[k]; !ok {
+			return
+		}
+		delete(l.active, k)
+	} else {
+		delete(l.inflight, k)
+	}
+	rec.Delivered.Abandoned = true
+	l.finalizeLocked(rec, round)
+}
+
+// finalizeLocked stamps the record, pushes it into the retired ring, and
+// feeds the delivered-tail histograms. Caller holds l.mu.
+func (l *Ledger) finalizeLocked(rec *Record, round int) {
+	rec.RetiredRound = round
+	l.retired[l.retPos] = *rec
+	l.retPos++
+	if l.retPos == len(l.retired) {
+		l.retPos = 0
+	}
+	if l.retLen < len(l.retired) {
+		l.retLen++
+	}
+	l.retiredTotal++
+	l.delayHist.Observe(float64(rec.Delivered.StartupDelay))
+	l.glitchHist.Observe(float64(rec.Delivered.Glitches))
+}
+
+// TailSummary is a fleet-level delivered-tail readout: quantiles of one
+// delivered quantity over every retired stream.
+type TailSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+func tailOf(h *telemetry.Histogram) TailSummary {
+	v := h.SnapshotValues()
+	t := TailSummary{Count: v.Count}
+	if v.Count > 0 {
+		t.Mean = v.Sum / float64(v.Count)
+	}
+	t.P50 = v.Quantile(0.5)
+	t.P90 = v.Quantile(0.9)
+	t.P99 = v.Quantile(0.99)
+	t.P999 = v.Quantile(0.999)
+	return t
+}
+
+// Report is the /streams payload.
+type Report struct {
+	// ActiveStreams / InflightMigrations / RetiredTotal count the three
+	// lifecycle stages; Retained is how many retired records the ring
+	// still holds.
+	ActiveStreams      int   `json:"active_streams"`
+	InflightMigrations int   `json:"inflight_migrations"`
+	RetiredTotal       int64 `json:"retired_total"`
+	Retained           int   `json:"retained"`
+	// StartupDelayRounds and GlitchesPerStream are fleet-level delivered
+	// tails over every retirement (quantiles report the histogram bucket
+	// bound covering the target rank).
+	StartupDelayRounds TailSummary `json:"startup_delay_rounds"`
+	GlitchesPerStream  TailSummary `json:"glitches_per_stream"`
+	// Retired lists the retained finalized records, oldest first; Active
+	// snapshots the in-flight promises, ordered by (shard, stream).
+	Retired []Record `json:"retired"`
+	Active  []Record `json:"active"`
+}
+
+// Report snapshots the ledger.
+func (l *Ledger) Report() Report {
+	if l == nil {
+		return Report{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rep := Report{
+		ActiveStreams:      len(l.active),
+		InflightMigrations: len(l.inflight),
+		RetiredTotal:       l.retiredTotal,
+		Retained:           l.retLen,
+		StartupDelayRounds: tailOf(l.delayHist),
+		GlitchesPerStream:  tailOf(l.glitchHist),
+	}
+	rep.Retired = make([]Record, 0, l.retLen)
+	start := 0
+	if l.retLen == len(l.retired) {
+		start = l.retPos
+	}
+	for i := 0; i < l.retLen; i++ {
+		rec := l.retired[(start+i)%len(l.retired)]
+		rec.ShardsVisited = append([]int(nil), rec.ShardsVisited...)
+		rep.Retired = append(rep.Retired, rec)
+	}
+	rep.Active = make([]Record, 0, len(l.active))
+	for _, rec := range l.active {
+		cp := *rec
+		cp.ShardsVisited = append([]int(nil), rec.ShardsVisited...)
+		rep.Active = append(rep.Active, cp)
+	}
+	sort.Slice(rep.Active, func(i, j int) bool {
+		if rep.Active[i].Shard != rep.Active[j].Shard {
+			return rep.Active[i].Shard < rep.Active[j].Shard
+		}
+		return rep.Active[i].Stream < rep.Active[j].Stream
+	})
+	return rep
+}
+
+// Lookup returns the record currently tracked for (shard, id), searching
+// active then inflight. Mostly for tests.
+func (l *Ledger) Lookup(shard int, id int64) (Record, bool) {
+	if l == nil {
+		return Record{}, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := ledgerKey{shard, id}
+	rec, ok := l.active[k]
+	if !ok {
+		if rec, ok = l.inflight[k]; !ok {
+			return Record{}, false
+		}
+	}
+	cp := *rec
+	cp.ShardsVisited = append([]int(nil), rec.ShardsVisited...)
+	return cp, true
+}

@@ -1,0 +1,158 @@
+package journal
+
+import "testing"
+
+func promiseFor(object string, shard int) Promise {
+	return Promise{
+		Object: object, Shard: shard, Round: 0, SlotDelay: 1,
+		BoundLate: 1e-3, BoundGlitch: 1e-4,
+		BindingDisk: 0, BindingK: 5, BindingBound: "b_late", Theta: 0.7,
+	}
+}
+
+func TestLedgerAdmitRetire(t *testing.T) {
+	l := NewLedger(LedgerConfig{})
+	l.Admit(0, 1, promiseFor("clip-a", 0), 11)
+	rec, ok := l.Lookup(0, 1)
+	if !ok || rec.RetiredRound != -1 || rec.AdmitSeq != 11 {
+		t.Fatalf("active record: %+v (ok=%v)", rec, ok)
+	}
+	l.Retire(0, 1, Delivered{StartupDelay: 2, Served: 40, Glitches: 3, Done: true}, 50)
+	if _, ok := l.Lookup(0, 1); ok {
+		t.Fatal("record still tracked after retire")
+	}
+	rep := l.Report()
+	if rep.RetiredTotal != 1 || len(rep.Retired) != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	got := rep.Retired[0]
+	if got.RetiredRound != 50 || !got.Delivered.Done || got.Delivered.Glitches != 3 {
+		t.Fatalf("retired record: %+v", got)
+	}
+	if got.Promised.BindingK != 5 || got.Promised.BoundLate != 1e-3 {
+		t.Fatalf("promise not frozen: %+v", got.Promised)
+	}
+	if rep.GlitchesPerStream.Count != 1 || rep.StartupDelayRounds.Count != 1 {
+		t.Fatalf("tails not fed: %+v", rep)
+	}
+}
+
+func TestLedgerSuspendWithoutInflightFinalizes(t *testing.T) {
+	l := NewLedger(LedgerConfig{})
+	l.Admit(0, 1, promiseFor("clip-a", 0), 1)
+	l.Suspend(0, 1, Delivered{Served: 10, Glitches: 1, Evicted: true}, 20)
+	rep := l.Report()
+	if rep.RetiredTotal != 1 || rep.InflightMigrations != 0 {
+		t.Fatalf("suspend without inflight: %+v", rep)
+	}
+	if !rep.Retired[0].Delivered.Evicted {
+		t.Fatal("eviction flag lost")
+	}
+	// Retiring after the suspend must not double-finalize.
+	l.Retire(0, 1, Delivered{Served: 10, Glitches: 1}, 20)
+	if rep := l.Report(); rep.RetiredTotal != 1 {
+		t.Fatalf("double finalize: %+v", rep)
+	}
+}
+
+func TestLedgerMigrationMerge(t *testing.T) {
+	l := NewLedger(LedgerConfig{})
+	l.EnableInflight()
+	l.Admit(0, 1, promiseFor("clip-a", 0), 7)
+
+	// Shard 0 exports the stream mid-flight.
+	l.Suspend(0, 1, Delivered{StartupDelay: 1, Served: 15, Glitches: 2}, 30)
+	if rep := l.Report(); rep.InflightMigrations != 1 || rep.RetiredTotal != 0 {
+		t.Fatalf("after suspend: %+v", rep)
+	}
+
+	// Shard 2 re-admits it under a fresh id; the coordinator merges.
+	l.Admit(2, 9, promiseFor("clip-a", 2), 8)
+	l.Migrated(0, 1, 2, 9)
+	rec, ok := l.Lookup(2, 9)
+	if !ok {
+		t.Fatal("merged record not active on destination")
+	}
+	if rec.Migrations != 1 {
+		t.Fatalf("migrations: got %d, want 1", rec.Migrations)
+	}
+	if len(rec.ShardsVisited) != 2 || rec.ShardsVisited[0] != 0 || rec.ShardsVisited[1] != 2 {
+		t.Fatalf("lineage: %v", rec.ShardsVisited)
+	}
+	if rec.Promised.Shard != 0 {
+		t.Fatalf("original promise lost: %+v", rec.Promised)
+	}
+	if rec.AdmitSeq != 8 {
+		t.Fatalf("admit seq should follow the re-admission: %d", rec.AdmitSeq)
+	}
+
+	// Final retirement carries lifetime totals (the destination engine
+	// imported served/glitch counts, so its retire stats are lifetime).
+	l.Retire(2, 9, Delivered{StartupDelay: 3, Served: 60, Glitches: 4, Done: true}, 90)
+	rep := l.Report()
+	if rep.RetiredTotal != 1 || rep.InflightMigrations != 0 || rep.ActiveStreams != 0 {
+		t.Fatalf("after retire: %+v", rep)
+	}
+	got := rep.Retired[0]
+	if got.Delivered.Glitches != 4 || got.Migrations != 1 || got.Stream != 9 || got.Shard != 2 {
+		t.Fatalf("final record: %+v", got)
+	}
+}
+
+func TestLedgerAbandon(t *testing.T) {
+	l := NewLedger(LedgerConfig{})
+	l.EnableInflight()
+	l.Admit(0, 1, promiseFor("clip-a", 0), 1)
+	l.Suspend(0, 1, Delivered{Served: 5, Glitches: 1, Evicted: true}, 10)
+	l.Abandon(0, 1, 13)
+	rep := l.Report()
+	if rep.RetiredTotal != 1 || rep.InflightMigrations != 0 {
+		t.Fatalf("abandon: %+v", rep)
+	}
+	got := rep.Retired[0]
+	if !got.Delivered.Abandoned || !got.Delivered.Evicted || got.RetiredRound != 13 {
+		t.Fatalf("abandoned record: %+v", got)
+	}
+
+	// Abandon of a still-active record (export failed before Suspend).
+	l.Admit(1, 2, promiseFor("clip-b", 1), 2)
+	l.Abandon(1, 2, 14)
+	if rep := l.Report(); rep.RetiredTotal != 2 || rep.ActiveStreams != 0 {
+		t.Fatalf("active abandon: %+v", rep)
+	}
+}
+
+func TestLedgerRetiredRingBounds(t *testing.T) {
+	l := NewLedger(LedgerConfig{Retired: 2})
+	for i := int64(1); i <= 3; i++ {
+		l.Admit(0, i, promiseFor("clip", 0), uint64(i))
+		l.Retire(0, i, Delivered{Done: true}, int(i)*10)
+	}
+	rep := l.Report()
+	if rep.RetiredTotal != 3 || rep.Retained != 2 || len(rep.Retired) != 2 {
+		t.Fatalf("ring accounting: %+v", rep)
+	}
+	if rep.Retired[0].Stream != 2 || rep.Retired[1].Stream != 3 {
+		t.Fatalf("oldest-first order: %+v", rep.Retired)
+	}
+	// Histograms keep counting past the ring.
+	if rep.GlitchesPerStream.Count != 3 {
+		t.Fatalf("tail count: got %d, want 3", rep.GlitchesPerStream.Count)
+	}
+}
+
+func TestNilLedgerIsDisabled(t *testing.T) {
+	var l *Ledger
+	l.EnableInflight()
+	l.Admit(0, 1, Promise{}, 1)
+	l.Suspend(0, 1, Delivered{}, 1)
+	l.Retire(0, 1, Delivered{}, 1)
+	l.Migrated(0, 1, 1, 2)
+	l.Abandon(0, 1, 1)
+	if rep := l.Report(); rep.RetiredTotal != 0 {
+		t.Fatalf("nil report: %+v", rep)
+	}
+	if _, ok := l.Lookup(0, 1); ok {
+		t.Fatal("nil lookup succeeded")
+	}
+}

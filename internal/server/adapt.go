@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"mzqos/internal/dist"
+	"mzqos/internal/journal"
 	"mzqos/internal/workload"
 )
 
@@ -71,6 +72,7 @@ func (s *Server) Recalibrate(minSamples int64) (oldLimit, newLimit int, err erro
 		s.tel.degradeTransitions.Inc()
 	}
 	s.publishLimits()
+	s.journalLimitChange(journal.KindRecalibrate, ev.bindDisk, oldLimit, ev.nmax, "")
 	if s.log != nil {
 		s.log.Info("recalibrated admission model",
 			"old_nmax", oldLimit,

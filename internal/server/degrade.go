@@ -6,6 +6,7 @@ import (
 
 	"mzqos/internal/disk"
 	"mzqos/internal/fault"
+	"mzqos/internal/journal"
 	"mzqos/internal/model"
 )
 
@@ -182,12 +183,18 @@ func (s *Server) applyDegraded(effs []fault.Effects, sig string) []StreamID {
 	} else {
 		s.tel.failed.Set(0)
 	}
+	oldLimit := s.nmax
 	s.limitMu.Lock()
 	s.mdl, s.mdls, s.nmax = ev.binding, ev.mdls, ev.nmax
 	s.explains, s.bindDisk = ev.explains, ev.bindDisk
 	s.limitMu.Unlock()
 	s.publishLimits()
 	s.trc.Freeze("degrade", s.round)
+	detail := ""
+	if failed {
+		detail = "disk_failed"
+	}
+	s.journalLimitChange(journal.KindDegrade, ev.bindDisk, oldLimit, ev.nmax, detail)
 	if s.log != nil {
 		s.log.Warn("degraded admission limits applied",
 			"round", s.round,
@@ -225,6 +232,7 @@ func (s *Server) shedToLimit() []StreamID {
 			if !ok || st.offset != class {
 				continue
 			}
+			s.journalEvict(st)
 			s.rememberEvicted(st)
 			s.retire(st, false)
 			s.tel.evictions.Inc()
@@ -238,11 +246,13 @@ func (s *Server) shedToLimit() []StreamID {
 // restoreHealthy reinstates the limits saved at the first degradation
 // once the fault timeline has been clean for the debounce window.
 func (s *Server) restoreHealthy() {
+	oldLimit := s.nmax
 	s.limitMu.Lock()
 	s.mdl, s.mdls, s.nmax = s.deg.baseMdl, s.deg.baseMdls, s.deg.baseNmax
 	s.explains, s.bindDisk = s.deg.baseExplains, s.deg.baseBindDisk
 	s.limitMu.Unlock()
 	s.publishLimits()
+	s.journalLimitChange(journal.KindRestore, s.bindDisk, oldLimit, s.nmax, "")
 	s.deg.active = false
 	s.deg.appliedSig = ""
 	s.deg.baseMdl, s.deg.baseMdls, s.deg.baseExplains = nil, nil, nil

@@ -1,6 +1,9 @@
 package server
 
-import "mzqos/internal/model"
+import (
+	"mzqos/internal/journal"
+	"mzqos/internal/model"
+)
 
 // Rejection reasons recorded by admission control.
 const (
@@ -65,6 +68,19 @@ func (s *Server) recordRejection(object, reason string) {
 		}
 	}
 	s.admMu.Unlock()
+	if s.jnl != nil {
+		s.jnl.Append(journal.Event{
+			Round:  s.round,
+			Kind:   journal.KindReject,
+			Shard:  s.shard,
+			Disk:   -1,
+			Object: object,
+			From:   -1,
+			To:     -1,
+			Value:  float64(s.nmax),
+			Detail: reason,
+		})
+	}
 	if s.log != nil {
 		s.log.Warn("stream rejected",
 			"object", object,

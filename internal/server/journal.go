@@ -1,0 +1,95 @@
+package server
+
+import "mzqos/internal/journal"
+
+// Journal returns the event journal this server emits to (nil when
+// journalling is disabled). In cluster mode every shard shares one.
+func (s *Server) Journal() *journal.Journal { return s.jnl }
+
+// QoSLedger returns the promised-vs-delivered stream ledger (nil when
+// disabled).
+func (s *Server) QoSLedger() *journal.Ledger { return s.ledger }
+
+// Shard returns the cluster shard id this server labels its journal
+// events with (0 standalone).
+func (s *Server) Shard() int { return s.shard }
+
+// journalAdmit records an admission on the timeline and opens the
+// stream's ledger record with the guarantee quoted right now: the
+// analytic bounds in force plus the binding constraint from the
+// admission explanation of the disk that set N_max. Runs on the loop
+// thread (Open/ImportStream), so reading explains/bindDisk needs no lock.
+func (s *Server) journalAdmit(st *stream, imported bool) {
+	if s.jnl == nil && s.ledger == nil {
+		return
+	}
+	detail := ""
+	if imported {
+		detail = "import"
+	}
+	seq := s.jnl.Append(journal.Event{
+		Round:  s.round,
+		Kind:   journal.KindAdmit,
+		Shard:  s.shard,
+		Disk:   -1,
+		Stream: int64(st.id),
+		Object: st.obj.name,
+		From:   -1,
+		To:     -1,
+		Detail: detail,
+	})
+	if s.ledger == nil {
+		return
+	}
+	p := journal.Promise{
+		Object:      st.obj.name,
+		Shard:       s.shard,
+		Round:       s.round,
+		SlotDelay:   st.delay,
+		BoundLate:   s.tel.boundLate.Value(),
+		BoundGlitch: s.tel.boundGlitch.Value(),
+		BindingDisk: s.bindDisk,
+	}
+	if s.bindDisk >= 0 && s.bindDisk < len(s.explains) {
+		exp := s.explains[s.bindDisk]
+		p.BindingK = exp.BindingK
+		p.BindingBound = exp.Bound
+		p.Theta = exp.Theta
+	}
+	s.ledger.Admit(s.shard, int64(st.id), p, seq)
+}
+
+// journalEvict records a degraded-mode shed on the timeline. The ledger
+// side happens in rememberEvicted (the suspend carries delivered stats).
+func (s *Server) journalEvict(st *stream) {
+	if s.jnl == nil {
+		return
+	}
+	s.jnl.Append(journal.Event{
+		Round:  s.round,
+		Kind:   journal.KindEvict,
+		Shard:  s.shard,
+		Disk:   -1,
+		Stream: int64(st.id),
+		Object: st.obj.name,
+		From:   -1,
+		To:     -1,
+	})
+}
+
+// journalLimitChange records a degrade/restore/recalibrate transition of
+// the admission limit: From/To are the old and new N_max.
+func (s *Server) journalLimitChange(kind journal.Kind, disk, oldLimit, newLimit int, detail string) {
+	if s.jnl == nil {
+		return
+	}
+	s.jnl.Append(journal.Event{
+		Round:  s.round,
+		Kind:   kind,
+		Shard:  s.shard,
+		Disk:   disk,
+		From:   oldLimit,
+		To:     newLimit,
+		Detail: detail,
+	})
+}

@@ -300,6 +300,9 @@ func (s *Server) BoundTightness() (TightnessReport, error) {
 			PeakLoad: int(dt.peakLoad.Value()),
 		}
 		row.EmpiricalPLate = hv.TailAbove(s.cfg.RoundLength)
+		row.TP50 = hv.Quantile(0.5)
+		row.TP99 = hv.Quantile(0.99)
+		row.TP999 = hv.Quantile(0.999)
 		if row.Requests > 0 {
 			row.EmpiricalGlitchRate = float64(row.Glitches) / float64(row.Requests)
 		}

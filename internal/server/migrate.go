@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"mzqos/internal/engine"
+	"mzqos/internal/journal"
 )
 
 // Stream migration: the server side of the cluster's evict-to-migrate
@@ -34,6 +35,15 @@ func (s *Server) rememberEvicted(st *stream) {
 		s.evictedQ = append(s.evictedQ, st.id)
 	}
 	s.evictedStates[st.id] = streamState(st)
+	// Detach the stream's ledger record with its delivered stats so far;
+	// with migration enabled it waits inflight for re-admission, otherwise
+	// the eviction finalizes it.
+	s.ledger.Suspend(s.shard, int64(st.id), journal.Delivered{
+		StartupDelay: st.delay,
+		Served:       st.served,
+		Glitches:     st.glitches,
+		Evicted:      true,
+	}, s.round)
 }
 
 // streamState captures a stream's resumable state.
@@ -58,6 +68,11 @@ func (s *Server) ExportStream(id StreamID) (engine.StreamState, error) {
 		s.classes[st.offset]--
 		s.syncClassesView()
 		s.tel.active.Set(float64(len(s.active)))
+		s.ledger.Suspend(s.shard, int64(id), journal.Delivered{
+			StartupDelay: st.delay,
+			Served:       st.served,
+			Glitches:     st.glitches,
+		}, s.round)
 		return state, nil
 	}
 	if state, ok := s.evictedStates[id]; ok {
@@ -121,6 +136,7 @@ func (s *Server) ImportStream(state engine.StreamState) (StreamID, int, error) {
 	s.syncClassesView()
 	s.tel.admitted.Inc()
 	s.tel.active.Set(float64(len(s.active)))
+	s.journalAdmit(st, true)
 	return st.id, bestDelay, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"mzqos/internal/engine"
 	"mzqos/internal/fault"
+	"mzqos/internal/journal"
 	"mzqos/internal/trace"
 )
 
@@ -59,6 +60,11 @@ func (s *Server) Step() RoundReport {
 		}
 	}
 	s.tel.faultActive.Set(float64(faulty))
+	if s.jnl != nil {
+		// The injector is a pure function of (disk, round), so the
+		// inject/clear edges are computed statelessly each round.
+		fault.JournalTransitions(s.jnl, s.inj, s.shard, s.round, effs)
+	}
 
 	// Gather the due requests per disk in ascending StreamID order (map
 	// iteration order is randomized and would break seeded reproducibility
@@ -217,8 +223,23 @@ func (s *Server) Step() RoundReport {
 	}
 	s.tel.rounds.Inc()
 	s.tel.glitches.Add(int64(rep.Glitches))
-	if tracing && rep.Glitches > 0 {
-		s.trc.Freeze("glitch", s.round)
+	if rep.Glitches > 0 {
+		if tracing {
+			s.trc.Freeze("glitch", s.round)
+		}
+		if s.jnl != nil {
+			// One event per glitching round with the round's fragment
+			// total — per-stream glitch accounting lives in the ledger.
+			s.jnl.Append(journal.Event{
+				Round: s.round,
+				Kind:  journal.KindGlitch,
+				Shard: s.shard,
+				Disk:  -1,
+				From:  -1,
+				To:    -1,
+				Value: float64(rep.Glitches),
+			})
+		}
 	}
 
 	for _, st := range done {

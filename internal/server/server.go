@@ -26,6 +26,7 @@ import (
 	"mzqos/internal/dist"
 	"mzqos/internal/engine"
 	"mzqos/internal/fault"
+	"mzqos/internal/journal"
 	"mzqos/internal/model"
 	"mzqos/internal/slo"
 	"mzqos/internal/telemetry"
@@ -121,6 +122,17 @@ type Config struct {
 	// server would silently adopt the first one's series and the shards
 	// would clobber each other's counters.
 	InstanceLabels []telemetry.Label
+	// Journal optionally receives typed lifecycle events (admission,
+	// eviction, glitching rounds, limit changes, fault edges, SLO alert
+	// transitions, recorder freezes) on the cluster-wide timeline. Shards
+	// of one cluster share a single journal; nil disables journalling.
+	Journal *journal.Journal
+	// Ledger optionally tracks every stream's promised-vs-delivered QoS
+	// record. Like Journal it is shared across a cluster's shards.
+	Ledger *journal.Ledger
+	// Shard labels this server's journal events and ledger records with
+	// its cluster shard id (0 for a standalone server).
+	Shard int
 }
 
 // DefaultRetiredHistory is the retired-stream stats retention used when
@@ -208,6 +220,12 @@ type Server struct {
 	// SLO audit: sliding-window bound-vs-measured estimators plus
 	// burn-rate alerting (nil = disabled; see internal/slo).
 	sloAud *slo.Auditor
+
+	// Event journal and QoS ledger (both nil-safe; shared across shards
+	// in cluster mode). shard labels this server's events.
+	jnl    *journal.Journal
+	ledger *journal.Ledger
+	shard  int
 
 	// Admission rejection history: a small ring written by Open and read
 	// concurrently by the /admission endpoint, under its own mutex (Open
@@ -299,18 +317,23 @@ func New(cfg Config) (*Server, error) {
 		retiredCap: retiredCap,
 
 		evictedStates: make(map[StreamID]engine.StreamState),
-		inj:        inj,
-		log:        cfg.Logger,
+		inj:           inj,
+		log:           cfg.Logger,
+		jnl:           cfg.Journal,
+		ledger:        cfg.Ledger,
+		shard:         cfg.Shard,
 	}
 	if !cfg.Trace.Disabled {
 		tcfg := cfg.Trace
 		tcfg.RoundLength = cfg.RoundLength
 		s.trc = trace.NewRecorder(tcfg)
+		s.trc.SetJournal(s.jnl, s.shard)
 	}
 	s.sloAud, err = slo.New(cfg.SLO, len(geoms))
 	if err != nil {
 		return nil, fmt.Errorf("server: building slo audit: %w", err)
 	}
+	s.sloAud.SetJournal(s.jnl, s.shard)
 	s.deg = degradeState{
 		enabled:        cfg.Degrade.Enabled,
 		after:          cfg.Degrade.After,
@@ -414,6 +437,10 @@ func (s *Server) publishLimits() {
 	s.sloAud.SetBudgets(budgetLate, budgetGlitch)
 	s.tel.slo.budget[0].Set(budgetLate)
 	s.tel.slo.budget[1].Set(budgetGlitch)
+	if s.bindDisk >= 0 && s.bindDisk < len(s.explains) {
+		exp := s.explains[s.bindDisk]
+		s.sloAud.SetBinding(s.bindDisk, exp.BindingK, exp.Bound)
+	}
 }
 
 // NumDisks returns the array width D.
@@ -568,6 +595,7 @@ func (s *Server) Open(name string) (id StreamID, startupDelay int, err error) {
 	s.syncClassesView()
 	s.tel.admitted.Inc()
 	s.tel.active.Set(float64(len(s.active)))
+	s.journalAdmit(st, false)
 	return st.id, bestDelay, nil
 }
 
@@ -609,8 +637,16 @@ func (s *Server) retire(st *stream, done bool) {
 
 // rememberFinished stores a retired stream's stats in the bounded FIFO
 // ring, evicting the oldest entry once the ring is full. Aggregate counts
-// survive eviction in the telemetry counters.
+// survive eviction in the telemetry counters. As the single site every
+// retirement flows through (completion, Close, eviction), it also closes
+// the stream's QoS ledger record with the delivered totals.
 func (s *Server) rememberFinished(id StreamID, fs StreamStats) {
+	s.ledger.Retire(s.shard, int64(id), journal.Delivered{
+		StartupDelay: fs.StartupDelay,
+		Served:       fs.Served,
+		Glitches:     fs.Glitches,
+		Done:         fs.Done,
+	}, s.round)
 	if len(s.finishedQ) == s.retiredCap {
 		delete(s.finished, s.finishedQ[s.finishedAt])
 		s.finishedQ[s.finishedAt] = id

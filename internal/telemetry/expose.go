@@ -19,6 +19,7 @@ import (
 // registrations, and the text format wants one contiguous block per
 // metric name.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runScrapeHooks()
 	r.mu.Lock()
 	entries := append([]entry(nil), r.entries...)
 	r.mu.Unlock()
@@ -102,7 +103,9 @@ func promLabels(labels []Label, leKey string, le float64) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, `%s=%q`, l.Key, promEscape(l.Value))
+		// promEscape already produced text-format escapes; %q would
+		// escape the backslashes a second time.
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, promEscape(l.Value))
 	}
 	if leKey != "" {
 		if len(labels) > 0 {
@@ -122,7 +125,7 @@ func promLabelsInf(labels []Label) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, `%s=%q`, l.Key, promEscape(l.Value))
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, promEscape(l.Value))
 	}
 	if len(labels) > 0 {
 		b.WriteByte(',')

@@ -62,6 +62,57 @@ func TestWritePrometheusHeaderOncePerName(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusHostileLabels pins the escaping contract for label
+// values containing backslashes, quotes, and newlines: each must be
+// escaped exactly once (\\, \", \n). The %q formatter that used to render
+// the pair escaped promEscape's output a second time, turning `a\b` into
+// `a\\\\b` on the wire.
+func TestWritePrometheusHostileLabels(t *testing.T) {
+	hostile := "back\\slash \"quote\"\nnewline"
+	reg := NewRegistry()
+	reg.Counter("hostile_total", "", L("path", hostile)).Inc()
+	h, err := reg.Histogram("hostile_lat", "", []float64{1}, L("path", hostile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(0.5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	escaped := `back\\slash \"quote\"\nnewline`
+	for _, line := range []string{
+		`hostile_total{path="` + escaped + `"} 1`,
+		`hostile_lat_bucket{path="` + escaped + `",le="1"} 1`,
+		`hostile_lat_bucket{path="` + escaped + `",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+
+	// Round trip: undoing the text-format escapes must recover the
+	// original value exactly (i.e. no double escaping survived).
+	unescape := strings.NewReplacer(`\\`, "\\", `\"`, `"`, `\n`, "\n")
+	if got := unescape.Replace(escaped); got != hostile {
+		t.Fatalf("unescaped value %q != original %q", got, hostile)
+	}
+	start := strings.Index(out, `hostile_total{path="`)
+	if start < 0 {
+		t.Fatalf("series not found:\n%s", out)
+	}
+	rest := out[start+len(`hostile_total{path="`):]
+	end := strings.Index(rest, `"} `)
+	if end < 0 {
+		t.Fatalf("label value not terminated:\n%s", out)
+	}
+	if got := unescape.Replace(rest[:end]); got != hostile {
+		t.Fatalf("wire value round-trips to %q, want %q", got, hostile)
+	}
+}
+
 func TestMetricsHandler(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("probe_total", "").Inc()

@@ -53,11 +53,49 @@ type Registry struct {
 	mu      sync.Mutex
 	entries []entry
 	byID    map[string]int
+
+	// Scrape hooks run before every Snapshot/WritePrometheus so
+	// pull-model sources (runtime stats) can refresh their series.
+	// Guarded by their own mutex and invoked outside both locks: a hook
+	// is free to touch registered metrics, never the registry itself.
+	hookMu   sync.Mutex
+	hooks    []func()
+	hookKeys map[string]bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byID: make(map[string]int)}
+	return &Registry{byID: make(map[string]int), hookKeys: make(map[string]bool)}
+}
+
+// OnScrape registers fn to run before every snapshot or exposition.
+func (r *Registry) OnScrape(fn func()) {
+	r.hookMu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.hookMu.Unlock()
+}
+
+// OnScrapeOnce registers fn under a dedup key: re-registering the same
+// key is a no-op, so idempotent setup paths (every mux construction
+// calling RegisterRuntimeMetrics) install one hook, not many.
+func (r *Registry) OnScrapeOnce(key string, fn func()) {
+	r.hookMu.Lock()
+	defer r.hookMu.Unlock()
+	if r.hookKeys[key] {
+		return
+	}
+	r.hookKeys[key] = true
+	r.hooks = append(r.hooks, fn)
+}
+
+// runScrapeHooks invokes the registered hooks outside every lock.
+func (r *Registry) runScrapeHooks() {
+	r.hookMu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // seriesID is the unique key of a (name, labels) pair.
@@ -208,6 +246,7 @@ type Snapshot struct {
 
 // Snapshot captures the current value of every registered series.
 func (r *Registry) Snapshot() Snapshot {
+	r.runScrapeHooks()
 	r.mu.Lock()
 	entries := append([]entry(nil), r.entries...)
 	r.mu.Unlock()

@@ -1,0 +1,135 @@
+package telemetry
+
+// Go runtime metrics on the shared registry, sourced from runtime/metrics
+// on every scrape: goroutine count, heap bytes, and the GC stop-the-world
+// pause distribution. A stall in the round loop that the mzqos_server_*
+// series can't explain usually shows up here first.
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// Runtime metric names, probed against the toolchain's supported set at
+// registration (runtime/metrics names come and go across Go releases; a
+// missing one simply leaves its series at zero).
+const (
+	runtimeGoroutines = "/sched/goroutines:goroutines"
+	runtimeHeapBytes  = "/memory/classes/heap/objects:bytes"
+	// GC pause distribution: the post-1.22 name first, then its
+	// deprecated predecessor.
+	runtimeGCPauses    = "/sched/pauses/total/gc:seconds"
+	runtimeGCPausesOld = "/gc/pauses:seconds"
+)
+
+// gcPauseBounds are the mzqos_go_gc_pause_seconds buckets: 10 µs to ~2.6 s
+// in half-decade steps, covering sub-millisecond healthy pauses through
+// round-length-scale stalls.
+var gcPauseBounds = []float64{
+	1e-5, 3.2e-5, 1e-4, 3.2e-4, 1e-3, 3.2e-3, 1e-2, 3.2e-2, 1e-1, 3.2e-1, 1, 2.6,
+}
+
+// RegisterRuntimeMetrics registers the Go runtime series on reg and
+// installs a scrape hook refreshing them before every snapshot or
+// exposition:
+//
+//	mzqos_go_goroutines        live goroutine count
+//	mzqos_go_heap_bytes        bytes of live heap objects
+//	mzqos_go_gc_pause_seconds  GC stop-the-world pause distribution
+//
+// Safe to call more than once on the same registry (the hook dedups), and
+// cheap to keep around: the hook does two fixed-size metrics.Read calls
+// per scrape.
+func RegisterRuntimeMetrics(reg *Registry) {
+	goroutines := reg.Gauge("mzqos_go_goroutines", "Live goroutine count.")
+	heap := reg.Gauge("mzqos_go_heap_bytes", "Bytes of live heap objects.")
+	pauses, err := NewHistogram(gcPauseBounds)
+	if err != nil {
+		return // unreachable: the bounds are a valid literal
+	}
+	reg.AdoptHistogram("mzqos_go_gc_pause_seconds",
+		"GC stop-the-world pause durations, folded from runtime/metrics.", pauses)
+
+	supported := make(map[string]bool)
+	for _, d := range metrics.All() {
+		supported[d.Name] = true
+	}
+	names := make([]string, 0, 3)
+	for _, n := range []string{runtimeGoroutines, runtimeHeapBytes} {
+		if supported[n] {
+			names = append(names, n)
+		}
+	}
+	pauseName := ""
+	switch {
+	case supported[runtimeGCPauses]:
+		pauseName = runtimeGCPauses
+	case supported[runtimeGCPausesOld]:
+		pauseName = runtimeGCPausesOld
+	}
+	if pauseName != "" {
+		names = append(names, pauseName)
+	}
+	samples := make([]metrics.Sample, len(names))
+	for i, n := range names {
+		samples[i].Name = n
+	}
+
+	// prevPauses holds the last scrape's cumulative GC-pause bucket
+	// counts; each scrape folds only the delta into the histogram. The
+	// hook runs serially (callers scrape through the registry, which
+	// copies the hook list but each invocation completes before the
+	// snapshot), so the state needs no lock beyond the registry's
+	// serialization — but scrapes can race, so guard with the closure
+	// being idempotent on zero deltas rather than assuming order.
+	var prevPauses []uint64
+	reg.OnScrapeOnce("runtime", func() {
+		if len(samples) == 0 {
+			return
+		}
+		metrics.Read(samples)
+		for _, s := range samples {
+			switch s.Name {
+			case runtimeGoroutines:
+				if s.Value.Kind() == metrics.KindUint64 {
+					goroutines.Set(float64(s.Value.Uint64()))
+				}
+			case runtimeHeapBytes:
+				if s.Value.Kind() == metrics.KindUint64 {
+					heap.Set(float64(s.Value.Uint64()))
+				}
+			case pauseName:
+				if s.Value.Kind() != metrics.KindFloat64Histogram {
+					continue
+				}
+				prevPauses = foldPauseDelta(pauses, s.Value.Float64Histogram(), prevPauses)
+			}
+		}
+	})
+}
+
+// foldPauseDelta folds the growth of a cumulative runtime histogram since
+// prev into h, observing each bucket's delta at the bucket's upper edge
+// (the conservative choice: a pause is reported no shorter than it was).
+// Returns the new cumulative counts to use as the next prev.
+func foldPauseDelta(h *Histogram, rh *metrics.Float64Histogram, prev []uint64) []uint64 {
+	counts := append([]uint64(nil), rh.Counts...)
+	for i, c := range counts {
+		var p uint64
+		if i < len(prev) {
+			p = prev[i]
+		}
+		if c <= p {
+			continue
+		}
+		v := rh.Buckets[i+1] // upper edge of bucket i
+		if math.IsInf(v, 1) {
+			v = rh.Buckets[i] // +Inf bucket: report at its lower edge
+		}
+		if math.IsInf(v, -1) {
+			v = 0
+		}
+		h.ObserveN(v, int64(c-p))
+	}
+	return counts
+}

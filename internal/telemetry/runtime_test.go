@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	RegisterRuntimeMetrics(reg) // idempotent: same series, one hook
+
+	// Allocate a little so the heap gauge has something to report.
+	sink := make([][]byte, 64)
+	for i := range sink {
+		sink[i] = make([]byte, 1024)
+	}
+	runtime.KeepAlive(sink)
+
+	snap := reg.Snapshot()
+	if v, ok := snap.Gauge("mzqos_go_goroutines"); !ok || v < 1 {
+		t.Fatalf("goroutines gauge: got %v (ok=%v), want >= 1", v, ok)
+	}
+	if v, ok := snap.Gauge("mzqos_go_heap_bytes"); !ok || v <= 0 {
+		t.Fatalf("heap gauge: got %v (ok=%v), want > 0", v, ok)
+	}
+	if _, ok := snap.Histogram("mzqos_go_gc_pause_seconds"); !ok {
+		t.Fatal("GC pause histogram not registered")
+	}
+
+	// Force a GC and verify the pause histogram folds the delta without
+	// double counting: two consecutive scrapes must not shrink or jump by
+	// more pauses than actually happened.
+	runtime.GC()
+	h1, _ := reg.Snapshot().Histogram("mzqos_go_gc_pause_seconds")
+	h2, _ := reg.Snapshot().Histogram("mzqos_go_gc_pause_seconds")
+	if h2.Count < h1.Count {
+		t.Fatalf("pause count went backwards: %d -> %d", h1.Count, h2.Count)
+	}
+	if h1.Count == 0 {
+		t.Fatal("no GC pauses folded after runtime.GC()")
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{"mzqos_go_goroutines", "mzqos_go_heap_bytes", "mzqos_go_gc_pause_seconds_bucket"} {
+		if !strings.Contains(b.String(), series) {
+			t.Fatalf("exposition missing %s:\n%s", series, b.String())
+		}
+	}
+}
+
+func TestOnScrapeHooks(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("hooked", "")
+	calls := 0
+	reg.OnScrape(func() { calls++; g.Set(float64(calls)) })
+	reg.OnScrapeOnce("k", func() {})
+	reg.OnScrapeOnce("k", func() { t.Fatal("dedup key re-registered") })
+
+	if v, _ := reg.Snapshot().Gauge("hooked"); v != 1 {
+		t.Fatalf("first scrape: got %v, want 1", v)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("hook ran %d times, want 2", calls)
+	}
+}

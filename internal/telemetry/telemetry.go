@@ -198,6 +198,26 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveN records n observations of the same value in one shot — the
+// bulk path for folding an external cumulative histogram (e.g. the
+// runtime's GC-pause distribution) into this one bucket delta at a time.
+// Non-positive n is ignored.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if n <= 0 || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(n)
+	h.total.Add(n)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations so far.
 func (h *Histogram) Count() int64 { return h.total.Load() }
 

@@ -121,6 +121,80 @@ func TestHistogramMeanQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileEdgeCases pins the Quantile contract at its corners: empty
+// histograms, ranks landing exactly on a cumulative bucket boundary,
+// q = 0/1, out-of-range q clamping, and overflow-bucket hits reporting
+// the largest finite bound.
+func TestQuantileEdgeCases(t *testing.T) {
+	empty, err := NewHistogram([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.SnapshotValues().Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v): got %v, want 0", q, got)
+		}
+	}
+
+	h, err := NewHistogram([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 in (.,1], 2 in (1,2], leaving (2,4] and overflow empty.
+	h.Observe(0.5)
+	h.Observe(1)
+	h.Observe(1.5)
+	h.Observe(2)
+	v := h.SnapshotValues()
+	// q=0.5 → target rank 2, exactly the cumulative count of bucket 0.
+	if got := v.Quantile(0.5); got != 1 {
+		t.Fatalf("boundary q=0.5: got %v, want 1", got)
+	}
+	// Just past the boundary the next bucket answers.
+	if got := v.Quantile(0.51); got != 2 {
+		t.Fatalf("q=0.51: got %v, want 2", got)
+	}
+	// q=0 clamps to the first populated rank; q<0 and q>1 clamp too.
+	if got := v.Quantile(0); got != 1 {
+		t.Fatalf("q=0: got %v, want 1", got)
+	}
+	if got := v.Quantile(-3); got != 1 {
+		t.Fatalf("q=-3: got %v, want 1", got)
+	}
+	if got := v.Quantile(1); got != 2 {
+		t.Fatalf("q=1: got %v, want 2 (largest populated bound)", got)
+	}
+	if got := v.Quantile(7); got != 2 {
+		t.Fatalf("q=7: got %v, want 2 (clamped to 1)", got)
+	}
+
+	// Overflow-bucket observations report the largest finite bound.
+	h.Observe(100)
+	if got := h.SnapshotValues().Quantile(1); got != 4 {
+		t.Fatalf("q=1 with overflow: got %v, want 4", got)
+	}
+}
+
+func TestHistogramObserveN(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ObserveN(1.5, 3)
+	h.ObserveN(1.5, 0)  // ignored
+	h.ObserveN(1.5, -2) // ignored
+	v := h.SnapshotValues()
+	if v.Count != 3 {
+		t.Fatalf("count: got %d, want 3", v.Count)
+	}
+	if v.Counts[1] != 3 {
+		t.Fatalf("bucket (1,2]: got %d, want 3", v.Counts[1])
+	}
+	if math.Abs(v.Sum-4.5) > 1e-12 {
+		t.Fatalf("sum: got %v, want 4.5", v.Sum)
+	}
+}
+
 func TestConcurrentWriters(t *testing.T) {
 	reg := NewRegistry()
 	c := reg.Counter("c_total", "")

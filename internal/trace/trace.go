@@ -18,7 +18,11 @@
 // length of virtual time per scheduling round.
 package trace
 
-import "sync"
+import (
+	"sync"
+
+	"mzqos/internal/journal"
+)
 
 // DefaultSpans is the ring capacity (in sweep spans, i.e. round×disk
 // entries) used when Config.Spans is zero: with 4 disks this retains the
@@ -165,6 +169,11 @@ type Recorder struct {
 
 	frozen   *Snapshot
 	triggers int64
+
+	// jnl/shard mirror freeze latches into the cluster event journal,
+	// cross-linked by the span commit sequence at latch time.
+	jnl   *journal.Journal
+	shard int
 }
 
 // NewRecorder returns a Recorder sized by cfg.
@@ -272,6 +281,31 @@ func (r *Recorder) Freeze(reason string, round int) {
 		Seq:    seq,
 		Spans:  r.liveLocked(),
 	}
+	// Only the latching trigger reaches the journal: the timeline records
+	// which incident the frozen history belongs to, cross-linked by the
+	// span sequence. (The journal locks independently — no deadlock.)
+	r.jnl.Append(journal.Event{
+		Round:    round,
+		Kind:     journal.KindFreeze,
+		Shard:    r.shard,
+		Disk:     -1,
+		From:     -1,
+		To:       -1,
+		TraceSeq: seq,
+		Detail:   reason,
+	})
+}
+
+// SetJournal mirrors freeze latches into the event journal, labelled with
+// the given shard id. No-op on nil.
+func (r *Recorder) SetJournal(j *journal.Journal, shard int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.jnl = j
+	r.shard = shard
+	r.mu.Unlock()
 }
 
 // Frozen returns the latched snapshot, if any. The snapshot is immutable;

@@ -105,6 +105,23 @@ expect /metrics '^mzqos_slo_alerts_fired_total{target="late"} [1-9]' "late alert
 expect /metrics '^mzqos_slo_alerts_resolved_total{target="late"} [1-9]' "late alert resolved after recovery"
 expect /metrics '^mzqos_slo_alert_state{target="late"} 0$' "late alert back to inactive by scenario end"
 
+# The journal recorded the incident arc end to end, and the ledger kept
+# one promised-vs-delivered record per shed stream.
+expect '/timeline?kind=fault_inject' '"kind": "fault_inject"' "journalled fault edge"
+expect '/timeline?kind=degrade' '"kind": "degrade"' "journalled degrade transition"
+expect '/timeline?kind=evict' '"kind": "evict"' "journalled evictions"
+expect '/timeline?kind=slo_firing' 'binding k=' "firing events carrying the binding bound"
+expect '/timeline?kind=slo_resolved' '"kind": "slo_resolved"' "journalled alert resolution"
+expect /streams '"evicted": true' "evicted streams in the ledger"
+expect /streams '"retired_total"' "ledger retirement roll-up"
+
+if [ "$fail" -ne 0 ]; then
+    ARTDIR="${SMOKE_ARTIFACT_DIR:-${TMPDIR:-/tmp}}"
+    mkdir -p "$ARTDIR"
+    curl -s "http://$ADDR/debug/bundle" >"$ARTDIR/faults-bundle.json" || true
+    echo "faults: saved debug bundle to $ARTDIR/faults-bundle.json" >&2
+fi
+
 kill "$PID" 2>/dev/null || true
 PID=""
 trap '[ -n "$CPID" ] && kill "$CPID" 2>/dev/null || true' EXIT INT TERM
@@ -192,8 +209,14 @@ cexpect /metrics '^mzqos_server_failed\{shard="0"\} 0$' "failed gauge cleared af
 # mid-run before steady admissions recycled the ring.
 if [ "$failover_ring" -eq 1 ]; then
     echo "faults: ok   cluster /admission served failover records mid-run"
+elif curl -sf "http://$CADDR/timeline?kind=failover" | grep -Eq '"kind":[[:space:]]*"failover"'; then
+    # On fast machines the scenario outruns the poller and steady
+    # admissions recycle the bounded ring before a poll catches the
+    # failover records. The journal retains them durably — catching
+    # exactly this recycling window is what it exists for.
+    echo "faults: ok   cluster failover records retained on /timeline after the ring recycled"
 else
-    echo "faults: FAIL cluster /admission never showed failover records" >&2
+    echo "faults: FAIL cluster shows no failover records on /admission or /timeline" >&2
     fail=1
 fi
 grep -q 'failed over' "$CLOG" \
@@ -216,5 +239,19 @@ fi
 # firing: no fired alerts and an inactive alert state on shards 1 and 2.
 cexpect_absent /metrics 'mzqos_slo_alerts_fired_total\{[^}]*shard="[12]"[^}]*\} [1-9]' "fired alerts on surviving shards"
 cexpect_absent /metrics 'mzqos_slo_alert_state\{[^}]*shard="[12]"[^}]*\} [1-9]' "active alert state on surviving shards"
+
+# The cluster journal recorded the failover drain and every re-admission,
+# and the shared ledger merged migrated lineages across shards.
+cexpect '/timeline?kind=failover' '"kind":[[:space:]]*"failover"' "journalled failover drains"
+cexpect '/timeline?kind=migrate' '"kind":[[:space:]]*"migrate"' "journalled migrations"
+cexpect /streams '"migrations":[[:space:]]*[1-9]' "migrated lineages in the ledger"
+cexpect /streams '"shards_visited"' "shard lineage on ledger records"
+
+if [ "$fail" -ne 0 ]; then
+    ARTDIR="${SMOKE_ARTIFACT_DIR:-${TMPDIR:-/tmp}}"
+    mkdir -p "$ARTDIR"
+    curl -s "http://$CADDR/debug/bundle" >"$ARTDIR/faults-cluster-bundle.json" || true
+    echo "faults: saved cluster debug bundle to $ARTDIR/faults-cluster-bundle.json" >&2
+fi
 
 exit "$fail"

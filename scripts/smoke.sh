@@ -58,11 +58,23 @@ expect /slo '"target": "glitch"' "glitch-target audit row"
 expect /metrics '^mzqos_slo_budget{target="late"} ' "SLO budget gauge"
 expect /metrics '^mzqos_slo_alerts_fired_total{target="late"} 0$' "no alert fired on a clean run"
 expect /metrics '^mzqos_slo_burn_rate{target="late",window="fast"} ' "SLO burn-rate gauge"
+expect /timeline '"kind": "admit"' "journalled admissions"
+expect /timeline '"head_seq"' "journal ring stats"
+expect '/timeline?kind=admit' '"seq"' "kind-filtered timeline"
+expect /streams '"active_streams"' "QoS ledger roll-up"
+expect /streams '"b_late"' "per-stream promised bounds"
+expect /debug/bundle '"schema": "mzqos/bundle/v1"' "bundle schema header"
+expect /debug/bundle '"timeline"' "bundle timeline section"
+expect /metrics '^mzqos_journal_events_total{kind="admit"} ' "journal event counter"
+expect /metrics '^mzqos_journal_head_seq ' "journal head-seq gauge"
+expect /metrics '^mzqos_go_goroutines ' "Go goroutine gauge"
+expect /metrics '^mzqos_go_heap_bytes ' "Go heap gauge"
+expect /metrics '^mzqos_go_gc_pause_seconds_bucket' "GC pause histogram"
 
 # The JSON observability surfaces must parse, not merely contain the
 # expected keys.
 if command -v python3 >/dev/null 2>&1; then
-    for path in /admission /trace '/trace?format=chrome' /slo; do
+    for path in /admission /trace '/trace?format=chrome' /slo /timeline /streams /debug/bundle; do
         if curl -sf "http://$ADDR$path" | python3 -m json.tool >/dev/null 2>&1; then
             echo "smoke: ok   $path is valid JSON"
         else
@@ -80,7 +92,8 @@ if [ "$fail" -ne 0 ]; then
     mkdir -p "$ARTDIR"
     curl -s "http://$ADDR/trace" >"$ARTDIR/flight-recorder.json" || true
     curl -s "http://$ADDR/slo" >"$ARTDIR/slo.json" || true
-    echo "smoke: saved flight recorder and SLO snapshot to $ARTDIR/" >&2
+    curl -s "http://$ADDR/debug/bundle" >"$ARTDIR/debug-bundle.json" || true
+    echo "smoke: saved flight recorder, SLO snapshot, and debug bundle to $ARTDIR/" >&2
 fi
 
 kill "$PID" 2>/dev/null || true
@@ -135,6 +148,11 @@ cexpect /metrics '^mzqos_cluster_view_age_rounds ' "view-age gauge"
 cexpect /metrics '^mzqos_cluster_slo_budget{target="late"} ' "cluster SLO budget roll-up"
 cexpect /metrics '^mzqos_cluster_slo_firing_shards 0$' "no shard firing on a clean run"
 cexpect /metrics '^mzqos_slo_budget{shard="0",target="late"} ' "shard-labeled SLO budget"
+cexpect /timeline '"kind": "admit"' "cluster journalled admissions"
+cexpect /timeline '"shard"' "shard-labelled timeline events"
+cexpect /streams '"active_streams"' "cluster QoS ledger"
+cexpect /debug/bundle '"kind": "cluster"' "cluster bundle kind"
+cexpect /debug/bundle '"schema": "mzqos/bundle/v1"' "cluster bundle schema"
 
 # Every admitted stream names its shard in the /admission explanations.
 if command -v python3 >/dev/null 2>&1; then
@@ -168,7 +186,8 @@ if [ "$fail" -ne 0 ]; then
     ARTDIR="${SMOKE_ARTIFACT_DIR:-${TMPDIR:-/tmp}}"
     mkdir -p "$ARTDIR"
     curl -s "http://$CADDR/slo" >"$ARTDIR/cluster-slo.json" || true
-    echo "smoke: saved cluster SLO snapshot to $ARTDIR/cluster-slo.json" >&2
+    curl -s "http://$CADDR/debug/bundle" >"$ARTDIR/cluster-debug-bundle.json" || true
+    echo "smoke: saved cluster SLO snapshot and debug bundle to $ARTDIR/" >&2
 fi
 
 exit "$fail"
