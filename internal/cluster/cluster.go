@@ -121,7 +121,9 @@ type Config struct {
 	// StaleAfter is the heartbeat-staleness threshold in coordinator
 	// rounds: a shard whose cached health lags by at least this many
 	// rounds gets a heartbeat_stale event on the rising edge
-	// (0 = DefaultStaleAfter).
+	// (0 = DefaultStaleAfter). Clamped to HeartbeatEvery+1, since the
+	// view legitimately lags up to HeartbeatEvery-1 rounds between
+	// refreshes.
 	StaleAfter int
 }
 
@@ -400,6 +402,13 @@ func New(cfg Config) (*Coordinator, error) {
 	staleAfter := cfg.StaleAfter
 	if staleAfter <= 0 {
 		staleAfter = DefaultStaleAfter
+	}
+	// The cached view legitimately lags up to hb-1 rounds between
+	// refreshes; a threshold at or below that would flag healthy shards
+	// every refresh cycle, so the effective threshold always clears the
+	// heartbeat cadence.
+	if staleAfter <= hb {
+		staleAfter = hb + 1
 	}
 	c := &Coordinator{
 		route:      route,

@@ -73,7 +73,8 @@ type Record struct {
 	// lists every shard that hosted the stream, in order.
 	Migrations    int   `json:"migrations"`
 	ShardsVisited []int `json:"shards_visited"`
-	// AdmitSeq cross-links to the journal's admit event.
+	// AdmitSeq cross-links to the journal's original admit event — the
+	// one carrying the frozen promise; it survives migrations.
 	AdmitSeq uint64 `json:"admit_seq,omitempty"`
 	// RetiredRound is the round the record finalized, -1 while active or
 	// inflight.
@@ -222,7 +223,7 @@ func (l *Ledger) Migrated(fromShard int, fromID int64, toShard int, toID int64) 
 	from := ledgerKey{fromShard, fromID}
 	to := ledgerKey{toShard, toID}
 	old, okOld := l.inflight[from]
-	cur, okCur := l.active[to]
+	_, okCur := l.active[to]
 	if !okOld || !okCur {
 		// Without both halves there is nothing to merge; keep whichever
 		// exists (the destination Admit already opened a fresh record).
@@ -233,7 +234,10 @@ func (l *Ledger) Migrated(fromShard int, fromID int64, toShard int, toID int64) 
 	old.Shard = toShard
 	old.Migrations++
 	old.ShardsVisited = append(old.ShardsVisited, toShard)
-	old.AdmitSeq = cur.AdmitSeq
+	// old.AdmitSeq keeps the first admission's seq: that admit event is
+	// the one carrying the frozen promise, and re-admit events are
+	// reachable from the timeline by stream id. The destination's fresh
+	// record (and its re-admit seq) is discarded with the merge.
 	// The destination server re-imports the carried state, so its stream
 	// resumes with the lifetime served/glitch totals; keep the merged
 	// record's delivered view interim until retirement.

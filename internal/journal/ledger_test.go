@@ -82,8 +82,8 @@ func TestLedgerMigrationMerge(t *testing.T) {
 	if rec.Promised.Shard != 0 {
 		t.Fatalf("original promise lost: %+v", rec.Promised)
 	}
-	if rec.AdmitSeq != 8 {
-		t.Fatalf("admit seq should follow the re-admission: %d", rec.AdmitSeq)
+	if rec.AdmitSeq != 7 {
+		t.Fatalf("admit seq should stay cross-linked to the original admit event: %d", rec.AdmitSeq)
 	}
 
 	// Final retirement carries lifetime totals (the destination engine

@@ -8,6 +8,7 @@ package telemetry
 import (
 	"math"
 	"runtime/metrics"
+	"sync"
 )
 
 // Runtime metric names, probed against the toolchain's supported set at
@@ -77,16 +78,19 @@ func RegisterRuntimeMetrics(reg *Registry) {
 
 	// prevPauses holds the last scrape's cumulative GC-pause bucket
 	// counts; each scrape folds only the delta into the histogram. The
-	// hook runs serially (callers scrape through the registry, which
-	// copies the hook list but each invocation completes before the
-	// snapshot), so the state needs no lock beyond the registry's
-	// serialization — but scrapes can race, so guard with the closure
-	// being idempotent on zero deltas rather than assuming order.
+	// registry runs hooks outside its own locks, so concurrent scrapers
+	// (Prometheus on /metrics while /debug/bundle snapshots) would
+	// otherwise race on the shared samples slice and prevPauses — and a
+	// doubled metrics.Read between fold and store would double-count
+	// pause deltas. mu serializes the whole read-and-fold.
+	var mu sync.Mutex
 	var prevPauses []uint64
 	reg.OnScrapeOnce("runtime", func() {
 		if len(samples) == 0 {
 			return
 		}
+		mu.Lock()
+		defer mu.Unlock()
 		metrics.Read(samples)
 		for _, s := range samples {
 			switch s.Name {

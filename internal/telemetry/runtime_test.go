@@ -2,7 +2,9 @@ package telemetry
 
 import (
 	"runtime"
+	"runtime/metrics"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -50,6 +52,56 @@ func TestRegisterRuntimeMetrics(t *testing.T) {
 		if !strings.Contains(b.String(), series) {
 			t.Fatalf("exposition missing %s:\n%s", series, b.String())
 		}
+	}
+}
+
+// TestRuntimeMetricsConcurrentScrapes exercises the runtime hook from
+// several goroutines at once — Prometheus hitting /metrics while a debug
+// bundle snapshots — and relies on -race to catch unsynchronized access
+// to the hook's shared samples/prevPauses state. It also checks that
+// overlapping scrapes never fold a GC-pause delta twice: the histogram
+// count must not exceed the cumulative runtime total.
+func TestRuntimeMetricsConcurrentScrapes(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if i%2 == 0 {
+					reg.Snapshot()
+				} else {
+					var b strings.Builder
+					_ = reg.WritePrometheus(&b)
+				}
+				if j%5 == 0 {
+					runtime.GC()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	h, ok := reg.Snapshot().Histogram("mzqos_go_gc_pause_seconds")
+	if !ok {
+		t.Fatal("GC pause histogram not registered")
+	}
+	var total uint64
+	for _, s := range []string{"/sched/pauses/total/gc:seconds", "/gc/pauses:seconds"} {
+		sample := []metrics.Sample{{Name: s}}
+		metrics.Read(sample)
+		if sample[0].Value.Kind() == metrics.KindFloat64Histogram {
+			for _, c := range sample[0].Value.Float64Histogram().Counts {
+				total += c
+			}
+			break
+		}
+	}
+	if uint64(h.Count) > total {
+		t.Fatalf("pause deltas double-folded: histogram has %d, runtime cumulative is %d", h.Count, total)
 	}
 }
 
