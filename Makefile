@@ -28,11 +28,11 @@ test-race:
 bench:
 	$(GO) run ./cmd/mzbench -v -out BENCH_admission.json
 
-# CI smoke for the cluster-admission hot path: runs the ClusterAdmit
-# (with migration enabled) and ClusterMigrate benchmarks, gates the warm
-# admit path at its latency/0-alloc budget, and validates the existing
-# BENCH_admission.json trajectory against BENCH_SCHEMA.md without
-# appending a run.
+# CI smoke for the round-path hot loops: runs the ClusterAdmit (with
+# migration enabled), ClusterMigrate, SLO-audit, JournalAppend, and
+# HistorySample benchmarks, gates each on its latency/0-alloc budget, and
+# validates the existing BENCH_admission.json trajectory against
+# BENCH_SCHEMA.md without appending a run.
 bench-quick:
 	$(GO) run ./cmd/mzbench -quick -v -out BENCH_admission.json
 

@@ -277,6 +277,15 @@ const (
 	journalAppendBudgetNs = 100
 )
 
+// Embedded-history sampler budget the quick smoke gates on (the metrics
+// history PR's acceptance criterion: recording every registered series
+// into the in-process time-series store once per round stays a
+// sub-microsecond, zero-allocation tax on Step).
+const (
+	historySampleOp       = "HistorySample/32series/steady"
+	historySampleBudgetNs = 500
+)
+
 // sloSummary pulls the v4 slo block out of the measured benchmark list;
 // nil when the suite no longer contains the audit ops.
 func sloSummary(benchmarks []opResult) *sloBlock {
@@ -301,9 +310,10 @@ func sloSummary(benchmarks []opResult) *sloBlock {
 }
 
 // quickSmoke is the CI `make bench-quick` entry: run just the
-// ClusterAdmit, ClusterMigrate, and SLO-audit benchmarks (seconds, not
-// the full suite's minutes), fail if the warm reservation path — measured
-// with Migrate enabled — or the audit's observe/evaluate paths blow their
+// ClusterAdmit, ClusterMigrate, SLO-audit, JournalAppend, and
+// HistorySample benchmarks (seconds, not the full suite's minutes), fail
+// if the warm reservation path — measured with Migrate enabled — or the
+// audit's observe/evaluate paths or the per-round samplers blow their
 // latency or allocation budgets, then validate the recorded trajectory
 // file against BENCH_SCHEMA.md so schema drift fails the build instead of
 // corrupting the trajectory. ClusterMigrate has no 0-alloc budget (it
@@ -311,12 +321,12 @@ func sloSummary(benchmarks []opResult) *sloBlock {
 // that breaks failover placement fails the smoke. Nothing is appended to
 // the file.
 func quickSmoke(path string, verbose bool) error {
-	ranWarm, ranMigrate, ranObserve, ranEvaluate, ranJournal := false, false, false, false, false
+	ranWarm, ranMigrate, ranObserve, ranEvaluate, ranJournal, ranHistory := false, false, false, false, false, false
 	for _, c := range benchcases.Suite() {
 		if !strings.HasPrefix(c.Name, "ClusterAdmit/") &&
 			!strings.HasPrefix(c.Name, "ClusterMigrate/") &&
 			c.Name != sloObserveOp && c.Name != sloEvaluateOp &&
-			c.Name != journalAppendOp {
+			c.Name != journalAppendOp && c.Name != historySampleOp {
 			continue
 		}
 		res := testing.Benchmark(c.Bench)
@@ -360,6 +370,14 @@ func quickSmoke(path string, verbose bool) error {
 			if res.AllocsPerOp() != 0 {
 				return fmt.Errorf("%s allocates %d/op, budget is 0", c.Name, res.AllocsPerOp())
 			}
+		case historySampleOp:
+			ranHistory = true
+			if ns >= historySampleBudgetNs {
+				return fmt.Errorf("%s measured %.1f ns/op, budget is <%d ns/op", c.Name, ns, historySampleBudgetNs)
+			}
+			if res.AllocsPerOp() != 0 {
+				return fmt.Errorf("%s allocates %d/op, budget is 0", c.Name, res.AllocsPerOp())
+			}
 		}
 	}
 	if !ranWarm {
@@ -374,6 +392,9 @@ func quickSmoke(path string, verbose bool) error {
 	if !ranJournal {
 		return fmt.Errorf("suite no longer contains %s", journalAppendOp)
 	}
+	if !ranHistory {
+		return fmt.Errorf("suite no longer contains %s", historySampleOp)
+	}
 	runs, err := readTrajectory(path)
 	if err != nil {
 		return err
@@ -381,7 +402,7 @@ func quickSmoke(path string, verbose bool) error {
 	if err := validateRuns(runs); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	fmt.Printf("mzbench -quick: ClusterAdmit (migrate on), ClusterMigrate, SLO audit, and JournalAppend within budget; %s valid (%d runs)\n", path, len(runs))
+	fmt.Printf("mzbench -quick: ClusterAdmit (migrate on), ClusterMigrate, SLO audit, JournalAppend, and HistorySample within budget; %s valid (%d runs)\n", path, len(runs))
 	return nil
 }
 

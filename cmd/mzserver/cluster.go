@@ -6,6 +6,8 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mzqos/internal/cluster"
@@ -13,6 +15,7 @@ import (
 	"mzqos/internal/dist"
 	"mzqos/internal/engine"
 	"mzqos/internal/fault"
+	"mzqos/internal/history"
 	"mzqos/internal/journal"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
@@ -45,6 +48,8 @@ type clusterOptions struct {
 	faultShard                   int // -1 = plan applies to every shard
 	recalibrateEvery, minSamples int
 	slo                          slo.Config
+	historyRounds                int
+	noHistory                    bool
 }
 
 // runCluster is the -shards N (N > 1) entry point: S server shards behind
@@ -90,6 +95,13 @@ func runCluster(o clusterOptions) {
 		fatal(err)
 		engines[i] = srv
 	}
+	// One history store for the whole cluster, sampled by the
+	// coordinator's Step — never by the shards, whose configs leave
+	// History nil so the shared registry is recorded once per round.
+	var hist *history.Store
+	if !o.noHistory {
+		hist = history.New(history.Config{Registry: reg, Rounds: o.historyRounds})
+	}
 	coord, err := cluster.New(cluster.Config{
 		Engines:       engines,
 		Route:         o.route,
@@ -99,6 +111,7 @@ func runCluster(o clusterOptions) {
 		MigrateBudget: o.migrateBudget,
 		Journal:       jnl,
 		Ledger:        ledger,
+		History:       hist,
 	})
 	fatal(err)
 
@@ -106,15 +119,16 @@ func runCluster(o clusterOptions) {
 	fmt.Printf("cluster: %d shards x %d disks, capacity %d streams, route %s, %d replicas/object, migrate %v\n",
 		o.shards, o.disks, st.Capacity, coord.Route(), o.replicas, o.migrate)
 
+	// SIGINT/SIGTERM stop the round loop early and still drain the
+	// telemetry endpoint, so an interrupted run leaves clean scrapes.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	var endpoint *http.Server
 	if o.listen != "" {
-		mux := newClusterMux(coord, reg, o.withPprof)
-		go func() {
-			if err := http.ListenAndServe(o.listen, mux); err != nil {
-				fmt.Fprintf(os.Stderr, "mzserver: telemetry endpoint: %v\n", err)
-				os.Exit(1)
-			}
-		}()
-		fmt.Printf("telemetry: http://%s/metrics (prometheus), /cluster (shard health), /admission (placements), /slo (guarantee audit), /report (bound tightness)\n",
+		endpoint = startTelemetry(o.listen, newClusterMux(coord, reg, hist, o.withPprof))
+		defer shutdownTelemetry(endpoint)
+		fmt.Printf("telemetry: http://%s/metrics (prometheus), /cluster (shard health), /admission (placements), /slo (guarantee audit), /report (bound tightness), /query + /dashboard (history)\n",
 			o.listen)
 	}
 
@@ -134,7 +148,14 @@ func runCluster(o clusterOptions) {
 
 	var admitted, rejected, completed, evicted, glitches int
 	var migrated, migrateFailed, failedOver int
+loop:
 	for r := 0; r < o.rounds; r++ {
+		select {
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "mzserver: %v, stopping after round %d\n", sig, r)
+			break loop
+		default:
+		}
 		for k := poisson(o.arrivals, rng); k > 0; k-- {
 			name := fmt.Sprintf("clip-%04d", pop.Sample(rng))
 			if _, _, err := coord.Open(name); err != nil {
@@ -228,8 +249,13 @@ func runCluster(o clusterOptions) {
 
 	if o.listen != "" && o.linger > 0 {
 		fmt.Printf("lingering %s for scrapers on %s ...\n", o.linger, o.listen)
-		time.Sleep(o.linger)
+		select {
+		case <-time.After(o.linger):
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "mzserver: %v, ending linger early\n", sig)
+		}
 	}
+	// The deferred shutdownTelemetry drains in-flight scrapes before exit.
 }
 
 // clusterAdmissionReport is the cluster /admission payload: the routing
@@ -255,13 +281,20 @@ type clusterAdmissionReport struct {
 //	/streams     the QoS ledger: promised-vs-delivered per stream, with
 //	             migration lineage across shards
 //	/debug/bundle one-shot incident snapshot of every surface above
+//	/query       the embedded metrics history: windowed trajectories of any
+//	             registry series across the whole cluster — only when hist
+//	             is non-nil
+//	/dashboard   the self-contained bound-tightness dashboard (inline SVG,
+//	             per-shard panels) — only when hist is non-nil
 //	/debug/vars  expvar JSON
-//	/healthz     liveness probe
+//	/healthz     readiness probe: 200 while any shard can admit, 503 with
+//	             a JSON cause once every shard is failure-closed or
+//	             degraded to zero
 //	/debug/pprof runtime profiling, only when withPprof is set
 //
 // Everything reads atomic or lock-guarded snapshots, so scraping is safe
 // while the round loop runs.
-func newClusterMux(coord *cluster.Coordinator, reg *telemetry.Registry, withPprof bool) *http.ServeMux {
+func newClusterMux(coord *cluster.Coordinator, reg *telemetry.Registry, hist *history.Store, withPprof bool) *http.ServeMux {
 	model.RegisterTelemetry(reg)
 	telemetry.RegisterRuntimeMetrics(reg)
 	publishExpvar(reg)
@@ -286,11 +319,15 @@ func newClusterMux(coord *cluster.Coordinator, reg *telemetry.Registry, withPpro
 	})
 	mux.HandleFunc("/timeline", timelineHandler(coord.Journal()))
 	mux.HandleFunc("/streams", streamsHandler(coord.QoSLedger()))
-	mux.HandleFunc("/debug/bundle", clusterBundleHandler(coord, reg))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("/debug/bundle", clusterBundleHandler(coord, reg, hist))
+	if hist != nil {
+		mux.HandleFunc("/query", hist.QueryHandler())
+		mux.HandleFunc("/dashboard", hist.DashboardHandler(history.DashboardConfig{
+			Title:       "mzqos cluster",
+			RoundLength: 1, // cluster shards all run the canonical 1 s round
+		}))
+	}
+	mux.HandleFunc("/healthz", healthzHandler(clusterHealthCheck(coord)))
 	if withPprof {
 		registerPprof(mux)
 	}

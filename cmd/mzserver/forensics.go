@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"mzqos/internal/cluster"
+	"mzqos/internal/history"
 	"mzqos/internal/journal"
 	"mzqos/internal/server"
 	"mzqos/internal/telemetry"
@@ -145,6 +146,10 @@ type debugBundle struct {
 	Timeline timelineReport `json:"timeline"`
 	Streams  journal.Report `json:"streams"`
 	Metrics  any            `json:"metrics"`
+	// History is the embedded time-series store's downsampled dump (at
+	// most 256 points per series), so a bundle saved mid-incident carries
+	// the trajectory that led up to it, not just the final values.
+	History any `json:"history,omitempty"`
 }
 
 // bundleGeometry is the bundle's config section: the admission geometry
@@ -158,8 +163,11 @@ type bundleGeometry struct {
 	Degraded     bool   `json:"degraded,omitempty"`
 }
 
+// bundleHistoryPoints bounds the per-series dump embedded in a bundle.
+const bundleHistoryPoints = 256
+
 // serverBundleHandler assembles the single-server /debug/bundle.
-func serverBundleHandler(srv *server.Server, reg *telemetry.Registry) http.HandlerFunc {
+func serverBundleHandler(srv *server.Server, reg *telemetry.Registry, hist *history.Store) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		jnl := srv.Journal()
 		b := debugBundle{
@@ -188,12 +196,15 @@ func serverBundleHandler(srv *server.Server, reg *telemetry.Registry) http.Handl
 		if rep, err := srv.BoundTightness(); err == nil {
 			b.Report = rep
 		}
+		if hist != nil {
+			b.History = hist.Dump(bundleHistoryPoints)
+		}
 		writeJSON(w, b)
 	}
 }
 
 // clusterBundleHandler assembles the cluster /debug/bundle.
-func clusterBundleHandler(coord *cluster.Coordinator, reg *telemetry.Registry) http.HandlerFunc {
+func clusterBundleHandler(coord *cluster.Coordinator, reg *telemetry.Registry, hist *history.Store) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		jnl := coord.Journal()
 		st := coord.Status()
@@ -222,6 +233,9 @@ func clusterBundleHandler(coord *cluster.Coordinator, reg *telemetry.Registry) h
 			},
 			Streams: coord.QoSLedger().Report(),
 			Metrics: reg.ExpvarFunc()(),
+		}
+		if hist != nil {
+			b.History = hist.Dump(bundleHistoryPoints)
 		}
 		writeJSON(w, b)
 	}

@@ -52,7 +52,7 @@ func journaledServerMux(t *testing.T) *http.ServeMux {
 	for r := 0; r < 20; r++ {
 		srv.Step()
 	}
-	return newTelemetryMux(srv, false)
+	return newTelemetryMux(srv, nil, false)
 }
 
 func getJSON(t *testing.T, mux *http.ServeMux, path string, dst any) {
@@ -143,7 +143,7 @@ func TestTimelineEndpoint(t *testing.T) {
 func TestTimelineAndStreamsDisabledWithoutJournal(t *testing.T) {
 	// testServer wires no journal or ledger; the endpoints must still
 	// serve (empty) rather than panic on the nil receivers.
-	mux := newTelemetryMux(testServer(t), false)
+	mux := newTelemetryMux(testServer(t), nil, false)
 
 	var rep timelineReport
 	getJSON(t, mux, "/timeline", &rep)
@@ -307,7 +307,7 @@ func TestClusterIncidentArcFromTimeline(t *testing.T) {
 	}
 	coord.Run(80)
 
-	mux := newClusterMux(coord, reg, false)
+	mux := newClusterMux(coord, reg, nil, false)
 	var rep timelineReport
 	getJSON(t, mux, "/timeline", &rep)
 	if !rep.Enabled || len(rep.Events) == 0 {

@@ -1,15 +1,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"net/url"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"mzqos/internal/cluster"
 	"mzqos/internal/fault"
+	"mzqos/internal/history"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
 	"mzqos/internal/slo"
@@ -61,13 +67,20 @@ func publishExpvar(reg *telemetry.Registry) {
 //	/streams     the QoS ledger: promised-vs-delivered record per stream
 //	             with fleet-level delivered-tail percentiles
 //	/debug/bundle one-shot incident snapshot: timeline + metrics + slo +
-//	             admission + frozen trace + geometry in one JSON document
-//	/healthz     liveness probe
+//	             admission + frozen trace + geometry + history in one JSON
+//	             document
+//	/query       the embedded metrics history: windowed trajectories of any
+//	             registry series (?series=&since_round=&step=&agg=), JSON or
+//	             NDJSON — only when hist is non-nil
+//	/dashboard   the self-contained bound-tightness dashboard (inline SVG,
+//	             no external assets) — only when hist is non-nil
+//	/healthz     readiness probe: 200 while admission can make progress,
+//	             503 with a JSON cause once it is failure-closed
 //	/debug/pprof runtime profiling, only when withPprof is set
 //
 // Everything served here reads atomic metrics or takes the model's
 // lock-free snapshot path, so scraping is safe while the round loop runs.
-func newTelemetryMux(srv *server.Server, withPprof bool) *http.ServeMux {
+func newTelemetryMux(srv *server.Server, hist *history.Store, withPprof bool) *http.ServeMux {
 	reg := srv.Telemetry().Registry()
 	model.RegisterTelemetry(reg)
 	telemetry.RegisterRuntimeMetrics(reg)
@@ -101,15 +114,103 @@ func newTelemetryMux(srv *server.Server, withPprof bool) *http.ServeMux {
 	})
 	mux.HandleFunc("/timeline", timelineHandler(srv.Journal()))
 	mux.HandleFunc("/streams", streamsHandler(srv.QoSLedger()))
-	mux.HandleFunc("/debug/bundle", serverBundleHandler(srv, reg))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("/debug/bundle", serverBundleHandler(srv, reg, hist))
+	if hist != nil {
+		mux.HandleFunc("/query", hist.QueryHandler())
+		mux.HandleFunc("/dashboard", hist.DashboardHandler(history.DashboardConfig{
+			Title:       "mzqos server",
+			RoundLength: srv.RoundLength(),
+		}))
+	}
+	mux.HandleFunc("/healthz", healthzHandler(func() (string, bool) {
+		h := srv.Health()
+		if h.Failed {
+			return "admission failure-closed (disk failure)", false
+		}
+		return "", true
+	}))
 	if withPprof {
 		registerPprof(mux)
 	}
 	return mux
+}
+
+// healthzHandler turns a readiness check into the /healthz endpoint:
+// 200 {"status":"ok"} while the process can admit work, 503 with the
+// cause once it cannot. Orchestrators and the smoke scripts key on the
+// status code; the cause is for humans reading the body.
+func healthzHandler(check func() (cause string, ok bool)) http.HandlerFunc {
+	type health struct {
+		Status string `json:"status"`
+		Cause  string `json:"cause,omitempty"`
+	}
+	return func(w http.ResponseWriter, _ *http.Request) {
+		cause, ok := check()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(health{Status: "unavailable", Cause: cause})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(health{Status: "ok"})
+	}
+}
+
+// clusterHealthCheck is the cluster /healthz readiness predicate: the
+// cluster is unavailable only when no shard can admit anything — every
+// shard failure-closed, or every shard degraded to zero capacity.
+func clusterHealthCheck(coord *cluster.Coordinator) func() (string, bool) {
+	return func() (string, bool) {
+		st := coord.Status()
+		if len(st.Shards) == 0 {
+			return "no shards", false
+		}
+		allFailed, allZero := true, true
+		for _, row := range st.Shards {
+			if !row.Health.Failed {
+				allFailed = false
+			}
+			if row.Health.Capacity > 0 {
+				allZero = false
+			}
+		}
+		switch {
+		case allFailed:
+			return "every shard failure-closed (disk failure)", false
+		case allZero:
+			return "every shard degraded to zero capacity", false
+		}
+		return "", true
+	}
+}
+
+// shutdownDrain bounds how long a stopping telemetry endpoint waits for
+// in-flight scrapes before closing their connections.
+const shutdownDrain = 2 * time.Second
+
+// startTelemetry serves mux on addr in the background and returns the
+// server handle so the caller can drain it with shutdownTelemetry.
+func startTelemetry(addr string, mux *http.ServeMux) *http.Server {
+	hs := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "mzserver: telemetry endpoint: %v\n", err)
+			os.Exit(1)
+		}
+	}()
+	return hs
+}
+
+// shutdownTelemetry gracefully drains the telemetry endpoint: in-flight
+// scrapes get shutdownDrain to finish, then the listener closes. Nil-safe
+// for the no -listen case.
+func shutdownTelemetry(hs *http.Server) {
+	if hs == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownDrain)
+	defer cancel()
+	_ = hs.Shutdown(ctx)
 }
 
 // registerPprof mounts the runtime profiler endpoints on a mux.

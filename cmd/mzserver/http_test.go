@@ -11,6 +11,7 @@ import (
 	"mzqos/internal/disk"
 	"mzqos/internal/engine"
 	"mzqos/internal/fault"
+	"mzqos/internal/history"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
 	"mzqos/internal/telemetry"
@@ -45,7 +46,7 @@ func testServer(t *testing.T) *server.Server {
 }
 
 func TestMetricsEndpoint(t *testing.T) {
-	mux := newTelemetryMux(testServer(t), false)
+	mux := newTelemetryMux(testServer(t), nil, false)
 
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
@@ -82,7 +83,7 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestExpvarEndpoint(t *testing.T) {
-	mux := newTelemetryMux(testServer(t), false)
+	mux := newTelemetryMux(testServer(t), nil, false)
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
 	if rec.Code != 200 {
@@ -117,7 +118,7 @@ func TestExpvarEndpoint(t *testing.T) {
 }
 
 func TestReportAndSweepsEndpoints(t *testing.T) {
-	mux := newTelemetryMux(testServer(t), false)
+	mux := newTelemetryMux(testServer(t), nil, false)
 
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/report", nil))
@@ -172,7 +173,7 @@ func TestFaultsEndpoint(t *testing.T) {
 	for r := 0; r < 5; r++ {
 		srv.Step()
 	}
-	mux := newTelemetryMux(srv, false)
+	mux := newTelemetryMux(srv, nil, false)
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/faults", nil))
 	if rec.Code != 200 {
@@ -197,14 +198,14 @@ func TestFaultsEndpoint(t *testing.T) {
 }
 
 func TestPprofGating(t *testing.T) {
-	bare := newTelemetryMux(testServer(t), false)
+	bare := newTelemetryMux(testServer(t), nil, false)
 	rec := httptest.NewRecorder()
 	bare.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
 	if rec.Code == 200 {
 		t.Errorf("/debug/pprof served without the flag (status %d)", rec.Code)
 	}
 
-	profiled := newTelemetryMux(testServer(t), true)
+	profiled := newTelemetryMux(testServer(t), nil, true)
 	rec = httptest.NewRecorder()
 	profiled.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
 	if rec.Code != 200 {
@@ -213,7 +214,7 @@ func TestPprofGating(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
-	mux := newTelemetryMux(testServer(t), false)
+	mux := newTelemetryMux(testServer(t), nil, false)
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
 	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
@@ -233,7 +234,7 @@ func TestAdmissionEndpoint(t *testing.T) {
 		t.Fatal("open past capacity succeeded")
 	}
 
-	mux := newTelemetryMux(srv, false)
+	mux := newTelemetryMux(srv, nil, false)
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/admission", nil))
 	if rec.Code != 200 {
@@ -258,7 +259,7 @@ func TestAdmissionEndpoint(t *testing.T) {
 
 func TestTraceEndpoint(t *testing.T) {
 	srv := testServer(t)
-	mux := newTelemetryMux(srv, false)
+	mux := newTelemetryMux(srv, nil, false)
 
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
@@ -328,7 +329,7 @@ func TestTraceEndpoint(t *testing.T) {
 }
 
 func TestSLOEndpoint(t *testing.T) {
-	mux := newTelemetryMux(testServer(t), false)
+	mux := newTelemetryMux(testServer(t), nil, false)
 
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
@@ -428,7 +429,7 @@ func testCluster(t *testing.T) (*cluster.Coordinator, *telemetry.Registry) {
 
 func TestClusterSLOAndReportEndpoints(t *testing.T) {
 	coord, reg := testCluster(t)
-	mux := newClusterMux(coord, reg, false)
+	mux := newClusterMux(coord, reg, nil, false)
 
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
@@ -490,5 +491,210 @@ func TestClusterSLOAndReportEndpoints(t *testing.T) {
 		if !strings.Contains(body, name) {
 			t.Errorf("/metrics missing %q", name)
 		}
+	}
+}
+
+// failedServer builds a server whose only disks fail at round 0 with
+// degradation enabled, steps it until admission fail-closes, and returns
+// it — the /healthz unavailable fixture.
+func failedServer(t *testing.T) *server.Server {
+	t.Helper()
+	plan := &fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Failure, Disk: fault.AllDisks, From: 0},
+	}}
+	srv, err := server.New(server.Config{
+		Disk:        disk.QuantumViking21(),
+		NumDisks:    2,
+		RoundLength: 1,
+		Sizes:       workload.PaperSizes(),
+		Guarantee:   model.Guarantee{Threshold: 0.01},
+		Seed:        1,
+		Faults:      plan,
+		Degrade:     server.DegradeConfig{Enabled: true, After: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 6; r++ {
+		srv.Step()
+	}
+	if !srv.Health().Failed {
+		t.Fatal("fixture server did not fail-close")
+	}
+	return srv
+}
+
+func TestHealthzFailureClosed(t *testing.T) {
+	mux := newTelemetryMux(failedServer(t), nil, false)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("/healthz status %d, want 503 while failure-closed", rec.Code)
+	}
+	var body struct {
+		Status string `json:"status"`
+		Cause  string `json:"cause"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("/healthz body is not JSON: %v", err)
+	}
+	if body.Status != "unavailable" || body.Cause == "" {
+		t.Errorf("/healthz body = %+v, want unavailable with a cause", body)
+	}
+}
+
+func TestClusterHealthz(t *testing.T) {
+	// Healthy cluster: 200 with status ok.
+	coord, reg := testCluster(t)
+	mux := newClusterMux(coord, reg, nil, false)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Fatalf("healthy cluster /healthz: status %d body %q", rec.Code, rec.Body.String())
+	}
+
+	// Every shard failure-closed: 503 naming the cause.
+	plan := &fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Failure, Disk: fault.AllDisks, From: 0},
+	}}
+	reg2 := telemetry.NewRegistry()
+	engines := make([]engine.Engine, 2)
+	for i := range engines {
+		srv, err := server.New(server.Config{
+			Disk:        disk.QuantumViking21(),
+			NumDisks:    2,
+			RoundLength: 1,
+			Sizes:       workload.PaperSizes(),
+			Guarantee:   model.Guarantee{Threshold: 0.01},
+			Seed:        uint64(i) + 3,
+			Faults:      plan,
+			Degrade:     server.DegradeConfig{Enabled: true, After: 1},
+			Registry:    reg2,
+			InstanceLabels: []telemetry.Label{
+				telemetry.L("shard", fmt.Sprintf("%d", i)),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = srv
+	}
+	failed, err := cluster.New(cluster.Config{Engines: engines, Registry: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed.Run(6) // past the degrade threshold; the view refreshes every round
+	mux = newClusterMux(failed, reg2, nil, false)
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("failed cluster /healthz: status %d, want 503", rec.Code)
+	}
+	var body struct {
+		Status string `json:"status"`
+		Cause  string `json:"cause"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("/healthz body is not JSON: %v", err)
+	}
+	if body.Status != "unavailable" || !strings.Contains(body.Cause, "shard") {
+		t.Errorf("/healthz body = %+v, want unavailable naming the shards", body)
+	}
+}
+
+func TestHistoryEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	hist := history.New(history.Config{Registry: reg, Rounds: 128})
+	srv, err := server.New(server.Config{
+		Disk:        disk.QuantumViking21(),
+		NumDisks:    2,
+		RoundLength: 1,
+		Sizes:       workload.PaperSizes(),
+		Guarantee:   model.Guarantee{Threshold: 0.01},
+		Seed:        42,
+		Registry:    reg,
+		History:     hist,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddSyntheticObject("v", 100); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, _, err := srv.Open("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 20; r++ {
+		srv.Step()
+	}
+	mux := newTelemetryMux(srv, hist, false)
+
+	// /query serves the per-round trajectory the Step loop recorded.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/query?series=mzqos_server_streams_active&agg=last", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/query status %d: %s", rec.Code, rec.Body.String())
+	}
+	var res struct {
+		Series []struct {
+			Points []struct {
+				Round int64   `json:"round"`
+				Value float64 `json:"value"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatalf("/query is not JSON: %v", err)
+	}
+	if len(res.Series) != 1 || len(res.Series[0].Points) < 2 {
+		t.Fatalf("/query returned %+v, want one series with >= 2 points", res)
+	}
+	if last := res.Series[0].Points[len(res.Series[0].Points)-1]; last.Value != 6 {
+		t.Errorf("latest active = %v, want 6", last.Value)
+	}
+
+	// Unknown series answers 400.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/query?series=mzqos_nope", nil))
+	if rec.Code != 400 {
+		t.Errorf("/query unknown series status %d, want 400", rec.Code)
+	}
+
+	// /dashboard renders the measured-tail-vs-bound page inline.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/dashboard", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/dashboard status %d", rec.Code)
+	}
+	page := rec.Body.String()
+	for _, want := range []string{"<svg", "Measured tail vs analytic bound", "Admission"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/dashboard missing %q", want)
+		}
+	}
+
+	// /debug/bundle embeds the history dump.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/bundle", nil))
+	var bundle struct {
+		History *struct {
+			Series []json.RawMessage `json:"series"`
+		} `json:"history"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &bundle); err != nil {
+		t.Fatalf("/debug/bundle is not JSON: %v", err)
+	}
+	if bundle.History == nil || len(bundle.History.Series) == 0 {
+		t.Error("/debug/bundle lacks the history dump")
+	}
+
+	// Without a store the endpoints are simply absent (404 from the mux).
+	bare := newTelemetryMux(testServer(t), nil, false)
+	rec = httptest.NewRecorder()
+	bare.ServeHTTP(rec, httptest.NewRequest("GET", "/query", nil))
+	if rec.Code != 404 {
+		t.Errorf("/query without history: status %d, want 404", rec.Code)
 	}
 }

@@ -50,11 +50,14 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mzqos/internal/disk"
 	"mzqos/internal/dist"
 	"mzqos/internal/fault"
+	"mzqos/internal/history"
 	"mzqos/internal/journal"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
@@ -99,6 +102,8 @@ func main() {
 		sloSlow     = flag.Int("slo-slow", 0, "SLO audit slow window in rounds (0 = default)")
 		sloBurn     = flag.Float64("slo-burn", 0, "SLO burn-rate alert threshold (0 = default)")
 		noSLO       = flag.Bool("no-slo", false, "disable the SLO audit (windowed bound-vs-measured burn-rate alerting)")
+		histRounds  = flag.Int("history-rounds", 0, "embedded metrics-history retention in rounds (0 = default 4096)")
+		noHistory   = flag.Bool("no-history", false, "disable the embedded metrics history (/query, /dashboard)")
 	)
 	flag.Parse()
 
@@ -161,6 +166,8 @@ func main() {
 			recalibrateEvery: *recalEvery,
 			minSamples:       500,
 			slo:              sloCfg,
+			historyRounds:    *histRounds,
+			noHistory:        *noHistory,
 		})
 		return
 	}
@@ -168,6 +175,10 @@ func main() {
 	reg := telemetry.NewRegistry()
 	jnl := journal.New(journal.Config{Registry: reg})
 	ledger := journal.NewLedger(journal.LedgerConfig{})
+	var hist *history.Store
+	if !*noHistory {
+		hist = history.New(history.Config{Registry: reg, Rounds: *histRounds})
+	}
 	srv, err := server.New(server.Config{
 		Disk:        disk.QuantumViking21(),
 		NumDisks:    *disks,
@@ -183,6 +194,7 @@ func main() {
 		Journal:     jnl,
 		Ledger:      ledger,
 		Logger:      logger,
+		History:     hist,
 	})
 	fatal(err)
 
@@ -197,15 +209,16 @@ func main() {
 		fmt.Printf("faults: %d scheduled [%s], %s\n", len(plan.Faults), plan.String(), mode)
 	}
 
+	// SIGINT/SIGTERM stop the round loop early and still drain the
+	// telemetry endpoint, so an interrupted run leaves clean scrapes.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	var endpoint *http.Server
 	if *listen != "" {
-		mux := newTelemetryMux(srv, *withPprof)
-		go func() {
-			if err := http.ListenAndServe(*listen, mux); err != nil {
-				fmt.Fprintf(os.Stderr, "mzserver: telemetry endpoint: %v\n", err)
-				os.Exit(1)
-			}
-		}()
-		fmt.Printf("telemetry: http://%s/metrics (prometheus), /debug/vars (expvar), /report (bound tightness), /slo (guarantee audit)\n", *listen)
+		endpoint = startTelemetry(*listen, newTelemetryMux(srv, hist, *withPprof))
+		defer shutdownTelemetry(endpoint)
+		fmt.Printf("telemetry: http://%s/metrics (prometheus), /debug/vars (expvar), /report (bound tightness), /slo (guarantee audit), /query + /dashboard (history)\n", *listen)
 	}
 
 	// Build the catalog with the *actual* workload.
@@ -227,7 +240,14 @@ func main() {
 	var glitchTotal, requestTotal, lostTotal int
 	var busy float64
 	wasDegraded := false
+loop:
 	for r := 0; r < *rounds; r++ {
+		select {
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "mzserver: %v, stopping after round %d\n", sig, r)
+			break loop
+		default:
+		}
 		// Poisson arrivals pick catalog entries by popularity.
 		for k := poisson(*arrivals, rng); k > 0; k-- {
 			name := fmt.Sprintf("clip-%04d", pop.Sample(rng))
@@ -330,8 +350,13 @@ func main() {
 
 	if *listen != "" && *linger > 0 {
 		fmt.Printf("lingering %s for scrapers on %s ...\n", *linger, *listen)
-		time.Sleep(*linger)
+		select {
+		case <-time.After(*linger):
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "mzserver: %v, ending linger early\n", sig)
+		}
 	}
+	// The deferred shutdownTelemetry drains in-flight scrapes before exit.
 }
 
 func poisson(lambda float64, rng interface{ Float64() float64 }) int {

@@ -17,6 +17,7 @@ import (
 	"mzqos/internal/disk"
 	"mzqos/internal/engine"
 	"mzqos/internal/experiments"
+	"mzqos/internal/history"
 	"mzqos/internal/journal"
 	"mzqos/internal/model"
 	"mzqos/internal/server"
@@ -247,6 +248,7 @@ func Suite() []Case {
 		{Name: "SLOObserve/4disks/steady", Bench: benchSLOObserve},
 		{Name: "SLOEvaluate/4disks/steady", Bench: benchSLOEvaluate},
 		{Name: "JournalAppend/ring/steady", Bench: benchJournalAppend},
+		{Name: "HistorySample/32series/steady", Bench: benchHistorySample},
 		{Name: "ServerStep/paperLoad/trace-off", Bench: func(b *testing.B) {
 			benchServerStep(b, true)
 		}},
@@ -454,6 +456,47 @@ func benchJournalAppend(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.Round = i
 		j.Append(e)
+	}
+}
+
+// benchHistorySample measures one per-round sample of the embedded
+// metrics history at a registry shaped like a loaded single-server run
+// (32 scalar series plus two per-disk round-time histograms), warmed past
+// the fine ring's wrap-around so the timed region is the steady state:
+// ring slots and coarse blocks recycling in place with no growth
+// anywhere. The embedded-history PR's budget: under 500 ns/op with zero
+// allocations, gated by mzbench -quick — Sample runs once per round on
+// the Step path, so anything more would tax the guarantee loop itself.
+func benchHistorySample(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	for i := 0; i < 16; i++ {
+		reg.Counter(fmt.Sprintf("bench_counter_%d_total", i), "bench counter").Add(int64(i))
+	}
+	for i := 0; i < 16; i++ {
+		reg.Gauge(fmt.Sprintf("bench_gauge_%d", i), "bench gauge").Set(float64(i))
+	}
+	bounds, err := telemetry.RoundTimeBuckets(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for d := 0; d < 2; d++ {
+		h, err := reg.Histogram("bench_round_time_seconds", "bench histogram",
+			bounds, telemetry.L("disk", fmt.Sprint(d)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Observe(0.8)
+	}
+	st := history.New(history.Config{Registry: reg, Rounds: 256})
+	// Warm past the fine ring's wrap and through several coarse blocks.
+	warm := 256 + 2*history.DefaultCoarseBlock
+	for r := 0; r < warm; r++ {
+		st.Sample(r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Sample(warm + i)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"mzqos/internal/engine"
+	"mzqos/internal/history"
 	"mzqos/internal/journal"
 	"mzqos/internal/slo"
 	"mzqos/internal/telemetry"
@@ -125,6 +126,12 @@ type Config struct {
 	// view legitimately lags up to HeartbeatEvery-1 rounds between
 	// refreshes.
 	StaleAfter int
+	// History optionally records every registry series once per
+	// coordinator round into the embedded time-series store. The
+	// coordinator owns the cluster's single per-round sample — shard
+	// server configs leave their History nil so shared-registry series
+	// are not re-sampled once per shard.
+	History *history.Store
 }
 
 // DefaultStaleAfter is the heartbeat-staleness threshold used when
@@ -235,6 +242,7 @@ type Coordinator struct {
 	// are past the staleness threshold, Step-owned like pending.
 	jnl        *journal.Journal
 	ledger     *journal.Ledger
+	hist       *history.Store // nil-safe: nil means no embedded history
 	staleAfter int
 	stale      []bool
 
@@ -421,6 +429,7 @@ func New(cfg Config) (*Coordinator, error) {
 		migBudget:  budget,
 		jnl:        cfg.Journal,
 		ledger:     cfg.Ledger,
+		hist:       cfg.History,
 		staleAfter: staleAfter,
 		stale:      make([]bool, len(cfg.Engines)),
 		tel:        newClusterTelemetry(cfg.Registry),
@@ -762,6 +771,10 @@ func (c *Coordinator) Step() RoundReport {
 		}
 	}
 	c.observeStaleness(int(round))
+	// Record the round into the embedded history after every gauge of
+	// this round (shard steps, ticket release, migration, view refresh,
+	// staleness) has settled.
+	c.hist.Sample(int(round))
 	return rep
 }
 

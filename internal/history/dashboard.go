@@ -1,0 +1,568 @@
+package history
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Series names the dashboard assembles its panels from. Panels whose
+// series are absent from the store are simply omitted, so the same
+// renderer serves single-server and cluster processes.
+const (
+	seriesRoundTime   = "mzqos_server_round_time_seconds"
+	seriesBoundLate   = "mzqos_server_bound_late"
+	seriesBurn        = "mzqos_slo_burn_rate"
+	seriesAlertState  = "mzqos_slo_alert_state"
+	seriesActive      = "mzqos_server_streams_active"
+	seriesNMax        = "mzqos_server_nmax"
+	seriesAdmitted    = "mzqos_server_streams_admitted_total"
+	seriesRejected    = "mzqos_server_streams_rejected_total"
+	seriesClusterBurn = "mzqos_cluster_slo_burn_rate"
+	seriesTickets     = "mzqos_cluster_tickets"
+	seriesCapacity    = "mzqos_cluster_capacity"
+	seriesDegraded    = "mzqos_cluster_degraded_shards"
+	seriesMigOK       = "mzqos_cluster_migrations_succeeded_total"
+	seriesMigTry      = "mzqos_cluster_migrations_attempted_total"
+	seriesMigFail     = "mzqos_cluster_migrations_failed_total"
+	seriesFailover    = "mzqos_cluster_failover_streams_total"
+)
+
+// DashboardConfig parameterizes the /dashboard page.
+type DashboardConfig struct {
+	// Title heads the page (empty = "mzqos").
+	Title string
+	// RoundLength is the deadline t in seconds — the threshold of the
+	// measured-tail panels (0 = 1, the repo's canonical round length).
+	RoundLength float64
+	// Window is the trailing estimation window in rounds for measured
+	// tails and rate panels (0 = 64).
+	Window int
+	// Refresh is the meta-refresh cadence in seconds (0 = 5, negative =
+	// no auto-refresh).
+	Refresh int
+}
+
+// TailTrajectory returns the windowed measured tail of a histogram
+// series: one point per step window, each the fraction of that window's
+// observations strictly above threshold — the measured P̂[T_N > t]
+// trajectory beside the analytic b_late the dashboard plots.
+func (st *Store) TailTrajectory(id string, threshold float64, sinceRound int64, step int) []Point {
+	if st == nil {
+		return nil
+	}
+	if step <= 0 {
+		step = 1
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, rec := range st.series {
+		if rec.id == id {
+			return rec.tailTrajectory(sinceRound, int64(step), threshold, st.capacity)
+		}
+	}
+	return nil
+}
+
+// tailTrajectory computes the per-window tail from bucket deltas between
+// window-endpoint samples. Runs under the store mutex.
+func (rec *seriesRec) tailTrajectory(since, step int64, threshold float64, capacity int) []Point {
+	if rec.h == nil {
+		return nil
+	}
+	type endpoint struct {
+		round int64
+		slot  int
+	}
+	var ends []endpoint
+	for k := 0; k < rec.n; k++ {
+		i := rec.head - rec.n + k
+		if i < 0 {
+			i += capacity
+		}
+		round := rec.fine[i].round
+		if round < since {
+			continue
+		}
+		if len(ends) > 0 && ends[len(ends)-1].round/step == round/step {
+			ends[len(ends)-1] = endpoint{round, i}
+			continue
+		}
+		ends = append(ends, endpoint{round, i})
+	}
+	if len(ends) < 2 {
+		return nil
+	}
+	deltas := make([]int64, rec.nb)
+	pts := make([]Point, 0, len(ends)-1)
+	for i := 1; i < len(ends); i++ {
+		pb := rec.buckets[ends[i-1].slot*rec.nb : (ends[i-1].slot+1)*rec.nb]
+		cb := rec.buckets[ends[i].slot*rec.nb : (ends[i].slot+1)*rec.nb]
+		var total int64
+		for j := range deltas {
+			d := cb[j] - pb[j]
+			if d < 0 {
+				d = 0
+			}
+			deltas[j] = d
+			total += d
+		}
+		if total == 0 {
+			continue
+		}
+		pts = append(pts, Point{Round: ends[i].round, Value: tailAboveOf(rec.bounds, deltas, threshold)})
+	}
+	return pts
+}
+
+// line is one polyline of a panel.
+type line struct {
+	label string
+	color string
+	dash  bool
+	pts   []Point
+}
+
+// band is one shaded x-interval of a panel (SLO alert states).
+type band struct {
+	from, to int64
+	color    string
+}
+
+// panel geometry (one fixed size keeps the SVG math simple).
+const (
+	panelW   = 640
+	panelH   = 130
+	panelPad = 28
+)
+
+var palette = []string{"#0a7", "#d33", "#06c", "#e80", "#85c", "#b06", "#777", "#3aa"}
+
+// fmtVal renders a value compactly for legends and axis labels.
+func fmtVal(v float64) string { return strconv.FormatFloat(v, 'g', 3, 64) }
+
+// renderPanel writes one titled sparkline figure: shaded bands under
+// colored polylines with a min/max y-axis and a round-range x-axis, all
+// inline SVG — no external assets.
+func renderPanel(b *strings.Builder, title string, lines []line, bands []band) {
+	var xmin, xmax int64 = 1<<62 - 1, -(1 << 62)
+	ymin, ymax := 0.0, 0.0
+	haveY := false
+	n := 0
+	for _, l := range lines {
+		for _, p := range l.pts {
+			if p.Round < xmin {
+				xmin = p.Round
+			}
+			if p.Round > xmax {
+				xmax = p.Round
+			}
+			if !haveY {
+				ymin, ymax, haveY = p.Value, p.Value, true
+			} else {
+				if p.Value < ymin {
+					ymin = p.Value
+				}
+				if p.Value > ymax {
+					ymax = p.Value
+				}
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		pad := ymax * 0.1
+		if pad <= 0 {
+			pad = 1
+		}
+		ymin, ymax = ymin-pad, ymax+pad
+	}
+	// Keep zero in frame for rate-like panels whose values hug it.
+	if ymin > 0 && ymin < (ymax-ymin)*0.5 {
+		ymin = 0
+	}
+	sx := func(r int64) float64 {
+		return panelPad + float64(r-xmin)/float64(xmax-xmin)*(panelW-2*panelPad)
+	}
+	sy := func(v float64) float64 {
+		return panelH - panelPad - (v-ymin)/(ymax-ymin)*(panelH-2*panelPad)
+	}
+
+	fmt.Fprintf(b, "<figure>\n<figcaption>%s</figcaption>\n", html.EscapeString(title))
+	fmt.Fprintf(b, `<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img">`+"\n",
+		panelW, panelH, panelW, panelH)
+	fmt.Fprintf(b, `<rect x="0" y="0" width="%d" height="%d" fill="#fcfcfa" stroke="#ddd"/>`+"\n", panelW, panelH)
+	for _, bd := range bands {
+		x0, x1 := sx(bd.from), sx(bd.to)
+		if x1 < x0+1 {
+			x1 = x0 + 1
+		}
+		fmt.Fprintf(b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" opacity="0.25"/>`+"\n",
+			x0, panelPad, x1-x0, panelH-2*panelPad, bd.color)
+	}
+	// Frame and axis labels.
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#bbb"/>`+"\n",
+		panelPad, panelH-panelPad, panelW-panelPad, panelH-panelPad)
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="10" fill="#666">%s</text>`+"\n",
+		2, panelPad+4, html.EscapeString(fmtVal(ymax)))
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="10" fill="#666">%s</text>`+"\n",
+		2, panelH-panelPad, html.EscapeString(fmtVal(ymin)))
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="10" fill="#666">r%d</text>`+"\n",
+		panelPad, panelH-8, xmin)
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="10" fill="#666" text-anchor="end">r%d</text>`+"\n",
+		panelW-panelPad, panelH-8, xmax)
+	for _, l := range lines {
+		if len(l.pts) == 0 {
+			continue
+		}
+		var sb strings.Builder
+		for i, p := range l.pts {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%.1f,%.1f", sx(p.Round), sy(p.Value))
+		}
+		dash := ""
+		if l.dash {
+			dash = ` stroke-dasharray="5,3"`
+		}
+		if len(l.pts) == 1 {
+			p := l.pts[0]
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="2" fill="%s"/>`+"\n", sx(p.Round), sy(p.Value), l.color)
+			continue
+		}
+		fmt.Fprintf(b, `<polyline fill="none" stroke="%s" stroke-width="1.5"%s points="%s"/>`+"\n",
+			l.color, dash, sb.String())
+	}
+	b.WriteString("</svg>\n<div class=\"legend\">")
+	for _, l := range lines {
+		latest := ""
+		if len(l.pts) > 0 {
+			latest = " = " + fmtVal(l.pts[len(l.pts)-1].Value)
+		}
+		fmt.Fprintf(b, `<span><i style="background:%s"></i>%s%s</span> `,
+			l.color, html.EscapeString(l.label), html.EscapeString(latest))
+	}
+	b.WriteString("</div>\n</figure>\n")
+}
+
+// labelValue returns the value of key in a SeriesResult's labels ("" when
+// absent).
+func (sr *SeriesResult) labelValue(key string) string {
+	for _, l := range sr.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// labelsMatchExcept reports whether a and b carry identical label sets
+// once the given key is ignored on both sides.
+func labelsMatchExcept(a, b *SeriesResult, key string) bool {
+	ai, bi := 0, 0
+	for {
+		for ai < len(a.Labels) && a.Labels[ai].Key == key {
+			ai++
+		}
+		for bi < len(b.Labels) && b.Labels[bi].Key == key {
+			bi++
+		}
+		if ai == len(a.Labels) || bi == len(b.Labels) {
+			return ai == len(a.Labels) && bi == len(b.Labels)
+		}
+		if a.Labels[ai] != b.Labels[bi] {
+			return false
+		}
+		ai++
+		bi++
+	}
+}
+
+// query is the dashboard's forgiving lookup: a Result for matched
+// series, empty on any error (absent series simply omit their panel).
+func (st *Store) query(q Query) Result {
+	res, err := st.Query(q)
+	if err != nil {
+		return Result{}
+	}
+	return res
+}
+
+// stateBands turns an alert-state trajectory (0 inactive, 1 pending,
+// 2 firing, 3 resolved) into shaded bands.
+func stateBands(pts []Point) []band {
+	colors := map[int]string{1: "#fb3", 2: "#f55", 3: "#7ad"}
+	var out []band
+	for i := 0; i < len(pts); {
+		state := int(pts[i].Value)
+		j := i
+		for j+1 < len(pts) && int(pts[j+1].Value) == state {
+			j++
+		}
+		if c, ok := colors[state]; ok {
+			to := pts[j].Round
+			if j+1 < len(pts) {
+				to = pts[j+1].Round
+			}
+			out = append(out, band{from: pts[i].Round, to: to, color: c})
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// DashboardHandler serves the self-contained /dashboard page: inline
+// SVG sparklines of the measured tail vs analytic bound per disk (the
+// paper's §4 bound-tightness figures, live), SLO burn rates with alert
+// state bands, admission load, and — when the cluster series exist —
+// tickets against capacity and migration flow. No scripts, no external
+// assets: one HTML document renders everything.
+func (st *Store) DashboardHandler(cfg DashboardConfig) http.HandlerFunc {
+	title := cfg.Title
+	if title == "" {
+		title = "mzqos"
+	}
+	t := cfg.RoundLength
+	if t <= 0 {
+		t = 1
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = 64
+	}
+	refresh := cfg.Refresh
+	if refresh == 0 {
+		refresh = 5
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		// ?refresh=N and ?window=N override the configured cadence and
+		// tail-window width per request (refresh=0 stops auto-reload).
+		window, refresh := window, refresh
+		q := r.URL.Query()
+		if v := q.Get("refresh"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+				refresh = n
+			}
+		}
+		if v := q.Get("window"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				window = n
+			}
+		}
+		var b strings.Builder
+		b.WriteString("<!doctype html>\n<html><head><meta charset=\"utf-8\">\n")
+		fmt.Fprintf(&b, "<title>%s dashboard</title>\n", html.EscapeString(title))
+		if refresh > 0 {
+			fmt.Fprintf(&b, `<meta http-equiv="refresh" content="%d">`+"\n", refresh)
+		}
+		b.WriteString(`<style>
+body{font:14px system-ui,sans-serif;margin:1.5em;color:#222;max-width:700px}
+h1{font-size:1.3em} h2{font-size:1.05em;margin:1.2em 0 .3em;border-bottom:1px solid #eee}
+figure{margin:.6em 0} figcaption{font-size:.85em;color:#444;margin-bottom:2px}
+.legend{font-size:.8em;color:#333}
+.legend i{display:inline-block;width:10px;height:10px;margin-right:3px;border-radius:2px}
+.legend span{margin-right:1em}
+.meta{color:#666;font-size:.85em}
+</style></head><body>` + "\n")
+
+		if st == nil || st.Samples() == 0 {
+			fmt.Fprintf(&b, "<h1>%s</h1>\n<p class=\"meta\">no history samples yet</p>\n</body></html>\n",
+				html.EscapeString(title))
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			_, _ = w.Write([]byte(b.String()))
+			return
+		}
+		lastRound := st.LastRound()
+		fmt.Fprintf(&b, "<h1>%s <span class=\"meta\">round %d · window %d rounds · t = %s s</span></h1>\n",
+			html.EscapeString(title), lastRound, window, fmtVal(t))
+
+		st.renderTailSection(&b, t, window)
+		st.renderSLOSection(&b, window)
+		st.renderAdmissionSection(&b, window)
+		st.renderClusterSection(&b, window)
+
+		b.WriteString("</body></html>\n")
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	}
+}
+
+// renderTailSection plots, per disk, the measured windowed tail
+// P̂[T_N > t] beside the analytic b_late of the same instance — the
+// bound-tightness trajectory.
+func (st *Store) renderTailSection(b *strings.Builder, t float64, window int) {
+	hists := st.query(Query{Series: seriesRoundTime, Agg: AggLast, Step: window})
+	if len(hists.Series) == 0 {
+		return
+	}
+	bounds := st.query(Query{Series: seriesBoundLate, Agg: AggMax, Step: window})
+	b.WriteString("<h2>Measured tail vs analytic bound (per disk)</h2>\n")
+	for i := range hists.Series {
+		hs := &hists.Series[i]
+		tail := st.TailTrajectory(hs.ID, t, 0, window)
+		lines := []line{{label: "measured P[T>t]", color: palette[0], pts: tail}}
+		for j := range bounds.Series {
+			bs := &bounds.Series[j]
+			if labelsMatchExcept(hs, bs, "disk") {
+				lines = append(lines, line{label: "analytic b_late", color: palette[1], dash: true, pts: bs.Points})
+				break
+			}
+		}
+		title := "disk " + hs.labelValue("disk")
+		if shard := hs.labelValue("shard"); shard != "" {
+			title = "shard " + shard + " · " + title
+		}
+		renderPanel(b, title+" — "+hs.ID, lines, nil)
+	}
+}
+
+// renderSLOSection plots each target's burn rates (fast/slow, per shard
+// when labelled) under its alert-state bands.
+func (st *Store) renderSLOSection(b *strings.Builder, window int) {
+	burns := st.query(Query{Series: seriesBurn, Agg: AggMax, Step: max(window/8, 1)})
+	if len(burns.Series) == 0 {
+		return
+	}
+	states := st.query(Query{Series: seriesAlertState, Agg: AggMax, Step: 1})
+	cluster := st.query(Query{Series: seriesClusterBurn, Agg: AggMax, Step: max(window/8, 1)})
+	b.WriteString("<h2>SLO burn rate &amp; alert state</h2>\n")
+	for _, target := range []string{"late", "glitch"} {
+		var lines []line
+		ci := 0
+		for i := range burns.Series {
+			sr := &burns.Series[i]
+			if sr.labelValue("target") != target {
+				continue
+			}
+			label := sr.labelValue("window")
+			if shard := sr.labelValue("shard"); shard != "" {
+				label = "shard " + shard + " " + label
+			}
+			lines = append(lines, line{label: label, color: palette[ci%len(palette)], pts: sr.Points})
+			ci++
+		}
+		for i := range cluster.Series {
+			sr := &cluster.Series[i]
+			if sr.labelValue("target") != target {
+				continue
+			}
+			lines = append(lines, line{
+				label: "cluster " + sr.labelValue("window"),
+				color: palette[ci%len(palette)], dash: true, pts: sr.Points,
+			})
+			ci++
+		}
+		var bands []band
+		for i := range states.Series {
+			sr := &states.Series[i]
+			if sr.labelValue("target") == target && sr.labelValue("shard") == "" {
+				bands = stateBands(sr.Points)
+				break
+			}
+		}
+		renderPanel(b, "burn rate — target "+target+" (bands: amber pending, red firing, blue resolved)", lines, bands)
+	}
+}
+
+// renderAdmissionSection plots active streams against the admission
+// limit and the admitted/rejected flow.
+func (st *Store) renderAdmissionSection(b *strings.Builder, window int) {
+	active := st.query(Query{Series: seriesActive, Agg: AggLast, Step: max(window/8, 1)})
+	if len(active.Series) == 0 {
+		return
+	}
+	nmax := st.query(Query{Series: seriesNMax, Agg: AggLast, Step: max(window/8, 1)})
+	b.WriteString("<h2>Admission</h2>\n")
+	var lines []line
+	ci := 0
+	for i := range active.Series {
+		sr := &active.Series[i]
+		label := "active"
+		if shard := sr.labelValue("shard"); shard != "" {
+			label = "shard " + shard + " active"
+		}
+		lines = append(lines, line{label: label, color: palette[ci%len(palette)], pts: sr.Points})
+		ci++
+	}
+	for i := range nmax.Series {
+		sr := &nmax.Series[i]
+		label := "N_max/disk"
+		if shard := sr.labelValue("shard"); shard != "" {
+			label = "shard " + shard + " N_max/disk"
+		}
+		lines = append(lines, line{label: label, color: palette[ci%len(palette)], dash: true, pts: sr.Points})
+		ci++
+	}
+	renderPanel(b, "active streams vs admission limit", lines, nil)
+
+	adm := st.query(Query{Series: seriesAdmitted, Agg: AggRate, Step: window})
+	rej := st.query(Query{Series: seriesRejected, Agg: AggRate, Step: window})
+	var flow []line
+	ci = 0
+	for i := range adm.Series {
+		sr := &adm.Series[i]
+		label := "admitted/round"
+		if shard := sr.labelValue("shard"); shard != "" {
+			label = "shard " + shard + " admitted/round"
+		}
+		flow = append(flow, line{label: label, color: palette[ci%len(palette)], pts: sr.Points})
+		ci++
+	}
+	for i := range rej.Series {
+		sr := &rej.Series[i]
+		label := "rejected/round"
+		if shard := sr.labelValue("shard"); shard != "" {
+			label = "shard " + shard + " rejected/round"
+		}
+		flow = append(flow, line{label: label, color: palette[ci%len(palette)], dash: true, pts: sr.Points})
+		ci++
+	}
+	if len(flow) > 0 {
+		renderPanel(b, "admission flow (windowed rate)", flow, nil)
+	}
+}
+
+// renderClusterSection plots tickets against capacity and the migration
+// counters; omitted entirely for single-server stores.
+func (st *Store) renderClusterSection(b *strings.Builder, window int) {
+	tickets := st.query(Query{Series: seriesTickets, Agg: AggLast, Step: max(window/8, 1)})
+	if len(tickets.Series) == 0 {
+		return
+	}
+	capacity := st.query(Query{Series: seriesCapacity, Agg: AggLast, Step: max(window/8, 1)})
+	degraded := st.query(Query{Series: seriesDegraded, Agg: AggMax, Step: max(window/8, 1)})
+	b.WriteString("<h2>Cluster</h2>\n")
+	lines := []line{{label: "tickets", color: palette[0], pts: tickets.Series[0].Points}}
+	if len(capacity.Series) > 0 {
+		lines = append(lines, line{label: "capacity", color: palette[1], dash: true, pts: capacity.Series[0].Points})
+	}
+	if len(degraded.Series) > 0 {
+		lines = append(lines, line{label: "degraded shards", color: palette[3], pts: degraded.Series[0].Points})
+	}
+	renderPanel(b, "tickets vs capacity", lines, nil)
+
+	var mig []line
+	for i, spec := range []struct{ name, label string }{
+		{seriesMigTry, "attempted/round"},
+		{seriesMigOK, "succeeded/round"},
+		{seriesMigFail, "failed/round"},
+		{seriesFailover, "failover streams/round"},
+	} {
+		res := st.query(Query{Series: spec.name, Agg: AggRate, Step: window})
+		if len(res.Series) > 0 {
+			mig = append(mig, line{label: spec.label, color: palette[i%len(palette)], pts: res.Series[0].Points})
+		}
+	}
+	if len(mig) > 0 {
+		renderPanel(b, "migration flow (windowed rate)", mig, nil)
+	}
+}

@@ -1,0 +1,380 @@
+// Package history is the repository's embedded time-series store: a
+// bounded, zero-steady-state-allocation recorder that samples every
+// series of a telemetry Registry once per scheduling round and keeps the
+// trajectory queryable in process — the paper's guarantee is a process
+// over time windows (P[T_N > t] audited against b_late round after
+// round), and this package lets the repo show its own guarantee as a
+// time series without an external Prometheus.
+//
+// Storage is three-tiered per series:
+//
+//   - a fine ring of (round, value) points with configurable retention
+//     (DefaultRounds), overwritten in place when the same round is
+//     re-sampled (the on-scrape refresh path);
+//   - a coarse ring of min/max/last triples per DefaultCoarseBlock-round
+//     block, so queries reaching past the fine retention still resolve
+//     envelope and level at block granularity;
+//   - for histogram series, a flat ring of cumulative per-bucket counts
+//     aligned with the fine ring, so rate() and quantile-over-time
+//     (T_N p50/p99/p999 trajectories) are answerable after the fact from
+//     bucket deltas between any two retained samples.
+//
+// All rings are preallocated when a series attaches, so the per-round
+// Sample hot path allocates nothing: one atomic read per scalar series
+// and one bucket-count copy per histogram, under a single short mutex
+// shared with queries.
+package history
+
+import (
+	"sort"
+	"sync"
+
+	"mzqos/internal/telemetry"
+)
+
+// Defaults for Config's zero values.
+const (
+	// DefaultRounds is the fine-ring retention in samples.
+	DefaultRounds = 4096
+	// DefaultCoarseBlock is the rounds folded into one coarse block.
+	DefaultCoarseBlock = 64
+	// DefaultCoarseBlocks is the coarse-ring retention in blocks
+	// (DefaultCoarseBlock rounds each).
+	DefaultCoarseBlocks = 1024
+)
+
+// Config assembles a Store.
+type Config struct {
+	// Registry is the sampled registry. The store enumerates it at
+	// construction and re-enumerates whenever new series register (cheap
+	// length check per sample), so late registrations — runtime metrics
+	// installed at mux construction, say — join the history when they
+	// appear.
+	Registry *telemetry.Registry
+	// Rounds is the fine-ring retention in samples (0 = DefaultRounds).
+	Rounds int
+	// CoarseBlock is the rounds per coarse min/max/last block
+	// (0 = DefaultCoarseBlock).
+	CoarseBlock int
+	// CoarseBlocks is the coarse-ring retention in blocks
+	// (0 = DefaultCoarseBlocks).
+	CoarseBlocks int
+}
+
+// Store records per-round samples of every registered series. Sample is
+// driven by the round loop (Server.Step or Coordinator.Step) and by the
+// registry's scrape hook; queries are safe from any goroutine. A nil
+// *Store is valid and inert, so callers thread one through without
+// guards.
+type Store struct {
+	mu       sync.Mutex
+	reg      *telemetry.Registry
+	capacity int
+	block    int64
+	blocks   int
+
+	series   []*seriesRec
+	byName   map[string][]*seriesRec
+	attached int // registry entries enumerated so far
+
+	lastRound int64 // round of the most recent sample, -1 before any
+	samples   int64
+}
+
+// finePoint is one fine-ring sample. round and value sit in one struct
+// (rather than parallel slices) so a sample touches one cache line.
+type finePoint struct {
+	round int64
+	value float64
+}
+
+// coarseBlock is one coarse-ring envelope, keyed by its block start
+// round. One 32-byte struct per block keeps the steady-state fold — a
+// read-modify-write of the newest block every round — on a single line.
+type coarseBlock struct {
+	start          int64
+	min, max, last float64
+}
+
+// seriesRec is one series' stored trajectory.
+type seriesRec struct {
+	src telemetry.Series
+	id  string
+
+	// Fine ring of (round, value) points: next write at head, n valid,
+	// oldest at (head-n) mod cap.
+	fine []finePoint
+	head int
+	n    int
+
+	// Coarse ring of per-block envelopes.
+	cBlocks   []coarseBlock
+	cHead, cN int
+
+	// Histogram extension: cumulative per-bucket counts per fine sample,
+	// stored flat (sample at ring slot i occupies buckets[i*nb:(i+1)*nb]).
+	// Nil for scalar series.
+	h       *telemetry.Histogram
+	nb      int
+	bounds  []float64
+	buckets []int64
+}
+
+// New builds a store over cfg.Registry, attaches every currently
+// registered series, and installs the on-scrape refresh hook so a
+// /metrics or snapshot scrape between rounds re-samples the latest
+// round before exposition.
+func New(cfg Config) *Store {
+	st := &Store{
+		reg:       cfg.Registry,
+		capacity:  cfg.Rounds,
+		block:     int64(cfg.CoarseBlock),
+		blocks:    cfg.CoarseBlocks,
+		byName:    make(map[string][]*seriesRec),
+		lastRound: -1,
+	}
+	if st.capacity <= 0 {
+		st.capacity = DefaultRounds
+	}
+	if st.block <= 0 {
+		st.block = DefaultCoarseBlock
+	}
+	if st.blocks <= 0 {
+		st.blocks = DefaultCoarseBlocks
+	}
+	if st.reg != nil {
+		st.mu.Lock()
+		st.refreshLocked()
+		st.mu.Unlock()
+		st.reg.OnScrapeOnce("mzqos_history_sample", st.SampleCurrent)
+	}
+	return st
+}
+
+// maybeRefreshLocked re-enumerates the registry when its series count
+// moved — a cheap length check on the steady path.
+func (st *Store) maybeRefreshLocked() {
+	if st.reg != nil && st.reg.NumSeries() != st.attached {
+		st.refreshLocked()
+	}
+}
+
+// refreshLocked attaches registry entries added since the last
+// enumeration. Registration order is append-only, so only the tail is
+// new.
+func (st *Store) refreshLocked() {
+	all := st.reg.Series()
+	for _, s := range all[st.attached:] {
+		st.attachLocked(s)
+	}
+	st.attached = len(all)
+}
+
+// attachLocked preallocates one series' rings so sampling it never
+// allocates.
+func (st *Store) attachLocked(s telemetry.Series) {
+	rec := &seriesRec{
+		src:     s,
+		id:      s.ID(),
+		fine:    make([]finePoint, st.capacity),
+		cBlocks: make([]coarseBlock, st.blocks),
+	}
+	if h := s.Histogram(); h != nil {
+		rec.h = h
+		rec.nb = h.NumBuckets()
+		rec.bounds = h.Bounds()
+		rec.buckets = make([]int64, st.capacity*rec.nb)
+	}
+	st.series = append(st.series, rec)
+	st.byName[s.Name] = append(st.byName[s.Name], rec)
+}
+
+// Sample records one point per attached series at the given round.
+// Re-sampling the latest round overwrites its point in place. Steady
+// state (no new registrations) allocates nothing.
+func (st *Store) Sample(round int) {
+	if st == nil {
+		return
+	}
+	r := int64(round)
+	// The coarse block start depends only on the round, so the division
+	// happens once here rather than once per series on the hot path.
+	start := r - r%st.block
+	st.mu.Lock()
+	st.maybeRefreshLocked()
+	for _, rec := range st.series {
+		rec.push(r, start, rec.src.Read(), st.capacity, st.blocks)
+	}
+	if r > st.lastRound {
+		st.lastRound = r
+	}
+	st.samples++
+	st.mu.Unlock()
+}
+
+// SampleCurrent re-samples at the most recent sampled round (round 0
+// before any) — the on-scrape refresh path, so a mid-round /metrics
+// scrape reads history that includes the moment of the scrape.
+func (st *Store) SampleCurrent() {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	r := st.lastRound
+	st.mu.Unlock()
+	if r < 0 {
+		r = 0
+	}
+	st.Sample(int(r))
+}
+
+// push records one sample into the fine ring and folds it into the
+// current coarse block (start is the sample's precomputed block start
+// round). Allocation-free.
+func (rec *seriesRec) push(round, start int64, v float64, capacity, blocks int) {
+	if rec.n > 0 {
+		last := rec.head - 1
+		if last < 0 {
+			last += capacity
+		}
+		if rec.fine[last].round == round {
+			rec.fine[last].value = v
+			if rec.h != nil {
+				rec.h.CopyCounts(rec.buckets[last*rec.nb : (last+1)*rec.nb])
+			}
+			rec.coarse(v, blocks)
+			return
+		}
+	}
+	rec.fine[rec.head] = finePoint{round: round, value: v}
+	if rec.h != nil {
+		rec.h.CopyCounts(rec.buckets[rec.head*rec.nb : (rec.head+1)*rec.nb])
+	}
+	rec.head++
+	if rec.head == capacity {
+		rec.head = 0
+	}
+	if rec.n < capacity {
+		rec.n++
+	}
+	rec.coarseStart(start, v, blocks)
+}
+
+// coarseStart folds a sample into the coarse ring, opening a new block
+// when the sample's round crosses a block boundary.
+func (rec *seriesRec) coarseStart(start int64, v float64, blocks int) {
+	if rec.cN > 0 {
+		last := rec.cHead - 1
+		if last < 0 {
+			last += blocks
+		}
+		if b := &rec.cBlocks[last]; b.start == start {
+			b.fold(v)
+			return
+		}
+	}
+	rec.cBlocks[rec.cHead] = coarseBlock{start: start, min: v, max: v, last: v}
+	rec.cHead++
+	if rec.cHead == blocks {
+		rec.cHead = 0
+	}
+	if rec.cN < blocks {
+		rec.cN++
+	}
+}
+
+// coarse folds a re-sample of the latest round into the current block
+// (which necessarily exists: the fine point it refreshes opened it).
+func (rec *seriesRec) coarse(v float64, blocks int) {
+	if rec.cN == 0 {
+		return
+	}
+	last := rec.cHead - 1
+	if last < 0 {
+		last += blocks
+	}
+	rec.cBlocks[last].fold(v)
+}
+
+func (b *coarseBlock) fold(v float64) {
+	if v < b.min {
+		b.min = v
+	}
+	if v > b.max {
+		b.max = v
+	}
+	b.last = v
+}
+
+// LastRound returns the most recently sampled round (-1 before any).
+func (st *Store) LastRound() int {
+	if st == nil {
+		return -1
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return int(st.lastRound)
+}
+
+// Samples returns how many Sample calls the store has absorbed.
+func (st *Store) Samples() int64 {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.samples
+}
+
+// NumSeries returns how many series are attached.
+func (st *Store) NumSeries() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.maybeRefreshLocked()
+	return len(st.series)
+}
+
+// Retention reports the configured ring geometry: fine rounds, rounds
+// per coarse block, and retained coarse blocks.
+func (st *Store) Retention() (rounds, coarseBlock, coarseBlocks int) {
+	if st == nil {
+		return 0, 0, 0
+	}
+	return st.capacity, int(st.block), st.blocks
+}
+
+// SeriesIDs returns every attached series id (name plus {k=v} labels in
+// registration order), sorted.
+func (st *Store) SeriesIDs() []string {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	st.maybeRefreshLocked()
+	ids := make([]string, len(st.series))
+	for i, rec := range st.series {
+		ids[i] = rec.id
+	}
+	st.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// SeriesNames returns the distinct attached metric names, sorted.
+func (st *Store) SeriesNames() []string {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	st.maybeRefreshLocked()
+	names := make([]string, 0, len(st.byName))
+	for n := range st.byName {
+		names = append(names, n)
+	}
+	st.mu.Unlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,506 @@
+package history
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mzqos/internal/telemetry"
+)
+
+func testStore(t *testing.T, rounds, block, blocks int) (*Store, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	st := New(Config{Registry: reg, Rounds: rounds, CoarseBlock: block, CoarseBlocks: blocks})
+	return st, reg
+}
+
+func points(t *testing.T, st *Store, q Query) []Point {
+	t.Helper()
+	res, err := st.Query(q)
+	if err != nil {
+		t.Fatalf("Query(%+v): %v", q, err)
+	}
+	if len(res.Series) != 1 {
+		t.Fatalf("Query(%+v): got %d series, want 1", q, len(res.Series))
+	}
+	return res.Series[0].Points
+}
+
+func TestSampleAndQueryLast(t *testing.T) {
+	st, reg := testStore(t, 16, 4, 8)
+	g := reg.Gauge("g", "")
+	for r := 0; r < 5; r++ {
+		g.Set(float64(r * 10))
+		st.Sample(r)
+	}
+	pts := points(t, st, Query{Series: "g"})
+	if len(pts) != 5 {
+		t.Fatalf("got %d points, want 5", len(pts))
+	}
+	for i, p := range pts {
+		if p.Round != int64(i) || p.Value != float64(i*10) {
+			t.Fatalf("point %d = %+v, want round=%d value=%d", i, p, i, i*10)
+		}
+	}
+	if got := st.LastRound(); got != 4 {
+		t.Fatalf("LastRound = %d, want 4", got)
+	}
+}
+
+func TestFineRingWraps(t *testing.T) {
+	st, reg := testStore(t, 8, 4, 4)
+	g := reg.Gauge("g", "")
+	for r := 0; r < 20; r++ {
+		g.Set(float64(r))
+		st.Sample(r)
+	}
+	pts := points(t, st, Query{Series: "g", SinceRound: 12})
+	if len(pts) != 8 {
+		t.Fatalf("got %d fine points, want 8 (ring capacity)", len(pts))
+	}
+	if pts[0].Round != 12 || pts[7].Round != 19 {
+		t.Fatalf("retained window [%d,%d], want [12,19]", pts[0].Round, pts[7].Round)
+	}
+}
+
+func TestSameRoundOverwrites(t *testing.T) {
+	st, reg := testStore(t, 8, 4, 4)
+	g := reg.Gauge("g", "")
+	g.Set(1)
+	st.Sample(3)
+	g.Set(2)
+	st.Sample(3) // on-scrape refresh path
+	pts := points(t, st, Query{Series: "g"})
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1 (same-round overwrite)", len(pts))
+	}
+	if pts[0].Value != 2 {
+		t.Fatalf("value = %v, want 2 (refreshed)", pts[0].Value)
+	}
+	if st.Samples() != 2 {
+		t.Fatalf("Samples = %d, want 2", st.Samples())
+	}
+}
+
+func TestCoarseFallbackPastFineRetention(t *testing.T) {
+	// 8 fine rounds, blocks of 4, plenty of coarse blocks: after 32
+	// rounds the fine ring holds [24,31] and older rounds must resolve
+	// from the coarse envelope.
+	st, reg := testStore(t, 8, 4, 16)
+	g := reg.Gauge("g", "")
+	for r := 0; r < 32; r++ {
+		g.Set(float64(r))
+		st.Sample(r)
+	}
+	res, err := st.Query(Query{Series: "g", Agg: AggMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := res.Series[0]
+	if sr.CoarsePoints == 0 {
+		t.Fatalf("expected coarse points past fine retention, got none: %+v", sr)
+	}
+	// The first point is a coarse block (start round 0, max = 3).
+	if sr.Points[0].Round != 0 || sr.Points[0].Value != 3 {
+		t.Fatalf("first coarse point = %+v, want round=0 max=3", sr.Points[0])
+	}
+	// The last point is fine (round 31, value 31).
+	last := sr.Points[len(sr.Points)-1]
+	if last.Round != 31 || last.Value != 31 {
+		t.Fatalf("last point = %+v, want round=31 value=31", last)
+	}
+	// min agg over the same span: block [0,3] has min 0.
+	minPts := points(t, st, Query{Series: "g", Agg: AggMin})
+	if minPts[0].Value != 0 {
+		t.Fatalf("coarse min = %v, want 0", minPts[0].Value)
+	}
+}
+
+func TestStepAggregation(t *testing.T) {
+	st, reg := testStore(t, 64, 16, 8)
+	g := reg.Gauge("g", "")
+	for r := 0; r < 12; r++ {
+		g.Set(float64(r % 5))
+		st.Sample(r)
+	}
+	// step=4 windows: [0..3] [4..7] [8..11]
+	lastPts := points(t, st, Query{Series: "g", Step: 4, Agg: AggLast})
+	if len(lastPts) != 3 {
+		t.Fatalf("got %d windows, want 3", len(lastPts))
+	}
+	if lastPts[0].Round != 3 || lastPts[0].Value != 3 {
+		t.Fatalf("window 0 last = %+v, want round=3 value=3", lastPts[0])
+	}
+	maxPts := points(t, st, Query{Series: "g", Step: 4, Agg: AggMax})
+	if maxPts[1].Value != 4 { // rounds 4..7 → values 4,0,1,2
+		t.Fatalf("window 1 max = %v, want 4", maxPts[1].Value)
+	}
+	minPts := points(t, st, Query{Series: "g", Step: 4, Agg: AggMin})
+	if minPts[1].Value != 0 {
+		t.Fatalf("window 1 min = %v, want 0", minPts[1].Value)
+	}
+}
+
+func TestRateAggregation(t *testing.T) {
+	st, reg := testStore(t, 64, 16, 8)
+	c := reg.Counter("c", "")
+	for r := 0; r < 10; r++ {
+		c.Add(3) // 3 per round
+		st.Sample(r)
+	}
+	pts := points(t, st, Query{Series: "c", Step: 2, Agg: AggRate})
+	if len(pts) == 0 {
+		t.Fatal("rate produced no points")
+	}
+	for _, p := range pts {
+		if p.Value != 3 {
+			t.Fatalf("rate at round %d = %v, want 3", p.Round, p.Value)
+		}
+	}
+}
+
+func TestQuantileOverTime(t *testing.T) {
+	st, reg := testStore(t, 64, 16, 8)
+	h, err := reg.Histogram("h", "", []float64{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounds 0..3: all observations at ~1. Rounds 4..7: at ~4.
+	for r := 0; r < 8; r++ {
+		v := 1.0
+		if r >= 4 {
+			v = 4.0
+		}
+		for i := 0; i < 10; i++ {
+			h.Observe(v)
+		}
+		st.Sample(r)
+	}
+	pts := points(t, st, Query{Series: "h", Step: 4, Agg: AggP99})
+	// Windows end at rounds 3 and 7; deltas exist only between them, so
+	// one point: the second window's observations are all ≤ 4.
+	if len(pts) != 1 {
+		t.Fatalf("got %d quantile points, want 1: %+v", len(pts), pts)
+	}
+	if pts[0].Value != 4 {
+		t.Fatalf("p99 over window = %v, want 4", pts[0].Value)
+	}
+	// p50 with step 1 tracks the per-round level change.
+	p50 := points(t, st, Query{Series: "h", Agg: AggP50})
+	if len(p50) != 7 { // 8 samples → 7 deltas
+		t.Fatalf("got %d p50 points, want 7", len(p50))
+	}
+	if p50[0].Value != 1 || p50[6].Value != 4 {
+		t.Fatalf("p50 trajectory = %v..%v, want 1..4", p50[0].Value, p50[6].Value)
+	}
+}
+
+func TestQuantileOnScalarRejected(t *testing.T) {
+	st, reg := testStore(t, 8, 4, 4)
+	reg.Gauge("g", "")
+	st.Sample(0)
+	if _, err := st.Query(Query{Series: "g", Agg: AggP99}); err == nil {
+		t.Fatal("quantile agg on a gauge should fail")
+	}
+}
+
+func TestUnknownSeriesAndBadAgg(t *testing.T) {
+	st, _ := testStore(t, 8, 4, 4)
+	if _, err := st.Query(Query{Series: "nope"}); err == nil {
+		t.Fatal("unknown series should fail")
+	}
+	if _, err := st.Query(Query{Series: "nope", Agg: "avg"}); err == nil {
+		t.Fatal("unknown agg should fail")
+	}
+}
+
+func TestSelectorByIDPrefix(t *testing.T) {
+	st, reg := testStore(t, 8, 4, 4)
+	reg.Gauge("burn", "", telemetry.Label{Key: "target", Value: "late"}, telemetry.Label{Key: "window", Value: "fast"})
+	reg.Gauge("burn", "", telemetry.Label{Key: "target", Value: "late"}, telemetry.Label{Key: "window", Value: "slow"})
+	reg.Gauge("burn", "", telemetry.Label{Key: "target", Value: "glitch"}, telemetry.Label{Key: "window", Value: "fast"})
+	st.Sample(0)
+	res, err := st.Query(Query{Series: "burn{target=late}"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("prefix selector matched %d series, want 2", len(res.Series))
+	}
+	res, err = st.Query(Query{Series: "burn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("name selector matched %d series, want 3", len(res.Series))
+	}
+}
+
+func TestLateRegistrationAttaches(t *testing.T) {
+	st, reg := testStore(t, 8, 4, 4)
+	reg.Gauge("early", "")
+	st.Sample(0)
+	late := reg.Gauge("late", "")
+	late.Set(7)
+	st.Sample(1)
+	pts := points(t, st, Query{Series: "late"})
+	if len(pts) != 1 || pts[0].Value != 7 {
+		t.Fatalf("late series = %+v, want one point of 7", pts)
+	}
+}
+
+func TestScrapeHookRefreshes(t *testing.T) {
+	st, reg := testStore(t, 8, 4, 4)
+	g := reg.Gauge("g", "")
+	g.Set(1)
+	st.Sample(2)
+	g.Set(9)
+	reg.Snapshot() // fires scrape hooks → SampleCurrent → re-sample round 2
+	pts := points(t, st, Query{Series: "g"})
+	if len(pts) != 1 || pts[0].Value != 9 {
+		t.Fatalf("after scrape refresh got %+v, want one point of 9", pts)
+	}
+	_ = st // New registered the hook; a second New must not double-register
+	st2 := New(Config{Registry: reg, Rounds: 8})
+	_ = st2
+}
+
+func TestSampleZeroAlloc(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	for i := 0; i < 24; i++ {
+		reg.Gauge("g", "", telemetry.Label{Key: "i", Value: string(rune('a' + i))})
+	}
+	h, err := reg.Histogram("h", "", []float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(1)
+	st := New(Config{Registry: reg, Rounds: 32, CoarseBlock: 8, CoarseBlocks: 8})
+	round := 0
+	// Warm past the ring wrap so steady state is measured.
+	for ; round < 80; round++ {
+		st.Sample(round)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		st.Sample(round)
+		round++
+	})
+	if allocs != 0 {
+		t.Fatalf("Sample allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestNilStoreInert(t *testing.T) {
+	var st *Store
+	st.Sample(1)
+	st.SampleCurrent()
+	if st.LastRound() != -1 || st.NumSeries() != 0 || st.Samples() != 0 {
+		t.Fatal("nil store should report empty state")
+	}
+	if _, err := st.Query(Query{Series: "x"}); err == nil {
+		t.Fatal("nil store query should fail")
+	}
+	if d := st.Dump(16); len(d.Series) != 0 {
+		t.Fatal("nil store dump should be empty")
+	}
+	if pts := st.TailTrajectory("x", 1, 0, 1); pts != nil {
+		t.Fatal("nil store tail should be nil")
+	}
+	rec := httptest.NewRecorder()
+	st.QueryHandler()(rec, httptest.NewRequest("GET", "/query", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil store /query = %d, want 404", rec.Code)
+	}
+}
+
+func TestTailTrajectory(t *testing.T) {
+	st, reg := testStore(t, 64, 16, 8)
+	h, err := reg.Histogram("rt", "", []float64{0.5, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 1 (rounds 0..3): 8 obs ≤ 1, 2 obs > 1 → tail 0.2.
+	// Window 2 (rounds 4..7): all 10 obs > 1 → tail 1.0.
+	for r := 0; r < 8; r++ {
+		for i := 0; i < 10; i++ {
+			if r < 4 {
+				if i < 8 {
+					h.Observe(0.5)
+				} else {
+					h.Observe(2)
+				}
+			} else {
+				h.Observe(2)
+			}
+		}
+		st.Sample(r)
+	}
+	id := "rt"
+	pts := st.TailTrajectory(id, 1, 0, 4)
+	if len(pts) != 1 {
+		t.Fatalf("got %d tail points, want 1: %+v", len(pts), pts)
+	}
+	if math.Abs(pts[0].Value-1.0) > 1e-12 {
+		t.Fatalf("tail = %v, want 1.0 (all window-2 observations late)", pts[0].Value)
+	}
+	// Finer step: per-round deltas. Rounds 1..3 windows have tail 0.2.
+	fine := st.TailTrajectory(id, 1, 0, 1)
+	if len(fine) != 7 {
+		t.Fatalf("got %d fine tail points, want 7", len(fine))
+	}
+	if math.Abs(fine[0].Value-0.2) > 1e-12 {
+		t.Fatalf("fine tail = %v, want 0.2", fine[0].Value)
+	}
+}
+
+func TestDump(t *testing.T) {
+	st, reg := testStore(t, 512, 64, 8)
+	g := reg.Gauge("g", "")
+	for r := 0; r < 400; r++ {
+		g.Set(float64(r))
+		st.Sample(r)
+	}
+	d := st.Dump(64)
+	if len(d.Series) != 1 {
+		t.Fatalf("dump has %d series, want 1", len(d.Series))
+	}
+	if n := len(d.Series[0].Points); n == 0 || n > 64 {
+		t.Fatalf("dump has %d points, want 1..64", n)
+	}
+}
+
+func TestQueryHandler(t *testing.T) {
+	st, reg := testStore(t, 16, 4, 8)
+	g := reg.Gauge("mz_g", "")
+	for r := 0; r < 6; r++ {
+		g.Set(float64(r))
+		st.Sample(r)
+	}
+	h := st.QueryHandler()
+
+	// Discovery index.
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/query", nil))
+	if rec.Code != 200 {
+		t.Fatalf("index status = %d", rec.Code)
+	}
+	var idx indexReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Series) != 1 || idx.Series[0] != "mz_g" || idx.LastRound != 5 {
+		t.Fatalf("index = %+v", idx)
+	}
+
+	// JSON query.
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/query?series=mz_g&since_round=2&agg=last", nil))
+	if rec.Code != 200 {
+		t.Fatalf("query status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var res Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 || len(res.Series[0].Points) != 4 {
+		t.Fatalf("query result = %+v", res)
+	}
+
+	// NDJSON.
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/query?series=mz_g&format=ndjson", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("ndjson content type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("ndjson rows = %d, want 6", len(lines))
+	}
+
+	// 400s: unknown series, bad agg, bad step, bad since_round.
+	for _, url := range []string{
+		"/query?series=nope",
+		"/query?series=mz_g&agg=avg",
+		"/query?series=mz_g&step=x",
+		"/query?series=mz_g&step=-1",
+		"/query?series=mz_g&since_round=x",
+	} {
+		rec = httptest.NewRecorder()
+		h(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != 400 {
+			t.Fatalf("%s status = %d, want 400", url, rec.Code)
+		}
+	}
+}
+
+func TestDashboardHandler(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st := New(Config{Registry: reg, Rounds: 256})
+	disk := telemetry.Label{Key: "disk", Value: "0"}
+	rt, err := reg.Histogram(seriesRoundTime, "", []float64{0.5, 1, 2}, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := reg.Gauge(seriesBoundLate, "")
+	burn := reg.Gauge(seriesBurn, "",
+		telemetry.Label{Key: "target", Value: "late"}, telemetry.Label{Key: "window", Value: "fast"})
+	state := reg.Gauge(seriesAlertState, "", telemetry.Label{Key: "target", Value: "late"})
+	active := reg.Gauge(seriesActive, "")
+	bound.Set(1e-6)
+	for r := 0; r < 128; r++ {
+		rt.Observe(0.5)
+		if r%7 == 0 {
+			rt.Observe(2)
+		}
+		burn.Set(float64(r % 3))
+		if r > 64 {
+			state.Set(2) // firing band
+		}
+		active.Set(float64(10 + r%4))
+		st.Sample(r)
+	}
+	rec := httptest.NewRecorder()
+	st.DashboardHandler(DashboardConfig{Title: "test", RoundLength: 1, Window: 16})(rec, httptest.NewRequest("GET", "/dashboard", nil))
+	if rec.Code != 200 {
+		t.Fatalf("dashboard status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"<svg", "Measured tail vs analytic bound", "analytic b_late",
+		"SLO burn rate", "Admission", "polyline",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+	for _, ban := range []string{"<script", "http://", "https://", "src="} {
+		if strings.Contains(body, ban) {
+			t.Fatalf("dashboard must be self-contained, found %q", ban)
+		}
+	}
+
+	// Empty store still serves a page.
+	empty := New(Config{Registry: telemetry.NewRegistry()})
+	rec = httptest.NewRecorder()
+	empty.DashboardHandler(DashboardConfig{})(rec, httptest.NewRequest("GET", "/dashboard", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "no history samples yet") {
+		t.Fatalf("empty dashboard = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestSeriesIDsSorted(t *testing.T) {
+	st, reg := testStore(t, 8, 4, 4)
+	reg.Gauge("zeta", "")
+	reg.Gauge("alpha", "")
+	ids := st.SeriesIDs()
+	if len(ids) != 2 || ids[0] != "alpha" || ids[1] != "zeta" {
+		t.Fatalf("SeriesIDs = %v", ids)
+	}
+	names := st.SeriesNames()
+	if len(names) != 2 || names[0] != "alpha" {
+		t.Fatalf("SeriesNames = %v", names)
+	}
+}

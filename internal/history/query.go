@@ -1,0 +1,399 @@
+package history
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"mzqos/internal/telemetry"
+)
+
+// Aggregations accepted by Query.Agg. last/min/max/rate work on every
+// kind (rate of a histogram is its observation rate); the quantile
+// aggregations require a histogram series and are computed over the
+// bucket deltas of each step window — quantile-over-time, not a
+// quantile of the whole run.
+const (
+	AggLast = "last"
+	AggRate = "rate"
+	AggMin  = "min"
+	AggMax  = "max"
+	AggP50  = "p50"
+	AggP99  = "p99"
+	AggP999 = "p999"
+)
+
+// Errors reported by Query. Callers map ErrUnknownSeries and ErrBadQuery
+// to HTTP 400.
+var (
+	// ErrUnknownSeries is returned when the selector matches nothing.
+	ErrUnknownSeries = errors.New("history: unknown series")
+	// ErrBadQuery is returned for invalid parameters (unknown agg, a
+	// quantile agg on a scalar series).
+	ErrBadQuery = errors.New("history: bad query")
+)
+
+// Query selects a windowed, aggregated slice of the stored trajectories.
+type Query struct {
+	// Series selects by metric name (matching every label set of that
+	// name), or — when it contains '{' — by full series id or id prefix,
+	// e.g. "mzqos_slo_burn_rate{target=late}" matches both windows of the
+	// late target.
+	Series string
+	// SinceRound drops samples before this round (0 keeps everything
+	// retained; rounds older than the fine retention resolve from the
+	// coarse ring).
+	SinceRound int64
+	// Step coalesces this many rounds into one output point (0 or 1 =
+	// every sample).
+	Step int
+	// Agg is the within-step aggregation (empty = AggLast).
+	Agg string
+}
+
+// Point is one output sample.
+type Point struct {
+	Round int64   `json:"round"`
+	Value float64 `json:"value"`
+}
+
+// SeriesResult is one matched series' aggregated trajectory.
+type SeriesResult struct {
+	ID     string            `json:"id"`
+	Name   string            `json:"name"`
+	Labels []telemetry.Label `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	Points []Point           `json:"points"`
+	// CoarsePoints counts how many leading points were served from the
+	// coarse min/max/last ring because the window reached past the fine
+	// retention.
+	CoarsePoints int `json:"coarse_points,omitempty"`
+}
+
+// Result is a query response.
+type Result struct {
+	Series     []SeriesResult `json:"series"`
+	Agg        string         `json:"agg"`
+	SinceRound int64          `json:"since_round"`
+	Step       int            `json:"step"`
+	LastRound  int64          `json:"last_round"`
+}
+
+// kindName renders a telemetry.Kind for the query payload.
+func kindName(k telemetry.Kind) string {
+	switch k {
+	case telemetry.KindCounter:
+		return "counter"
+	case telemetry.KindGauge:
+		return "gauge"
+	case telemetry.KindHistogram:
+		return "histogram"
+	case telemetry.KindFloatCounter:
+		return "float_counter"
+	}
+	return "unknown"
+}
+
+// quantileAggs maps the quantile aggregations to their q.
+var quantileAggs = map[string]float64{AggP50: 0.5, AggP99: 0.99, AggP999: 0.999}
+
+// validAgg reports whether agg names a supported aggregation.
+func validAgg(agg string) bool {
+	switch agg {
+	case AggLast, AggRate, AggMin, AggMax, AggP50, AggP99, AggP999:
+		return true
+	}
+	return false
+}
+
+// Query evaluates q against the store. Safe for concurrent use with
+// Sample.
+func (st *Store) Query(q Query) (Result, error) {
+	agg := q.Agg
+	if agg == "" {
+		agg = AggLast
+	}
+	if !validAgg(agg) {
+		return Result{}, fmt.Errorf("%w: unknown agg %q", ErrBadQuery, agg)
+	}
+	step := q.Step
+	if step <= 0 {
+		step = 1
+	}
+	if st == nil {
+		return Result{}, ErrUnknownSeries
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.maybeRefreshLocked()
+	recs := st.matchLocked(q.Series)
+	if len(recs) == 0 {
+		return Result{}, fmt.Errorf("%w: %q", ErrUnknownSeries, q.Series)
+	}
+	_, isQuantile := quantileAggs[agg]
+	res := Result{Agg: agg, SinceRound: q.SinceRound, Step: step, LastRound: st.lastRound}
+	for _, rec := range recs {
+		if isQuantile && rec.h == nil {
+			return Result{}, fmt.Errorf("%w: agg %q requires a histogram series, %s is a %s",
+				ErrBadQuery, agg, rec.id, kindName(rec.src.Kind))
+		}
+		sr := SeriesResult{
+			ID:     rec.id,
+			Name:   rec.src.Name,
+			Labels: rec.src.Labels,
+			Kind:   kindName(rec.src.Kind),
+		}
+		sr.Points, sr.CoarsePoints = rec.evaluate(q.SinceRound, int64(step), agg, st.capacity, st.block, st.blocks)
+		if sr.Points == nil {
+			sr.Points = []Point{}
+		}
+		res.Series = append(res.Series, sr)
+	}
+	return res, nil
+}
+
+// matchLocked resolves a selector to series records: by exact name, or —
+// with '{' present — by series id or id prefix.
+func (st *Store) matchLocked(sel string) []*seriesRec {
+	if sel == "" {
+		return nil
+	}
+	if !strings.Contains(sel, "{") {
+		return st.byName[sel]
+	}
+	var out []*seriesRec
+	for _, rec := range st.series {
+		if rec.id == sel || strings.HasPrefix(rec.id, sel) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// bucketAgg is one step window's accumulated state during evaluation.
+type bucketAgg struct {
+	key        int64 // round/step
+	round      int64 // round of the window's last sample
+	last       float64
+	min, max   float64
+	slot       int // fine ring slot of the last sample, -1 when coarse
+	coarseOnly bool
+}
+
+// evaluate renders one series' windowed aggregation. Runs under the
+// store mutex.
+func (rec *seriesRec) evaluate(since, step int64, agg string, capacity int, block int64, blocks int) ([]Point, int) {
+	// Oldest retained fine round bounds the coarse contribution.
+	fineStart := int64(math.MaxInt64)
+	if rec.n > 0 {
+		oldest := rec.head - rec.n
+		if oldest < 0 {
+			oldest += capacity
+		}
+		fineStart = rec.fine[oldest].round
+	}
+
+	var windows []bucketAgg
+	coarseSamples := 0
+	fold := func(round int64, last, vmin, vmax float64, slot int, coarse bool) {
+		key := round / step
+		if len(windows) > 0 && windows[len(windows)-1].key == key {
+			w := &windows[len(windows)-1]
+			w.round, w.last, w.slot = round, last, slot
+			if vmin < w.min {
+				w.min = vmin
+			}
+			if vmax > w.max {
+				w.max = vmax
+			}
+			w.coarseOnly = w.coarseOnly && coarse
+			return
+		}
+		windows = append(windows, bucketAgg{
+			key: key, round: round, last: last, min: vmin, max: vmax,
+			slot: slot, coarseOnly: coarse,
+		})
+	}
+
+	// Coarse blocks entirely older than the fine ring, oldest first. A
+	// block overlapping the fine retention is skipped — its rounds are
+	// already served at full resolution and folding it in would invent a
+	// phantom point at the block start.
+	for k := 0; k < rec.cN; k++ {
+		i := rec.cHead - rec.cN + k
+		if i < 0 {
+			i += blocks
+		}
+		cb := &rec.cBlocks[i]
+		if cb.start < since || cb.start+block > fineStart {
+			continue
+		}
+		coarseSamples++
+		fold(cb.start, cb.last, cb.min, cb.max, -1, true)
+	}
+	// Fine samples, oldest first.
+	for k := 0; k < rec.n; k++ {
+		i := rec.head - rec.n + k
+		if i < 0 {
+			i += capacity
+		}
+		p := rec.fine[i]
+		if p.round < since {
+			continue
+		}
+		fold(p.round, p.value, p.value, p.value, i, false)
+	}
+	if len(windows) == 0 {
+		return nil, 0
+	}
+
+	points := make([]Point, 0, len(windows))
+	coarsePoints := 0
+	switch agg {
+	case AggLast:
+		for _, w := range windows {
+			points = append(points, Point{Round: w.round, Value: w.last})
+			if w.coarseOnly {
+				coarsePoints++
+			}
+		}
+	case AggMin:
+		for _, w := range windows {
+			points = append(points, Point{Round: w.round, Value: w.min})
+			if w.coarseOnly {
+				coarsePoints++
+			}
+		}
+	case AggMax:
+		for _, w := range windows {
+			points = append(points, Point{Round: w.round, Value: w.max})
+			if w.coarseOnly {
+				coarsePoints++
+			}
+		}
+	case AggRate:
+		// Per-round delta between consecutive window endpoints; the first
+		// window seeds the base and emits nothing.
+		for i := 1; i < len(windows); i++ {
+			prev, cur := &windows[i-1], &windows[i]
+			dr := cur.round - prev.round
+			if dr <= 0 {
+				continue
+			}
+			points = append(points, Point{Round: cur.round, Value: (cur.last - prev.last) / float64(dr)})
+			if cur.coarseOnly {
+				coarsePoints++
+			}
+		}
+	default: // quantile aggs, histogram-only (validated by Query)
+		q := quantileAggs[agg]
+		deltas := make([]int64, rec.nb)
+		for i := 1; i < len(windows); i++ {
+			prev, cur := &windows[i-1], &windows[i]
+			if prev.slot < 0 || cur.slot < 0 {
+				continue // coarse windows carry no bucket snapshots
+			}
+			var total int64
+			pb := rec.buckets[prev.slot*rec.nb : (prev.slot+1)*rec.nb]
+			cb := rec.buckets[cur.slot*rec.nb : (cur.slot+1)*rec.nb]
+			for j := range deltas {
+				d := cb[j] - pb[j]
+				if d < 0 {
+					d = 0
+				}
+				deltas[j] = d
+				total += d
+			}
+			if total == 0 {
+				continue // no observations in this window
+			}
+			points = append(points, Point{Round: cur.round, Value: quantileOf(rec.bounds, deltas, total, q)})
+		}
+	}
+	return points, coarsePoints
+}
+
+// quantileOf returns the bucket-resolved upper estimate of the
+// q-quantile of a bucket-delta window (mirrors HistogramValues.Quantile
+// on a delta set).
+func quantileOf(bounds []float64, deltas []int64, total int64, q float64) float64 {
+	if total <= 0 || len(bounds) == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, d := range deltas {
+		if d > 0 {
+			cum += d
+		}
+		if cum >= target {
+			if i < len(bounds) {
+				return bounds[i]
+			}
+			break
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// tailAboveOf returns the fraction of a bucket-delta window's
+// observations strictly greater than threshold (exact when threshold is
+// a bucket boundary, like HistogramValues.TailAbove).
+func tailAboveOf(bounds []float64, deltas []int64, threshold float64) float64 {
+	var total int64
+	for _, d := range deltas {
+		if d > 0 {
+			total += d
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var below int64
+	for i, b := range bounds {
+		if b > threshold {
+			break
+		}
+		if deltas[i] > 0 {
+			below += deltas[i]
+		}
+	}
+	return float64(total-below) / float64(total)
+}
+
+// Dump snapshots every attached series with agg last, downsampled so no
+// series carries more than maxPoints points — the /debug/bundle payload,
+// bounded regardless of retention.
+func (st *Store) Dump(maxPoints int) Result {
+	if st == nil {
+		return Result{}
+	}
+	if maxPoints <= 0 {
+		maxPoints = 256
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	step := int64(1)
+	if st.lastRound >= int64(maxPoints) {
+		step = (st.lastRound + int64(maxPoints)) / int64(maxPoints)
+	}
+	res := Result{Agg: AggLast, Step: int(step), LastRound: st.lastRound}
+	for _, rec := range st.series {
+		sr := SeriesResult{
+			ID:     rec.id,
+			Name:   rec.src.Name,
+			Labels: rec.src.Labels,
+			Kind:   kindName(rec.src.Kind),
+		}
+		sr.Points, sr.CoarsePoints = rec.evaluate(0, step, AggLast, st.capacity, st.block, st.blocks)
+		if sr.Points == nil {
+			sr.Points = []Point{}
+		}
+		res.Series = append(res.Series, sr)
+	}
+	return res
+}

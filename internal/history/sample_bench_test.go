@@ -1,0 +1,42 @@
+package history
+
+import (
+	"fmt"
+	"testing"
+
+	"mzqos/internal/telemetry"
+)
+
+// BenchmarkSample mirrors the benchcases HistorySample op so the sampler
+// budget can be profiled in isolation with -cpuprofile.
+func BenchmarkSample(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	for i := 0; i < 16; i++ {
+		reg.Counter(fmt.Sprintf("bench_counter_%d_total", i), "bench counter").Add(int64(i))
+	}
+	for i := 0; i < 16; i++ {
+		reg.Gauge(fmt.Sprintf("bench_gauge_%d", i), "bench gauge").Set(float64(i))
+	}
+	bounds, err := telemetry.RoundTimeBuckets(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for d := 0; d < 2; d++ {
+		h, err := reg.Histogram("bench_round_time_seconds", "bench histogram",
+			bounds, telemetry.L("disk", fmt.Sprint(d)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Observe(0.8)
+	}
+	st := New(Config{Registry: reg, Rounds: 256})
+	warm := 256 + 2*DefaultCoarseBlock
+	for r := 0; r < warm; r++ {
+		st.Sample(r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Sample(warm + i)
+	}
+}

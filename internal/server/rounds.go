@@ -249,8 +249,11 @@ func (s *Server) Step() RoundReport {
 	slices.Sort(rep.Completed)
 	rep.Evicted = s.adaptToFaults(effs)
 	// Close the round for the SLO audit after fault adaptation so a
-	// degraded round is already measured against its re-derived budgets.
+	// degraded round is already measured against its re-derived budgets,
+	// then record the round into the embedded history while the round
+	// counter still names the round the gauges describe.
 	s.auditSLO()
+	s.hist.Sample(s.round)
 	s.round++
 	return rep
 }

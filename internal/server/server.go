@@ -26,6 +26,7 @@ import (
 	"mzqos/internal/dist"
 	"mzqos/internal/engine"
 	"mzqos/internal/fault"
+	"mzqos/internal/history"
 	"mzqos/internal/journal"
 	"mzqos/internal/model"
 	"mzqos/internal/slo"
@@ -133,6 +134,11 @@ type Config struct {
 	// Shard labels this server's journal events and ledger records with
 	// its cluster shard id (0 for a standalone server).
 	Shard int
+	// History optionally records every registry series once per round
+	// into the embedded time-series store (see internal/history). Nil
+	// disables recording. In cluster mode the coordinator owns the single
+	// per-round sample instead, so shard configs leave this nil.
+	History *history.Store
 }
 
 // DefaultRetiredHistory is the retired-stream stats retention used when
@@ -226,6 +232,7 @@ type Server struct {
 	jnl    *journal.Journal
 	ledger *journal.Ledger
 	shard  int
+	hist   *history.Store // nil-safe: nil means no embedded history
 
 	// Admission rejection history: a small ring written by Open and read
 	// concurrently by the /admission endpoint, under its own mutex (Open
@@ -322,6 +329,7 @@ func New(cfg Config) (*Server, error) {
 		jnl:           cfg.Journal,
 		ledger:        cfg.Ledger,
 		shard:         cfg.Shard,
+		hist:          cfg.History,
 	}
 	if !cfg.Trace.Disabled {
 		tcfg := cfg.Trace
@@ -460,6 +468,10 @@ func (s *Server) Active() int { return len(s.active) }
 
 // Round returns the index of the next round to be executed.
 func (s *Server) Round() int { return s.round }
+
+// RoundLength returns the scheduling round length t in seconds — the
+// deadline every per-disk sweep is measured against.
+func (s *Server) RoundLength() float64 { return s.cfg.RoundLength }
 
 // Health returns the heartbeat snapshot a cluster coordinator caches:
 // load, limits, and degrade state. Unlike the plain accessors it reads

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Label is one metric dimension, e.g. {Key: "disk", Value: "0"}. Labels
@@ -53,6 +54,9 @@ type Registry struct {
 	mu      sync.Mutex
 	entries []entry
 	byID    map[string]int
+	// count mirrors len(entries) so NumSeries — the growth check a
+	// sampler runs every round — never takes the registry lock.
+	count atomic.Int64
 
 	// Scrape hooks run before every Snapshot/WritePrometheus so
 	// pull-model sources (runtime stats) can refresh their series.
@@ -157,6 +161,7 @@ func (r *Registry) register(e entry) entry {
 	}
 	r.byID[id] = len(r.entries)
 	r.entries = append(r.entries, e)
+	r.count.Store(int64(len(r.entries)))
 	return e
 }
 
@@ -204,6 +209,98 @@ func (r *Registry) AdoptGauge(name, help string, g *Gauge, labels ...Label) {
 // AdoptHistogram registers an externally owned histogram.
 func (r *Registry) AdoptHistogram(name, help string, h *Histogram, labels ...Label) {
 	r.register(entry{name: name, help: help, labels: labels, kind: KindHistogram, h: h})
+}
+
+// Series is one registered series' identity plus a live handle to its
+// metric — the enumeration a sampler (internal/history) captures once at
+// attach time so its per-round hot path reads atomics with no registry
+// lookups and no allocation.
+type Series struct {
+	Name   string
+	Labels []Label
+	Kind   Kind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fc     *FloatCounter
+}
+
+// ID returns the unique series key: the name followed by one {k=v} pair
+// per label in registration order (the registry's own identity format).
+func (s Series) ID() string { return seriesID(s.Name, s.Labels) }
+
+// Value reads the series' current scalar: the count of a counter, the
+// level of a gauge, the total of a float counter, and the observation
+// count of a histogram. Lock-free and allocation-free.
+func (s Series) Value() float64 {
+	switch s.Kind {
+	case KindCounter:
+		return float64(s.c.Value())
+	case KindGauge:
+		return s.g.Value()
+	case KindFloatCounter:
+		return s.fc.Value()
+	case KindHistogram:
+		return float64(s.h.Count())
+	}
+	return 0
+}
+
+// Read is Value for samplers that keep the Series in a long-lived
+// record: the pointer receiver skips the struct copy (name, label slice,
+// four handles) Value's value receiver pays on every call, which matters
+// on a per-round, every-series hot path.
+func (s *Series) Read() float64 {
+	switch s.Kind {
+	case KindCounter:
+		return float64(s.c.Value())
+	case KindGauge:
+		return s.g.Value()
+	case KindFloatCounter:
+		return s.fc.Value()
+	case KindHistogram:
+		return float64(s.h.Count())
+	}
+	return 0
+}
+
+// Histogram returns the live histogram of a KindHistogram series, nil
+// for scalar kinds.
+func (s Series) Histogram() *Histogram {
+	if s.Kind != KindHistogram {
+		return nil
+	}
+	return s.h
+}
+
+// NumSeries returns how many series are registered — the cheap growth
+// check a sampler runs each round to decide whether to re-enumerate.
+// Lock-free: it reads an atomic mirror of the entry count.
+func (r *Registry) NumSeries() int {
+	return int(r.count.Load())
+}
+
+// Series enumerates the registered series in registration order. The
+// label slices are copies; the metric handles are live, so retaining the
+// result lets a caller read current values lock-free forever after.
+// Entries are append-only, so a caller that remembers how many series it
+// has seen can attach just the tail of a later enumeration.
+func (r *Registry) Series() []Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Series, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = Series{
+			Name:   e.name,
+			Labels: append([]Label(nil), e.labels...),
+			Kind:   e.kind,
+			c:      e.c,
+			g:      e.g,
+			h:      e.h,
+			fc:     e.fc,
+		}
+	}
+	return out
 }
 
 // CounterPoint is one counter series in a snapshot.

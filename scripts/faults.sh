@@ -115,11 +115,53 @@ expect '/timeline?kind=slo_resolved' '"kind": "slo_resolved"' "journalled alert 
 expect /streams '"evicted": true' "evicted streams in the ledger"
 expect /streams '"retired_total"' "ledger retirement roll-up"
 
+# The embedded history must reproduce the same arc after the fact: the
+# alert-state trajectory on /query reaches firing (2) mid-run and is back
+# to inactive (0) by the final round. -g stops curl from glob-expanding
+# the {target=late} selector.
+if command -v python3 >/dev/null 2>&1; then
+    if curl -sfg "http://$ADDR/query?series=mzqos_slo_alert_state{target=late}&agg=max&step=4" | python3 -c '
+import json, sys
+res = json.load(sys.stdin)
+assert res["series"], "no alert-state history"
+pts = res["series"][0]["points"]
+assert len(pts) >= 2, f"history kept {len(pts)} points, want >= 2"
+peak = max(p["value"] for p in pts)
+assert peak >= 2, f"alert-state history never reached firing: peak {peak}"
+assert pts[-1]["value"] == 0, f"alert-state history did not return to inactive: {pts[-1]}"
+print(f"faults: ok   /query alert-state history replays the fire->resolve arc over {len(pts)} points")
+'; then
+        :
+    else
+        echo "faults: FAIL /query alert-state history does not replay the fire->resolve arc" >&2
+        fail=1
+    fi
+    if curl -sfg "http://$ADDR/query?series=mzqos_slo_burn_rate{target=late}&agg=max&step=4" | python3 -c '
+import json, sys
+res = json.load(sys.stdin)
+fast = [s for s in res["series"] if "{window=fast}" in s["id"]]
+assert fast, f"no fast-window burn-rate history in {[s['id'] for s in res['series']]}"
+pts = fast[0]["points"]
+peak = max(p["value"] for p in pts)
+assert peak > pts[-1]["value"], f"burn rate never decayed from its peak: peak {peak}, final {pts[-1]}"
+print(f"faults: ok   /query burn-rate history peaks at {peak:.1f} and decays by scenario end")
+'; then
+        :
+    else
+        echo "faults: FAIL /query burn-rate history lacks the fault arc" >&2
+        fail=1
+    fi
+fi
+
 if [ "$fail" -ne 0 ]; then
     ARTDIR="${SMOKE_ARTIFACT_DIR:-${TMPDIR:-/tmp}}"
     mkdir -p "$ARTDIR"
     curl -s "http://$ADDR/debug/bundle" >"$ARTDIR/faults-bundle.json" || true
-    echo "faults: saved debug bundle to $ARTDIR/faults-bundle.json" >&2
+    # The burn-rate trajectory is the artifact an SLO postmortem starts
+    # from: the full windowed history of both targets, not just the final
+    # gauge values.
+    curl -sg "http://$ADDR/query?series=mzqos_slo_burn_rate&agg=last" >"$ARTDIR/faults-burn-rate.json" || true
+    echo "faults: saved debug bundle and burn-rate trajectory to $ARTDIR/" >&2
 fi
 
 kill "$PID" 2>/dev/null || true

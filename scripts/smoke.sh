@@ -70,11 +70,17 @@ expect /metrics '^mzqos_journal_head_seq ' "journal head-seq gauge"
 expect /metrics '^mzqos_go_goroutines ' "Go goroutine gauge"
 expect /metrics '^mzqos_go_heap_bytes ' "Go heap gauge"
 expect /metrics '^mzqos_go_gc_pause_seconds_bucket' "GC pause histogram"
+expect /healthz '"status":"ok"' "readiness JSON"
+expect /query '"series"' "history series discovery"
+expect /query '"retention_rounds"' "history retention report"
+expect /debug/bundle '"history"' "bundle history section"
+expect /dashboard '<svg' "dashboard SVG panels"
+expect /dashboard '</html>' "complete dashboard document"
 
 # The JSON observability surfaces must parse, not merely contain the
 # expected keys.
 if command -v python3 >/dev/null 2>&1; then
-    for path in /admission /trace '/trace?format=chrome' /slo /timeline /streams /debug/bundle; do
+    for path in /admission /trace '/trace?format=chrome' /slo /timeline /streams /debug/bundle /query; do
         if curl -sf "http://$ADDR$path" | python3 -m json.tool >/dev/null 2>&1; then
             echo "smoke: ok   $path is valid JSON"
         else
@@ -82,6 +88,21 @@ if command -v python3 >/dev/null 2>&1; then
             fail=1
         fi
     done
+    # The embedded history must have kept a real trajectory — at least two
+    # retained points for the round counter — not just the latest value.
+    if curl -sf "http://$ADDR/query?series=mzqos_server_rounds_total&agg=last" | python3 -c '
+import json, sys
+res = json.load(sys.stdin)
+pts = res["series"][0]["points"]
+assert len(pts) >= 2, f"history kept {len(pts)} points, want >= 2"
+assert pts[-1]["value"] > pts[0]["value"], f"round counter trajectory is flat: {pts[0]} .. {pts[-1]}"
+print(f"smoke: ok   /query serves {len(pts)} history points for the round counter")
+'; then
+        :
+    else
+        echo "smoke: FAIL /query lacks a >=2-point history for the round counter" >&2
+        fail=1
+    fi
 fi
 
 # On failure, preserve the flight recorder (frozen snapshot if latched,
@@ -153,6 +174,10 @@ cexpect /timeline '"shard"' "shard-labelled timeline events"
 cexpect /streams '"active_streams"' "cluster QoS ledger"
 cexpect /debug/bundle '"kind": "cluster"' "cluster bundle kind"
 cexpect /debug/bundle '"schema": "mzqos/bundle/v1"' "cluster bundle schema"
+cexpect /healthz '"status":"ok"' "cluster readiness JSON"
+cexpect /query '"series"' "cluster history series discovery"
+cexpect /dashboard '<svg' "cluster dashboard SVG panels"
+cexpect /dashboard '</html>' "complete cluster dashboard document"
 
 # Every admitted stream names its shard in the /admission explanations.
 if command -v python3 >/dev/null 2>&1; then
@@ -178,6 +203,19 @@ print(f"smoke: ok   cluster /admission names a shard on all {len(adm)} admission
         echo "smoke: ok   cluster /cluster is valid JSON"
     else
         echo "smoke: FAIL cluster /cluster is not valid JSON" >&2
+        fail=1
+    fi
+    if curl -sf "http://$CADDR/query?series=mzqos_cluster_heartbeats_total&agg=last" | python3 -c '
+import json, sys
+res = json.load(sys.stdin)
+pts = res["series"][0]["points"]
+assert len(pts) >= 2, f"cluster history kept {len(pts)} points, want >= 2"
+assert pts[-1]["value"] > pts[0]["value"], f"heartbeat trajectory is flat: {pts[0]} .. {pts[-1]}"
+print(f"smoke: ok   cluster /query serves {len(pts)} history points for the heartbeat counter")
+'; then
+        :
+    else
+        echo "smoke: FAIL cluster /query lacks a >=2-point history for the heartbeat counter" >&2
         fail=1
     fi
 fi
